@@ -1,0 +1,66 @@
+// ABL-BASE — cross-algorithm comparison on the standard suite: the four
+// delta-stepping implementations (GraphBLAS unfused, GraphBLAS with fused
+// select, fused C, canonical buckets) against Dijkstra and Bellman-Ford.
+//
+// Expected shape: fused C ~ buckets ~ Dijkstra within small factors;
+// GraphBLAS unfused slower by the Fig. 3 factor; select variant between
+// the two (it fuses filters but not the cross-operation data movement).
+//
+// Flags: --quick, --graphs N, --csv, --delta D.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bench_support/reporter.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/delta_stepping_buckets.hpp"
+#include "sssp/delta_stepping_fused.hpp"
+#include "sssp/delta_stepping_graphblas.hpp"
+#include "sssp/dijkstra.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsg;
+  CliArgs args(argc, argv);
+  auto suite = bench::select_suite(args);
+  const double delta = args.get_double("delta", 1.0);
+
+  TableReporter table("ABL-BASE: algorithm comparison (ms), delta=" +
+                      format_double(delta, 2));
+  table.set_header({"graph", "nodes", "gb_unfused", "gb_select", "fused_c",
+                    "buckets", "dijkstra", "bellman_ford"});
+
+  for (const auto& entry : suite) {
+    auto graph = entry.make();
+    auto a = graph.to_matrix();
+    const int reps = bench::reps_for(a.nrows());
+    DeltaSteppingOptions opt;
+    opt.delta = delta;
+
+    const double gb = bench::time_best_ms(
+        [&] { return delta_stepping_graphblas(a, 0, opt); }, a, 0, reps);
+    const double gb_sel = bench::time_best_ms(
+        [&] { return delta_stepping_graphblas_select(a, 0, opt); }, a, 0,
+        reps);
+    const double fused = bench::time_best_ms(
+        [&] { return delta_stepping_fused(a, 0, opt); }, a, 0, reps);
+    const double buckets = bench::time_best_ms(
+        [&] { return delta_stepping_buckets(a, 0, opt); }, a, 0, reps);
+    const double dij = bench::time_best_ms(
+        [&] { return dijkstra(a, 0); }, a, 0, reps);
+    const double bf = bench::time_best_ms(
+        [&] { return bellman_ford(a, 0); }, a, 0, reps);
+
+    table.add_row({entry.name, std::to_string(a.nrows()), format_ms(gb),
+                   format_ms(gb_sel), format_ms(fused), format_ms(buckets),
+                   format_ms(dij), format_ms(bf)});
+  }
+
+  table.add_footer("expected shape: fused_c/buckets/dijkstra within small "
+                   "factors; gb_unfused slower by the Fig. 3 factor; "
+                   "gb_select in between.");
+  if (args.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// ABL-DELTA — the Δ sweep discussed in paper Sec. VII: Δ at the minimum
+// edge weight makes delta-stepping behave like Dijkstra (many buckets, no
+// wasted re-relaxation), Δ -> infinity makes it Bellman-Ford-like (one
+// bucket, many correction phases).  The sweep exposes the classic U-shaped
+// runtime curve and the bucket/phase trade-off.
+//
+// Runs on weighted suite variants (uniform [0.1, 10) weights) so the
+// light/heavy split is non-trivial.
+//
+// Flags: --graphs N (default 4), --csv, --deltas "0.1,0.5,1,..".
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "bench_support/reporter.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/delta_stepping_fused.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace {
+
+std::vector<double> parse_deltas(const std::string& spec) {
+  std::vector<double> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const double d = std::atof(item.c_str());
+    if (d > 0) out.push_back(d);
+  }
+  if (out.empty()) out = {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 1e9};
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsg;
+  CliArgs args(argc, argv);
+  const auto deltas = parse_deltas(args.get("deltas", ""));
+  auto suite = weighted_suite(0.1, 10.0);
+  const auto count =
+      static_cast<std::size_t>(args.get_int("graphs", 4));
+  if (count < suite.size()) suite.resize(count);
+
+  for (const auto& entry : suite) {
+    auto graph = entry.make();
+    auto a = graph.to_matrix();
+    const Index n = a.nrows();
+    const int reps = bench::reps_for(n);
+
+    TableReporter table("ABL-DELTA: " + entry.name + " (|V|=" +
+                        std::to_string(n) + ", |E|=" +
+                        std::to_string(a.nvals()) + ", w in [0.1,10))");
+    table.set_header({"delta", "ms", "buckets", "light_phases",
+                      "relax_requests"});
+
+    for (double delta : deltas) {
+      DeltaSteppingOptions opt;
+      opt.delta = delta;
+      SsspResult result;
+      const double ms = bench::time_best_ms(
+          [&] {
+            result = delta_stepping_fused(a, 0, opt);
+            return result;
+          },
+          a, 0, reps);
+      table.add_row({format_double(delta, 2), format_ms(ms),
+                     std::to_string(result.stats.outer_iterations),
+                     std::to_string(result.stats.light_phases),
+                     std::to_string(result.stats.relax_requests)});
+    }
+
+    // Reference points: the two limits delta-stepping interpolates.
+    const double dij_ms = bench::time_best_ms(
+        [&] { return dijkstra(a, 0); }, a, 0, reps);
+    const double bf_ms = bench::time_best_ms(
+        [&] { return bellman_ford(a, 0); }, a, 0, reps);
+    table.add_footer("dijkstra (binary heap): " + format_ms(dij_ms));
+    table.add_footer("bellman-ford (worklist): " + format_ms(bf_ms));
+    table.add_footer("shape check: small delta -> many buckets / few "
+                     "wasted relaxations; huge delta -> 1 bucket / "
+                     "Bellman-Ford-like phase count.");
+    if (args.has("csv")) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,229 @@
+// ABL-OPS — operation-level fusion ablation (google-benchmark).
+//
+// Quantifies why the unfused GraphBLAS call structure loses (paper
+// Sec. VI-B): every filter is two memory-bound passes plus an allocation,
+// and the delta-stepping inner loop chains several of them.  Benchmarks:
+//
+//  * vector filter:   double-apply idiom  vs  fused select  vs  raw loop
+//  * matrix split:    double-apply x2     vs  select x2     vs  one-pass CSR
+//  * inner-loop body: 5-op GraphBLAS sequence vs the fused single pass
+//  * vxm(min,+) cost  as a function of frontier size
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "graphblas/graphblas.hpp"
+#include "sssp/delta_stepping_fused.hpp"
+
+namespace {
+
+using grb::Index;
+
+grb::Vector<double> random_dense_vector(Index n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 10.0);
+  grb::Vector<double> v(n);
+  auto& vi = v.mutable_indices();
+  auto& vv = v.mutable_values();
+  vi.resize(n);
+  vv.resize(n);
+  for (Index i = 0; i < n; ++i) {
+    vi[i] = i;
+    vv[i] = uni(rng);
+  }
+  return v;
+}
+
+grb::Matrix<double> bench_graph(unsigned scale) {
+  auto g = dsg::generate_rmat({.scale = scale, .edge_factor = 8, .seed = 5});
+  g.symmetrize();
+  dsg::assign_uniform_weights(g, 0.1, 10.0, 6);
+  g.normalize();
+  return g.to_matrix();
+}
+
+// --- Vector filter: three ways to compute (lo <= t < hi). -------------------
+
+void BM_VectorFilter_DoubleApply(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto t = random_dense_vector(n, 1);
+  grb::Vector<bool> tb(n);
+  grb::Vector<double> out(n);
+  const grb::HalfOpenRangePredicate<double> pred{2.0, 4.0};
+  for (auto _ : state) {
+    grb::apply(tb, grb::NoMask{}, grb::NoAccumulate{}, pred, t,
+               grb::replace_desc);
+    grb::apply(out, tb, grb::NoAccumulate{}, grb::Identity<double>{}, t,
+               grb::replace_desc);
+    benchmark::DoNotOptimize(out.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VectorFilter_DoubleApply)->Range(1 << 10, 1 << 18);
+
+void BM_VectorFilter_Select(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto t = random_dense_vector(n, 1);
+  grb::Vector<double> out(n);
+  const grb::HalfOpenRangePredicate<double> pred{2.0, 4.0};
+  for (auto _ : state) {
+    grb::select(out, pred, t, grb::replace_desc);
+    benchmark::DoNotOptimize(out.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VectorFilter_Select)->Range(1 << 10, 1 << 18);
+
+void BM_VectorFilter_RawLoop(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto t = random_dense_vector(n, 1);
+  auto dense = t.to_dense(0.0);
+  std::vector<Index> out;
+  for (auto _ : state) {
+    out.clear();
+    for (Index i = 0; i < n; ++i) {
+      if (dense[i] >= 2.0 && dense[i] < 4.0) out.push_back(i);
+    }
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VectorFilter_RawLoop)->Range(1 << 10, 1 << 18);
+
+// --- Matrix split: A_L/A_H three ways. ---------------------------------------
+
+void BM_MatrixSplit_DoubleApply(benchmark::State& state) {
+  auto a = bench_graph(static_cast<unsigned>(state.range(0)));
+  const Index n = a.nrows();
+  grb::Matrix<bool> ab(n, n);
+  grb::Matrix<double> al(n, n), ah(n, n);
+  for (auto _ : state) {
+    grb::apply(ab, grb::NoMask{}, grb::NoAccumulate{},
+               grb::LightEdgePredicate<double>{1.0}, a, grb::replace_desc);
+    grb::apply(al, ab, grb::NoAccumulate{}, grb::Identity<double>{}, a,
+               grb::replace_desc);
+    grb::apply(ab, grb::NoMask{}, grb::NoAccumulate{},
+               grb::GreaterThanThreshold<double>{1.0}, a, grb::replace_desc);
+    grb::apply(ah, ab, grb::NoAccumulate{}, grb::Identity<double>{}, a,
+               grb::replace_desc);
+    benchmark::DoNotOptimize(al.nvals() + ah.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nvals());
+}
+BENCHMARK(BM_MatrixSplit_DoubleApply)->DenseRange(10, 14, 2);
+
+void BM_MatrixSplit_Select(benchmark::State& state) {
+  auto a = bench_graph(static_cast<unsigned>(state.range(0)));
+  const Index n = a.nrows();
+  grb::Matrix<double> al(n, n), ah(n, n);
+  for (auto _ : state) {
+    grb::select(al, grb::LightEdgePredicate<double>{1.0}, a,
+                grb::replace_desc);
+    grb::select(ah, grb::GreaterThanThreshold<double>{1.0}, a,
+                grb::replace_desc);
+    benchmark::DoNotOptimize(al.nvals() + ah.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nvals());
+}
+BENCHMARK(BM_MatrixSplit_Select)->DenseRange(10, 14, 2);
+
+void BM_MatrixSplit_OnePassCsr(benchmark::State& state) {
+  auto a = bench_graph(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    auto split = dsg::detail::split_light_heavy(a, 1.0);
+    benchmark::DoNotOptimize(split.light_ind.size() +
+                             split.heavy_ind.size());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nvals());
+}
+BENCHMARK(BM_MatrixSplit_OnePassCsr)->DenseRange(10, 14, 2);
+
+// --- vxm(min,+) as a function of frontier size. -------------------------------
+
+void BM_Vxm_MinPlus_Frontier(benchmark::State& state) {
+  auto a = bench_graph(13);
+  const Index n = a.nrows();
+  const Index frontier = static_cast<Index>(state.range(0));
+  grb::Vector<double> u(n);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<Index> pick(0, n - 1);
+  for (Index k = 0; k < frontier; ++k) u.set_element(pick(rng), 1.5);
+  grb::Vector<double> w(n);
+  const auto sr = grb::min_plus_semiring<double>();
+  for (auto _ : state) {
+    grb::vxm(w, grb::NoMask{}, grb::NoAccumulate{}, sr, u, a,
+             grb::replace_desc);
+    benchmark::DoNotOptimize(w.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * frontier);
+}
+BENCHMARK(BM_Vxm_MinPlus_Frontier)->RangeMultiplier(8)->Range(8, 8 << 9);
+
+// --- The inner-loop body: unfused GraphBLAS sequence vs fused pass. -----------
+
+void BM_InnerLoop_UnfusedGraphBlas(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto t = random_dense_vector(n, 3);
+  auto treq = random_dense_vector(n, 4);
+  grb::Vector<bool> tb(n), tless(n), s(n);
+  grb::Vector<double> tmasked(n);
+  const grb::HalfOpenRangePredicate<double> bucket{2.0, 4.0};
+  for (auto _ : state) {
+    // The five vector ops of Fig. 2 lines 45-54.
+    grb::apply(tb, grb::NoMask{}, grb::NoAccumulate{}, bucket, t,
+               grb::replace_desc);
+    grb::ewise_add(s, grb::NoMask{}, grb::NoAccumulate{},
+                   grb::LogicalOr<bool>{}, s, tb);
+    grb::ewise_add(tless, treq, grb::NoAccumulate{}, grb::LessThan<double>{},
+                   treq, t, grb::replace_desc);
+    grb::ewise_add(t, grb::NoMask{}, grb::NoAccumulate{}, grb::Min<double>{},
+                   t, treq);
+    grb::apply(tmasked, tb, grb::NoAccumulate{}, grb::Identity<double>{}, t,
+               grb::replace_desc);
+    benchmark::DoNotOptimize(tmasked.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InnerLoop_UnfusedGraphBlas)->Range(1 << 10, 1 << 16);
+
+void BM_InnerLoop_FusedPass(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto tv = random_dense_vector(n, 3).to_dense(0.0);
+  auto reqv = random_dense_vector(n, 4).to_dense(0.0);
+  std::vector<unsigned char> tb(n), s(n);
+  std::vector<Index> frontier;
+  for (auto _ : state) {
+    frontier.clear();
+    for (Index i = 0; i < n; ++i) {
+      const bool in_bucket = tv[i] >= 2.0 && tv[i] < 4.0;
+      s[i] |= in_bucket;
+      const bool improved = reqv[i] < tv[i];
+      if (improved) tv[i] = reqv[i];
+      tb[i] = improved && tv[i] >= 2.0 && tv[i] < 4.0;
+      if (tb[i]) frontier.push_back(i);
+    }
+    benchmark::DoNotOptimize(frontier.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InnerLoop_FusedPass)->Range(1 << 10, 1 << 16);
+
+// --- eWiseAdd min: the t = min(t, tReq) update in isolation. ------------------
+
+void BM_EwiseAddMin(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto t = random_dense_vector(n, 5);
+  auto treq = random_dense_vector(n, 6);
+  grb::Vector<double> out(n);
+  for (auto _ : state) {
+    grb::ewise_add(out, grb::NoMask{}, grb::NoAccumulate{},
+                   grb::Min<double>{}, t, treq, grb::replace_desc);
+    benchmark::DoNotOptimize(out.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EwiseAddMin)->Range(1 << 10, 1 << 18);
+
+}  // namespace

@@ -1,0 +1,78 @@
+// graph_analytics — the "whole substrate" tour: runs the full GraphBLAS
+// algorithm collection (BFS, connected components, PageRank, triangle
+// count, K-truss, SSSP) on one graph, demonstrating that the translation
+// methodology of the paper extends past delta-stepping.
+//
+// Usage: graph_analytics [--scale 11] [--mtx file.mtx]
+#include <algorithm>
+#include <iostream>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/connected_components.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/triangles.hpp"
+#include "bench_support/cli.hpp"
+#include "graph/generators.hpp"
+#include "graph/matrix_market.hpp"
+#include "graph/stats.hpp"
+#include "graph/weights.hpp"
+#include "sssp/delta_stepping_fused.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsg;
+  CliArgs args(argc, argv);
+
+  EdgeList graph;
+  if (args.has("mtx")) {
+    graph = read_matrix_market_file(args.get("mtx"));
+  } else {
+    RmatParams params;
+    params.scale = static_cast<unsigned>(args.get_int("scale", 11));
+    params.edge_factor = 10;
+    params.seed = 4;
+    graph = generate_rmat(params);
+  }
+  graph.symmetrize();
+  assign_unit_weights(graph);
+  graph.normalize();
+  const auto a = graph.to_matrix();
+  std::cout << "graph: " << format_stats(compute_stats(graph)) << "\n\n";
+
+  // 1. BFS from vertex 0 (boolean semiring).
+  const auto levels = bfs_levels_graphblas(a, 0);
+  Index reached = 0, depth = 0;
+  for (Index l : levels) {
+    if (l != kUnreachedLevel) {
+      ++reached;
+      depth = std::max(depth, l);
+    }
+  }
+  std::cout << "bfs:        " << reached << " reachable, depth " << depth
+            << "\n";
+
+  // 2. Connected components ((min, first) label propagation).
+  const auto labels = connected_components_graphblas(a);
+  std::cout << "components: " << count_components(labels) << "\n";
+
+  // 3. PageRank ((plus, times) power iteration).
+  const auto pr = pagerank_graphblas(a, {.tolerance = 1e-10});
+  const auto top =
+      std::max_element(pr.rank.begin(), pr.rank.end()) - pr.rank.begin();
+  std::cout << "pagerank:   converged in " << pr.iterations
+            << " iterations, top vertex " << top << " (rank "
+            << pr.rank[static_cast<std::size_t>(top)] << ")\n";
+
+  // 4. Triangles (masked (plus, times) mxm, the paper's Sec. II-C pattern).
+  std::cout << "triangles:  " << triangle_count_graphblas(a) << "\n";
+
+  // 5. 3-truss (iterated support filtering).
+  const auto truss = k_truss_graphblas(a, 3);
+  std::cout << "3-truss:    " << truss.nvals() << " of " << a.nvals()
+            << " directed edges survive\n";
+
+  // 6. SSSP ((min, +) delta-stepping — the paper's subject).
+  const auto sssp = delta_stepping_fused(a, 0, {});
+  std::cout << "sssp:       " << sssp.stats.outer_iterations << " buckets, "
+            << sssp.stats.relax_requests << " relax requests\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// road_router — the high-diameter workload from the paper's motivation:
+// a road-network-like weighted grid, point-to-point routing with actual
+// path extraction (the feature the paper's implementations stop short of).
+//
+// Builds a W x H grid with diagonals and travel-time weights, runs the
+// fused delta-stepping, recovers the shortest-path tree, and prints the
+// route between two street corners.
+//
+// Usage: road_router [--width 200] [--height 120] [--delta 1.0]
+//                    [--from 0] [--to <last>]
+#include <iomanip>
+#include <iostream>
+
+#include "bench_support/cli.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "sssp/delta_stepping_fused.hpp"
+#include "sssp/paths.hpp"
+#include "sssp/validate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsg;
+  CliArgs args(argc, argv);
+  const auto width = static_cast<Index>(args.get_int("width", 200));
+  const auto height = static_cast<Index>(args.get_int("height", 120));
+
+  // City blocks: unit-ish travel times, diagonals slightly dearer.
+  auto graph = generate_grid2d(width, height, /*diagonals=*/true);
+  assign_uniform_weights(graph, 0.8, 1.6, 2024);
+  graph.normalize();
+  const auto a = graph.to_matrix();
+
+  const auto from = static_cast<Index>(args.get_int("from", 0));
+  const auto to = static_cast<Index>(
+      args.get_int("to", static_cast<long long>(width * height - 1)));
+
+  DeltaSteppingOptions options;
+  options.delta = args.get_double("delta", 1.0);
+  const auto result = delta_stepping_fused(a, from, options);
+
+  const auto check = validate_sssp(a, from, result.dist);
+  if (!check.ok) {
+    std::cerr << "INVALID RESULT: " << check.message << "\n";
+    return 1;
+  }
+
+  if (result.dist[to] == kInfDist) {
+    std::cout << "no route from " << from << " to " << to << "\n";
+    return 0;
+  }
+
+  // Recover the route through the shortest-path tree.
+  const auto parent = recover_parents(a, from, result.dist);
+  const auto route = extract_path(parent, from, to);
+
+  auto coord = [&](Index v) {
+    return "(" + std::to_string(v % width) + "," + std::to_string(v / width) +
+           ")";
+  };
+  std::cout << "grid " << width << "x" << height << ", "
+            << a.nvals() << " directed road segments\n";
+  std::cout << "route " << coord(from) << " -> " << coord(to) << ": "
+            << route.size() << " corners, travel time "
+            << std::fixed << std::setprecision(2) << result.dist[to] << "\n";
+  std::cout << "buckets processed: " << result.stats.outer_iterations
+            << " (high-diameter graphs mean many buckets — the regime "
+               "where delta-stepping's bucketing matters)\n";
+
+  // Print a sparse sketch of the route (every ~10th corner).
+  std::cout << "waypoints:";
+  for (std::size_t k = 0; k < route.size();
+       k += std::max<std::size_t>(1, route.size() / 10)) {
+    std::cout << " " << coord(route[k]);
+  }
+  std::cout << " " << coord(route.back()) << "\n";
+
+  // Sanity: the recovered route's weight equals the reported distance.
+  const double w = path_weight(a, route);
+  std::cout << "route weight re-check: " << w << "\n";
+  return std::abs(w - result.dist[to]) < 1e-6 ? 0 : 1;
+}

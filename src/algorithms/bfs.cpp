@@ -1,0 +1,80 @@
+#include "algorithms/bfs.hpp"
+
+#include "graphblas/graphblas.hpp"
+#include "sssp/paths.hpp"
+
+namespace dsg {
+
+std::vector<Index> bfs_levels_graphblas(const grb::Matrix<double>& a,
+                                        Index source) {
+  check_sssp_inputs(a, source);
+  const Index n = a.nrows();
+
+  grb::Vector<bool> frontier(n);   // current wavefront
+  grb::Vector<Index> visited(n);   // level per visited vertex
+  frontier.set_element(source, true);
+  visited.set_element(source, 0);
+
+  const auto bool_sr = grb::lor_land_semiring<bool>();
+  Index level = 0;
+  while (frontier.nvals() > 0) {
+    ++level;
+    // frontier<!visited, replace> = frontier ᵀA over (||,&&): one hop,
+    // discarding anything already visited (structural complement mask).
+    grb::vxm(frontier, visited, grb::NoAccumulate{}, bool_sr, frontier, a,
+             grb::Descriptor{.replace = true,
+                             .mask_complement = true,
+                             .mask_structure = true});
+    // visited<frontier> = level
+    grb::assign_scalar(visited, frontier, grb::NoAccumulate{}, level,
+                       std::vector<Index>{grb::all_indices},
+                       grb::structure_mask_desc);
+  }
+  return visited.to_dense(kUnreachedLevel);
+}
+
+std::vector<Index> bfs_parents_graphblas(const grb::Matrix<double>& a,
+                                         Index source) {
+  check_sssp_inputs(a, source);
+  const Index n = a.nrows();
+
+  // Wavefront carries candidate parent ids (shifted by +1 so that id 0 is
+  // distinguishable from "no value" in masks); (min, first) picks the
+  // smallest-id parent among competing predecessors.
+  grb::Vector<Index> wavefront(n);
+  grb::Vector<Index> parent(n);
+  wavefront.set_element(source, source + 1);
+  parent.set_element(source, 0);  // placeholder, rewritten below
+
+  const auto min_first = grb::min_first_semiring<Index>();
+  while (wavefront.nvals() > 0) {
+    // Stamp the wavefront with its own vertex ids: each frontier vertex
+    // proposes itself as the parent of its neighbours.
+    grb::Vector<Index> ids(n);
+    grb::select(
+        ids, [](const Index&, Index) { return true; }, wavefront);
+    {
+      // ids[v] = v + 1 for v in wavefront (index-aware apply).
+      auto& vals = ids.mutable_values();
+      auto idx = ids.indices();
+      for (std::size_t k = 0; k < vals.size(); ++k) {
+        vals[k] = idx[k] + 1;
+      }
+    }
+    // wavefront<!parent, replace> = ids ᵀA over (min, first)
+    grb::vxm(wavefront, parent, grb::NoAccumulate{}, min_first, ids, a,
+             grb::Descriptor{.replace = true,
+                             .mask_complement = true,
+                             .mask_structure = true});
+    // parent<wavefront, structural> = wavefront - 1
+    grb::apply(parent, wavefront, grb::NoAccumulate{},
+               [](const Index& x) { return x - 1; }, wavefront,
+               grb::structure_mask_desc);
+  }
+
+  auto out = parent.to_dense(kNoParent);
+  out[source] = kNoParent;  // the source has no parent
+  return out;
+}
+
+}  // namespace dsg

@@ -1,0 +1,32 @@
+// bfs.hpp — breadth-first search in the language of linear algebra.
+//
+// The paper's methodology (vertex/edge patterns -> matrix operations) maps
+// BFS onto the boolean semiring: a frontier is a sparse boolean vector, one
+// traversal step is vxm over (||,&&), and the visited set is a complement
+// mask.  BFS also serves as the unit-weight Δ=1 special case that
+// cross-checks delta-stepping in the tests.
+#pragma once
+
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "sssp/common.hpp"
+
+namespace dsg {
+
+/// Marker level for unreached vertices.
+inline constexpr Index kUnreachedLevel = grb::all_indices;
+
+/// BFS levels (hop counts) from `source`; kUnreachedLevel where
+/// unreachable.  Runs entirely on GraphBLAS operations.
+std::vector<Index> bfs_levels_graphblas(const grb::Matrix<double>& a,
+                                        Index source);
+
+/// BFS parents: parent[v] is the BFS-tree predecessor (smallest-id
+/// in-neighbour on the previous level), kNoParent for the source and
+/// unreachable vertices.  Uses the (min, first) semiring to propagate
+/// parent ids through the frontier.
+std::vector<Index> bfs_parents_graphblas(const grb::Matrix<double>& a,
+                                         Index source);
+
+}  // namespace dsg

@@ -1,0 +1,51 @@
+#include "algorithms/connected_components.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graphblas/graphblas.hpp"
+
+namespace dsg {
+
+std::vector<Index> connected_components_graphblas(
+    const grb::Matrix<double>& a) {
+  if (a.nrows() != a.ncols()) {
+    throw grb::DimensionMismatch("connected_components: matrix must be square");
+  }
+  const Index n = a.nrows();
+
+  // labels = [0, 1, ..., n-1]
+  grb::Vector<Index> labels(n);
+  {
+    auto& li = labels.mutable_indices();
+    auto& lv = labels.mutable_values();
+    li.resize(n);
+    lv.resize(n);
+    for (Index v = 0; v < n; ++v) {
+      li[v] = v;
+      lv[v] = v;
+    }
+  }
+
+  const auto min_first = grb::min_first_semiring<Index>();
+  grb::Vector<Index> incoming(n);
+  for (;;) {
+    // incoming[j] = min over in-neighbours i of labels[i]
+    grb::vxm(incoming, grb::NoMask{}, grb::NoAccumulate{}, min_first, labels,
+             a, grb::replace_desc);
+    // proposed = min(labels, incoming), element-wise union
+    grb::Vector<Index> proposed(n);
+    grb::ewise_add(proposed, grb::NoMask{}, grb::NoAccumulate{},
+                   grb::Min<Index>{}, labels, incoming, grb::replace_desc);
+    if (proposed == labels) break;
+    labels = std::move(proposed);
+  }
+  return labels.to_dense(0);
+}
+
+Index count_components(const std::vector<Index>& labels) {
+  std::unordered_set<Index> distinct(labels.begin(), labels.end());
+  return static_cast<Index>(distinct.size());
+}
+
+}  // namespace dsg

@@ -1,0 +1,24 @@
+// connected_components.hpp — connected components by label propagation in
+// the language of linear algebra: each vertex repeatedly adopts the
+// minimum label in its closed neighbourhood, which is one (min, first)
+// vector-matrix product plus an element-wise min per round.
+#pragma once
+
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "sssp/common.hpp"
+
+namespace dsg {
+
+/// Component labels for an *undirected* graph (the matrix must be
+/// symmetric — callers with directed data should symmetrize first).
+/// Label of a component is the smallest vertex id it contains; isolated
+/// vertices keep their own id.  Converges in O(diameter) rounds.
+std::vector<Index> connected_components_graphblas(
+    const grb::Matrix<double>& a);
+
+/// Number of distinct components given a label vector.
+Index count_components(const std::vector<Index>& labels);
+
+}  // namespace dsg

@@ -1,0 +1,98 @@
+#include "algorithms/pagerank.hpp"
+
+#include <cmath>
+
+#include "graphblas/graphblas.hpp"
+
+namespace dsg {
+
+PageRankResult pagerank_graphblas(const grb::Matrix<double>& a,
+                                  const PageRankOptions& options) {
+  if (a.nrows() != a.ncols()) {
+    throw grb::DimensionMismatch("pagerank: matrix must be square");
+  }
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    throw grb::InvalidValue("pagerank: damping must be in [0, 1)");
+  }
+  const Index n = a.nrows();
+  const double d = options.damping;
+
+  // Row-normalize: P[i][j] = 1 / outdeg(i), built with reduce + apply.
+  grb::Vector<double> outdeg(n);
+  grb::Matrix<double> ones(n, n);
+  grb::apply(ones, grb::One<double>{}, a);
+  grb::reduce(outdeg, grb::plus_monoid<double>(), ones);
+
+  grb::Matrix<double> p(n, n);
+  {
+    // P = ones scaled per-row by 1/outdeg.  diag(1/outdeg) * ones via the
+    // (plus, times) mxm against a diagonal matrix.
+    grb::Matrix<double> inv_deg(n, n);
+    outdeg.for_each([&](Index v, const double& deg) {
+      inv_deg.set_element(v, v, 1.0 / deg);
+    });
+    grb::mxm(p, grb::plus_times_semiring<double>(), inv_deg, ones);
+  }
+
+  // Dangling vertices: structural complement of outdeg.
+  std::vector<double> dangling(n, 0.0);
+  {
+    auto deg_dense = outdeg.to_dense(0.0);
+    for (Index v = 0; v < n; ++v) {
+      if (deg_dense[v] == 0.0) dangling[v] = 1.0;
+    }
+  }
+
+  auto rank = grb::Vector<double>::full(n, 1.0 / static_cast<double>(n));
+  const double teleport = (1.0 - d) / static_cast<double>(n);
+
+  PageRankResult result;
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    // Dangling mass this round.
+    double dangling_mass = 0.0;
+    {
+      auto dense = rank.to_dense(0.0);
+      for (Index v = 0; v < n; ++v) dangling_mass += dense[v] * dangling[v];
+    }
+
+    // next = teleport + d * (rankᵀ P) + d * dangling_mass / n
+    grb::Vector<double> next(n);
+    grb::vxm(next, grb::NoMask{}, grb::NoAccumulate{},
+             grb::plus_times_semiring<double>(), rank, p, grb::replace_desc);
+    const double base =
+        teleport + d * dangling_mass / static_cast<double>(n);
+    grb::Vector<double> next_full(n);
+    grb::ewise_add(next_full, grb::NoMask{}, grb::NoAccumulate{},
+                   grb::Plus<double>{},
+                   grb::Vector<double>::full(n, base),
+                   [&] {
+                     grb::Vector<double> scaled(n);
+                     grb::apply(scaled,
+                                grb::BindSecond<grb::Times<double>, double>{
+                                    {}, d},
+                                next);
+                     return scaled;
+                   }(),
+                   grb::replace_desc);
+
+    // L1 residual.
+    grb::Vector<double> diff(n);
+    grb::ewise_add(diff, grb::NoMask{}, grb::NoAccumulate{},
+                   grb::Minus<double>{}, next_full, rank, grb::replace_desc);
+    grb::Vector<double> abs_diff(n);
+    grb::apply(abs_diff, grb::AbsOp<double>{}, diff);
+    result.residual = grb::reduce(grb::plus_monoid<double>(), abs_diff);
+
+    rank = std::move(next_full);
+    if (result.residual < options.tolerance) {
+      ++result.iterations;
+      break;
+    }
+  }
+
+  result.rank = rank.to_dense(0.0);
+  return result;
+}
+
+}  // namespace dsg

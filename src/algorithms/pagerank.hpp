@@ -1,0 +1,31 @@
+// pagerank.hpp — PageRank on the (plus, times) semiring: the canonical
+// "algorithm that is natively linear-algebraic", included to exercise the
+// arithmetic-semiring side of the substrate the same way delta-stepping
+// exercises (min, +).
+#pragma once
+
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "sssp/common.hpp"
+
+namespace dsg {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-9;  ///< L1 convergence threshold
+  Index max_iterations = 100;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;  ///< sums to 1 (dangling mass redistributed)
+  Index iterations = 0;
+  double residual = 0.0;  ///< final L1 delta
+};
+
+/// Power-iteration PageRank over the row-normalized adjacency matrix.
+/// Dangling vertices (no out-edges) donate their mass uniformly.
+PageRankResult pagerank_graphblas(const grb::Matrix<double>& a,
+                                  const PageRankOptions& options = {});
+
+}  // namespace dsg

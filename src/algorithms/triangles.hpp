@@ -1,0 +1,26 @@
+// triangles.hpp — triangle counting and K-truss, the edge-centric
+// algorithms the paper cites as motivation for the Hadamard-after-product
+// pattern (Sec. II-C: S = AᵀA ∘ A eliminates fill-in).
+#pragma once
+
+#include "graphblas/matrix.hpp"
+#include "sssp/common.hpp"
+
+namespace dsg {
+
+/// Number of triangles in an undirected simple graph (symmetric matrix,
+/// empty diagonal).  Sandia variant: with L the strict lower triangle,
+/// the count is sum((L · L) ∘ L) — masked mxm + reduce.
+std::uint64_t triangle_count_graphblas(const grb::Matrix<double>& a);
+
+/// Per-edge support: S = (AᵀA) ∘ A, the paper's Sec. II-C formula.
+/// S[i][j] is the number of triangles through edge (i,j).
+grb::Matrix<double> edge_support_graphblas(const grb::Matrix<double>& a);
+
+/// K-truss: the maximal subgraph in which every edge participates in at
+/// least (k-2) triangles.  Iteratively recomputes support and drops weak
+/// edges until a fixed point.  Returns the truss adjacency matrix
+/// (symmetric subgraph of `a`).
+grb::Matrix<double> k_truss_graphblas(const grb::Matrix<double>& a, Index k);
+
+}  // namespace dsg

@@ -1,0 +1,49 @@
+#include "bench_support/cli.hpp"
+
+#include <cstdlib>
+
+namespace dsg {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int k = 1; k < argc; ++k) {
+    std::string arg = argv[k];
+    if (arg.rfind("--", 0) == 0) {
+      std::string name = arg.substr(2);
+      const auto eq = name.find('=');
+      if (eq != std::string::npos) {
+        named_[name.substr(0, eq)] = name.substr(eq + 1);
+      } else if (k + 1 < argc && std::string(argv[k + 1]).rfind("--", 0) != 0) {
+        named_[name] = argv[++k];
+      } else {
+        named_[name] = "";
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return named_.count(name) > 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  auto it = named_.find(name);
+  return it == named_.end() ? fallback : it->second;
+}
+
+long long CliArgs::get_int(const std::string& name, long long fallback) const {
+  auto it = named_.find(name);
+  if (it == named_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  auto it = named_.find(name);
+  if (it == named_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace dsg

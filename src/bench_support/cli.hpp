@@ -1,0 +1,35 @@
+// cli.hpp — minimal argument parsing shared by the bench binaries and
+// examples: `--flag`, `--key value`, `--key=value`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsg {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  /// True if --name was passed (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value of --name, or `fallback`.
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Non-flag positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> named_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dsg

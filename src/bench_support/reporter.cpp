@@ -1,0 +1,93 @@
+#include "bench_support/reporter.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace dsg {
+
+void TableReporter::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TableReporter::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TableReporter::add_footer(std::string line) {
+  footers_.push_back(std::move(line));
+}
+
+void TableReporter::print(std::ostream& out) const {
+  // Column widths.
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 3;
+
+  out << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(width[c]) + 3) << row[c];
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    out << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) print_row(row);
+  if (!footers_.empty()) {
+    out << std::string(total, '-') << "\n";
+    for (const auto& line : footers_) out << line << "\n";
+  }
+  out.flush();
+}
+
+void TableReporter::print_csv(std::ostream& out) const {
+  auto csv_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      // Quote fields containing commas.
+      if (row[c].find(',') != std::string::npos) {
+        out << '"' << row[c] << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) csv_row(header_);
+  for (const auto& row : rows_) csv_row(row);
+  for (const auto& line : footers_) out << "# " << line << "\n";
+  out.flush();
+}
+
+std::string format_double(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string format_ms(double ms) {
+  std::ostringstream os;
+  if (ms < 0.1) {
+    os << std::fixed << std::setprecision(1) << ms * 1e3 << "us";
+  } else if (ms > 1e4) {
+    os << std::fixed << std::setprecision(2) << ms / 1e3 << "s";
+  } else {
+    os << std::fixed << std::setprecision(2) << ms << "ms";
+  }
+  return os.str();
+}
+
+}  // namespace dsg

@@ -1,0 +1,44 @@
+// reporter.hpp — ASCII table / CSV output for the benchmark harness.
+//
+// Each Fig.-3/Fig.-4-style experiment prints one row per graph (sorted by
+// ascending node count, as the paper's x-axes are) plus a summary row with
+// the average factor the paper headlines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsg {
+
+/// A simple column-aligned table with an optional title and footer lines.
+class TableReporter {
+ public:
+  explicit TableReporter(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void add_footer(std::string line);
+
+  /// Renders the aligned table.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (header + rows; footers become '# ' comments).
+  void print_csv(std::ostream& out) const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> footers_;
+};
+
+/// Formats a double with `digits` significant decimals.
+std::string format_double(double value, int digits = 3);
+
+/// Formats milliseconds adaptively (us below 0.1ms, s above 10000ms).
+std::string format_ms(double ms);
+
+}  // namespace dsg

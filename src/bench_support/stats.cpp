@@ -1,0 +1,48 @@
+#include "bench_support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dsg {
+
+RunStatistics summarize(std::vector<double> samples) {
+  RunStatistics s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  const std::size_t mid = samples.size() / 2;
+  s.median = (samples.size() % 2 == 1)
+                 ? samples[mid]
+                 : 0.5 * (samples[mid - 1] + samples[mid]);
+  if (samples.size() > 1) {
+    double ss = 0.0;
+    for (double x : samples) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+  }
+  return s;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+double arithmetic_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+}  // namespace dsg

@@ -1,0 +1,30 @@
+// stats.hpp — summary statistics over repeated measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsg {
+
+struct RunStatistics {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes min/max/mean/median/sample-stddev of `samples`.
+/// Empty input yields a zeroed block.
+RunStatistics summarize(std::vector<double> samples);
+
+/// Geometric mean; ignores non-positive entries (returns 0 if none valid).
+/// Fig. 3's "3.7x average improvement" is a mean over per-graph speedups —
+/// we report both arithmetic and geometric means.
+double geometric_mean(const std::vector<double>& values);
+
+/// Arithmetic mean (0 for empty input).
+double arithmetic_mean(const std::vector<double>& values);
+
+}  // namespace dsg

@@ -1,0 +1,76 @@
+#include "bench_support/suite.hpp"
+
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+
+namespace dsg {
+
+namespace {
+
+EdgeList finalize(EdgeList graph) {
+  graph.symmetrize();
+  graph.normalize();
+  assign_unit_weights(graph);
+  return graph;
+}
+
+}  // namespace
+
+std::vector<SuiteEntry> benchmark_suite() {
+  // Ordered by ascending node count, like the paper's figures.
+  return {
+      {"smallworld-0.3k", "ca-* collaboration (small)",
+       [] {
+         return finalize(generate_small_world(300, 4, 0.1, 7));
+       }},
+      {"grid-24x24", "road network (small)",
+       [] { return finalize(generate_grid2d(24, 24)); }},
+      {"rmat-10", "as-caida autonomous systems",
+       [] {
+         return finalize(generate_rmat({.scale = 10, .edge_factor = 8,
+                                        .seed = 11}));
+       }},
+      {"erdos-4k", "p2p-Gnutella (sparse random)",
+       [] { return finalize(generate_erdos_renyi(4000, 24000, 13)); }},
+      {"rmat-13", "soc-Epinions1 (social)",
+       [] {
+         return finalize(generate_rmat({.scale = 13, .edge_factor = 12,
+                                        .seed = 17}));
+       }},
+      {"grid-128x128", "roadNet tile (medium)",
+       [] { return finalize(generate_grid2d(128, 128)); }},
+      {"smallworld-30k", "email-Enron (small world)",
+       [] {
+         return finalize(generate_small_world(30000, 8, 0.05, 19));
+       }},
+      {"rmat-16", "soc-Slashdot / amazon0302 scale",
+       [] {
+         return finalize(generate_rmat({.scale = 16, .edge_factor = 12,
+                                        .seed = 23}));
+       }},
+      {"grid-512x512", "roadNet-PA tile (large)",
+       [] { return finalize(generate_grid2d(512, 512)); }},
+  };
+}
+
+std::vector<SuiteEntry> quick_suite(std::size_t count) {
+  auto all = benchmark_suite();
+  if (count < all.size()) all.resize(count);
+  return all;
+}
+
+std::vector<SuiteEntry> weighted_suite(double w_lo, double w_hi) {
+  auto suite = benchmark_suite();
+  for (auto& entry : suite) {
+    auto base = entry.make;
+    entry.make = [base, w_lo, w_hi] {
+      EdgeList graph = base();
+      assign_uniform_weights(graph, w_lo, w_hi, 101);
+      return graph;
+    };
+    entry.name += "-w";
+  }
+  return suite;
+}
+
+}  // namespace dsg

@@ -1,0 +1,32 @@
+#include "bench_support/timer.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace dsg {
+
+std::uint64_t read_tsc() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return 0;
+#endif
+}
+
+double estimate_tsc_hz() {
+  const std::uint64_t t0 = read_tsc();
+  if (t0 == 0 && read_tsc() == 0) return 0.0;
+  const auto w0 = std::chrono::steady_clock::now();
+  // Spin for ~50ms.
+  for (;;) {
+    const auto w1 = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(w1 - w0).count();
+    if (elapsed >= 0.05) {
+      const std::uint64_t t1 = read_tsc();
+      return static_cast<double>(t1 - t0) / elapsed;
+    }
+  }
+}
+
+}  // namespace dsg

@@ -1,0 +1,51 @@
+// timer.hpp — measurement primitives.
+//
+// The paper times with the Intel RDTSC instruction at fixed CPU frequency.
+// We provide both an rdtsc cycle counter (x86-64 only) and a monotonic
+// wall-clock timer; the harness reports milliseconds like Fig. 3 and uses
+// wall time as ground truth (the container's frequency is not pinned).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dsg {
+
+/// Reads the time-stamp counter; 0 on non-x86 builds.
+std::uint64_t read_tsc();
+
+/// Estimates the TSC frequency (ticks/second) by spinning ~50ms against
+/// steady_clock.  Returns 0 when the TSC is unavailable.
+double estimate_tsc_hz();
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Cycle-counter stopwatch in the spirit of the paper's RDTSC timing.
+class TscTimer {
+ public:
+  TscTimer() : start_(read_tsc()) {}
+  void reset() { start_ = read_tsc(); }
+  std::uint64_t ticks() const { return read_tsc() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace dsg

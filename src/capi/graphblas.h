@@ -1,0 +1,175 @@
+/* graphblas.h — a GraphBLAS C API subset over the grb:: template core.
+ *
+ * The paper's primary artifact (Fig. 2) is written against the GraphBLAS
+ * *C* API with SuiteSparse.  This header reproduces the slice of that API
+ * the listing uses — opaque handles, GrB_Info error codes, GrB_NULL
+ * defaults, predefined operators, user-defined unary operators from plain
+ * function pointers — so the repository can carry a near-verbatim
+ * transcription of the paper's code (sssp/delta_stepping_capi.cpp).
+ *
+ * Scope and simplifications (documented, deliberate):
+ *  - one numeric domain: all objects store FP64 internally; BOOL results
+ *    are 0.0/1.0 (SuiteSparse typecasts between domains the same way);
+ *  - types are enum codes rather than GrB_Type objects;
+ *  - only the operations the delta-stepping listing needs are exposed
+ *    (new/free/clear/nvals/setElement/extractElement/extractTuples/build,
+ *    apply, eWiseAdd, eWiseMult, vxm, reduce, descriptor set);
+ *  - user unary ops are double(*)(double); state is carried via globals,
+ *    exactly as the paper's delta/i_global are file-scope globals.
+ */
+#ifndef DSG_CAPI_GRAPHBLAS_H_
+#define DSG_CAPI_GRAPHBLAS_H_
+
+#include <stdbool.h>
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef uint64_t GrB_Index;
+
+/* --- Error codes (GrB_Info). ------------------------------------------- */
+typedef enum {
+  GrB_SUCCESS = 0,
+  GrB_NO_VALUE = 1,
+  GrB_UNINITIALIZED_OBJECT = 2,
+  GrB_NULL_POINTER = 3,
+  GrB_INVALID_VALUE = 4,
+  GrB_INVALID_INDEX = 5,
+  GrB_DIMENSION_MISMATCH = 6,
+  GrB_OUT_OF_MEMORY = 7,
+  GrB_PANIC = 8
+} GrB_Info;
+
+/* --- Opaque object handles. -------------------------------------------- */
+typedef struct GrB_Vector_opaque* GrB_Vector;
+typedef struct GrB_Matrix_opaque* GrB_Matrix;
+typedef struct GrB_Descriptor_opaque* GrB_Descriptor;
+typedef struct GrB_UnaryOp_opaque* GrB_UnaryOp;
+typedef struct GrB_BinaryOp_opaque* GrB_BinaryOp;
+typedef struct GrB_Semiring_opaque* GrB_Semiring;
+
+/* GrB_NULL in the C API is a NULL pointer for mask/accum/descriptor. */
+#define GrB_NULL NULL
+
+/* --- Descriptor fields and values. -------------------------------------- */
+typedef enum {
+  GrB_OUTP = 0,
+  GrB_MASK = 1,
+  GrB_INP0 = 2,
+  GrB_INP1 = 3
+} GrB_Desc_Field;
+
+typedef enum {
+  GrB_DEFAULT = 0,
+  GrB_REPLACE = 1,
+  GrB_COMP = 2,
+  GrB_STRUCTURE = 3,
+  GrB_TRAN = 4
+} GrB_Desc_Value;
+
+GrB_Info GrB_Descriptor_new(GrB_Descriptor* desc);
+GrB_Info GrB_Descriptor_set(GrB_Descriptor desc, GrB_Desc_Field field,
+                            GrB_Desc_Value value);
+GrB_Info GrB_Descriptor_free(GrB_Descriptor* desc);
+
+/* --- Predefined operators (the subset Fig. 2 uses, plus friends). ------- */
+extern GrB_UnaryOp GrB_IDENTITY_FP64;
+extern GrB_UnaryOp GrB_IDENTITY_BOOL;
+extern GrB_UnaryOp GrB_AINV_FP64;
+extern GrB_UnaryOp GrB_LNOT;
+
+extern GrB_BinaryOp GrB_PLUS_FP64;
+extern GrB_BinaryOp GrB_MINUS_FP64;
+extern GrB_BinaryOp GrB_TIMES_FP64;
+extern GrB_BinaryOp GrB_MIN_FP64;
+extern GrB_BinaryOp GrB_MAX_FP64;
+extern GrB_BinaryOp GrB_LT_FP64;
+extern GrB_BinaryOp GrB_LE_FP64;
+extern GrB_BinaryOp GrB_GT_FP64;
+extern GrB_BinaryOp GrB_GE_FP64;
+extern GrB_BinaryOp GrB_EQ_FP64;
+extern GrB_BinaryOp GrB_LOR;
+extern GrB_BinaryOp GrB_LAND;
+extern GrB_BinaryOp GrB_FIRST_FP64;
+extern GrB_BinaryOp GrB_SECOND_FP64;
+
+/* Semirings (GxB_* naming follows SuiteSparse). */
+extern GrB_Semiring GxB_MIN_PLUS_FP64;
+extern GrB_Semiring GxB_PLUS_TIMES_FP64;
+extern GrB_Semiring GxB_MIN_FIRST_FP64;
+extern GrB_Semiring GxB_LOR_LAND_BOOL;
+
+/* User-defined operators from plain function pointers. */
+GrB_Info GrB_UnaryOp_new(GrB_UnaryOp* op, double (*fn)(double));
+GrB_Info GrB_UnaryOp_free(GrB_UnaryOp* op);
+GrB_Info GrB_BinaryOp_new(GrB_BinaryOp* op, double (*fn)(double, double));
+GrB_Info GrB_BinaryOp_free(GrB_BinaryOp* op);
+
+/* --- Vectors. ------------------------------------------------------------ */
+GrB_Info GrB_Vector_new(GrB_Vector* v, GrB_Index n);
+GrB_Info GrB_Vector_dup(GrB_Vector* copy, GrB_Vector v);
+GrB_Info GrB_Vector_free(GrB_Vector* v);
+GrB_Info GrB_Vector_size(GrB_Index* n, GrB_Vector v);
+GrB_Info GrB_Vector_nvals(GrB_Index* nvals, GrB_Vector v);
+GrB_Info GrB_Vector_clear(GrB_Vector v);
+GrB_Info GrB_Vector_setElement_FP64(GrB_Vector v, double x, GrB_Index i);
+/* Returns GrB_NO_VALUE (and leaves *x untouched) when no element stored. */
+GrB_Info GrB_Vector_extractElement_FP64(double* x, GrB_Vector v, GrB_Index i);
+GrB_Info GrB_Vector_removeElement(GrB_Vector v, GrB_Index i);
+/* Arrays must have capacity for nvals entries; *count in/out. */
+GrB_Info GrB_Vector_extractTuples_FP64(GrB_Index* indices, double* values,
+                                       GrB_Index* count, GrB_Vector v);
+
+/* --- Matrices. ------------------------------------------------------------ */
+GrB_Info GrB_Matrix_new(GrB_Matrix* a, GrB_Index nrows, GrB_Index ncols);
+GrB_Info GrB_Matrix_dup(GrB_Matrix* copy, GrB_Matrix a);
+GrB_Info GrB_Matrix_free(GrB_Matrix* a);
+GrB_Info GrB_Matrix_nrows(GrB_Index* nrows, GrB_Matrix a);
+GrB_Info GrB_Matrix_ncols(GrB_Index* ncols, GrB_Matrix a);
+GrB_Info GrB_Matrix_nvals(GrB_Index* nvals, GrB_Matrix a);
+GrB_Info GrB_Matrix_clear(GrB_Matrix a);
+GrB_Info GrB_Matrix_setElement_FP64(GrB_Matrix a, double x, GrB_Index row,
+                                    GrB_Index col);
+GrB_Info GrB_Matrix_extractElement_FP64(double* x, GrB_Matrix a,
+                                        GrB_Index row, GrB_Index col);
+/* Duplicates combined with `dup` (GrB_NULL means "last wins"). */
+GrB_Info GrB_Matrix_build_FP64(GrB_Matrix a, const GrB_Index* rows,
+                               const GrB_Index* cols, const double* values,
+                               GrB_Index count, GrB_BinaryOp dup);
+
+/* --- Operations (vector variants; mask/accum/desc may be GrB_NULL). ------ */
+GrB_Info GrB_Vector_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                          GrB_UnaryOp op, GrB_Vector u, GrB_Descriptor desc);
+GrB_Info GrB_Matrix_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                          GrB_UnaryOp op, GrB_Matrix a, GrB_Descriptor desc);
+/* The Fig. 2 listing calls the matrix variant plain "GrB_apply". */
+#define GrB_apply GrB_Matrix_apply
+
+GrB_Info GrB_eWiseAdd(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                      GrB_BinaryOp op, GrB_Vector u, GrB_Vector v,
+                      GrB_Descriptor desc);
+GrB_Info GrB_eWiseMult(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                       GrB_BinaryOp op, GrB_Vector u, GrB_Vector v,
+                       GrB_Descriptor desc);
+
+GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                 GrB_Semiring op, GrB_Vector u, GrB_Matrix a,
+                 GrB_Descriptor desc);
+GrB_Info GrB_mxv(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                 GrB_Semiring op, GrB_Matrix a, GrB_Vector u,
+                 GrB_Descriptor desc);
+
+/* Scalar reduce of a vector with a binary op treated as a monoid whose
+ * identity is `identity`. */
+GrB_Info GrB_Vector_reduce_FP64(double* out, GrB_BinaryOp accum,
+                                GrB_BinaryOp monoid_op, double identity,
+                                GrB_Vector u, GrB_Descriptor desc);
+
+#ifdef __cplusplus
+}  /* extern "C" */
+#endif
+
+#endif  /* DSG_CAPI_GRAPHBLAS_H_ */

@@ -1,0 +1,517 @@
+// graphblas_c.cpp — implementation of the C API shim (capi/graphblas.h)
+// over the grb:: template core.
+//
+// All C-level objects store FP64; boolean results live as 0.0/1.0 and
+// value masks test truthiness, so the semantics of the paper's listing
+// (including the Sec. V-B eWiseAdd behaviour) carry over unchanged.
+#include "capi/graphblas.h"
+
+#include <new>
+
+#include "graphblas/graphblas.hpp"
+
+// --- Opaque object definitions. ----------------------------------------------
+
+struct GrB_Vector_opaque {
+  grb::Vector<double> impl;
+};
+
+struct GrB_Matrix_opaque {
+  grb::Matrix<double> impl;
+};
+
+struct GrB_Descriptor_opaque {
+  grb::Descriptor impl;
+};
+
+struct GrB_UnaryOp_opaque {
+  double (*fn)(double);
+};
+
+struct GrB_BinaryOp_opaque {
+  double (*fn)(double, double);
+};
+
+struct GrB_Semiring_opaque {
+  double (*add)(double, double);
+  double (*mult)(double, double);
+  double zero;
+};
+
+namespace {
+
+// Functional wrappers so the template kernels can consume C objects.
+struct CUnary {
+  double (*fn)(double);
+  double operator()(const double& x) const { return fn(x); }
+};
+
+struct CBinary {
+  double (*fn)(double, double);
+  double operator()(const double& a, const double& b) const {
+    return fn(a, b);
+  }
+};
+
+struct CSemiring {
+  using value_type = double;
+  const GrB_Semiring_opaque* sr;
+  double mult(const double& a, const double& b) const {
+    return sr->mult(a, b);
+  }
+  double add(const double& a, const double& b) const { return sr->add(a, b); }
+  double zero() const { return sr->zero; }
+};
+
+grb::Descriptor resolve_desc(GrB_Descriptor desc) {
+  return desc ? desc->impl : grb::default_desc;
+}
+
+/// Translates grb:: exceptions into GrB_Info codes at the API boundary.
+template <typename Fn>
+GrB_Info guarded(Fn&& fn) {
+  try {
+    fn();
+    return GrB_SUCCESS;
+  } catch (const grb::DimensionMismatch&) {
+    return GrB_DIMENSION_MISMATCH;
+  } catch (const grb::IndexOutOfBounds&) {
+    return GrB_INVALID_INDEX;
+  } catch (const grb::InvalidValue&) {
+    return GrB_INVALID_VALUE;
+  } catch (const std::bad_alloc&) {
+    return GrB_OUT_OF_MEMORY;
+  } catch (...) {
+    return GrB_PANIC;
+  }
+}
+
+// Predefined operator trampolines.
+double id_fn(double x) { return x; }
+double id_bool_fn(double x) { return x != 0.0; }
+double ainv_fn(double x) { return -x; }
+double lnot_fn(double x) { return x == 0.0 ? 1.0 : 0.0; }
+double plus_fn(double a, double b) { return a + b; }
+double minus_fn(double a, double b) { return a - b; }
+double times_fn(double a, double b) { return a * b; }
+double min_fn(double a, double b) { return b < a ? b : a; }
+double max_fn(double a, double b) { return a < b ? b : a; }
+double lt_fn(double a, double b) { return a < b ? 1.0 : 0.0; }
+double le_fn(double a, double b) { return a <= b ? 1.0 : 0.0; }
+double gt_fn(double a, double b) { return a > b ? 1.0 : 0.0; }
+double ge_fn(double a, double b) { return a >= b ? 1.0 : 0.0; }
+double eq_fn(double a, double b) { return a == b ? 1.0 : 0.0; }
+double lor_fn(double a, double b) {
+  return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+}
+double land_fn(double a, double b) {
+  return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+}
+double first_fn(double a, double) { return a; }
+double second_fn(double, double b) { return b; }
+
+GrB_UnaryOp_opaque kIdentityFp64{id_fn};
+GrB_UnaryOp_opaque kIdentityBool{id_bool_fn};
+GrB_UnaryOp_opaque kAinvFp64{ainv_fn};
+GrB_UnaryOp_opaque kLnot{lnot_fn};
+GrB_BinaryOp_opaque kPlusFp64{plus_fn};
+GrB_BinaryOp_opaque kMinusFp64{minus_fn};
+GrB_BinaryOp_opaque kTimesFp64{times_fn};
+GrB_BinaryOp_opaque kMinFp64{min_fn};
+GrB_BinaryOp_opaque kMaxFp64{max_fn};
+GrB_BinaryOp_opaque kLtFp64{lt_fn};
+GrB_BinaryOp_opaque kLeFp64{le_fn};
+GrB_BinaryOp_opaque kGtFp64{gt_fn};
+GrB_BinaryOp_opaque kGeFp64{ge_fn};
+GrB_BinaryOp_opaque kEqFp64{eq_fn};
+GrB_BinaryOp_opaque kLor{lor_fn};
+GrB_BinaryOp_opaque kLand{land_fn};
+GrB_BinaryOp_opaque kFirstFp64{first_fn};
+GrB_BinaryOp_opaque kSecondFp64{second_fn};
+
+GrB_Semiring_opaque kMinPlusFp64{
+    min_fn, plus_fn, grb::infinity_value<double>()};
+GrB_Semiring_opaque kPlusTimesFp64{plus_fn, times_fn, 0.0};
+GrB_Semiring_opaque kMinFirstFp64{
+    min_fn, first_fn, grb::infinity_value<double>()};
+GrB_Semiring_opaque kLorLandBool{lor_fn, land_fn, 0.0};
+
+/// Runs a masked vector operation dispatching on the optional mask/accum.
+template <typename Kernel>
+GrB_Info run_vector_op(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                       GrB_Descriptor desc, Kernel&& kernel) {
+  if (!w) return GrB_NULL_POINTER;
+  return guarded([&] {
+    const grb::Descriptor d = resolve_desc(desc);
+    if (mask && accum) {
+      kernel(w->impl, mask->impl, CBinary{accum->fn}, d);
+    } else if (mask) {
+      kernel(w->impl, mask->impl, grb::NoAccumulate{}, d);
+    } else if (accum) {
+      kernel(w->impl, grb::NoMask{}, CBinary{accum->fn}, d);
+    } else {
+      kernel(w->impl, grb::NoMask{}, grb::NoAccumulate{}, d);
+    }
+  });
+}
+
+template <typename Kernel>
+GrB_Info run_matrix_op(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                       GrB_Descriptor desc, Kernel&& kernel) {
+  if (!c) return GrB_NULL_POINTER;
+  return guarded([&] {
+    const grb::Descriptor d = resolve_desc(desc);
+    if (mask && accum) {
+      kernel(c->impl, mask->impl, CBinary{accum->fn}, d);
+    } else if (mask) {
+      kernel(c->impl, mask->impl, grb::NoAccumulate{}, d);
+    } else if (accum) {
+      kernel(c->impl, grb::NoMask{}, CBinary{accum->fn}, d);
+    } else {
+      kernel(c->impl, grb::NoMask{}, grb::NoAccumulate{}, d);
+    }
+  });
+}
+
+}  // namespace
+
+// --- Predefined operator handles. ---------------------------------------------
+
+GrB_UnaryOp GrB_IDENTITY_FP64 = &kIdentityFp64;
+GrB_UnaryOp GrB_IDENTITY_BOOL = &kIdentityBool;
+GrB_UnaryOp GrB_AINV_FP64 = &kAinvFp64;
+GrB_UnaryOp GrB_LNOT = &kLnot;
+GrB_BinaryOp GrB_PLUS_FP64 = &kPlusFp64;
+GrB_BinaryOp GrB_MINUS_FP64 = &kMinusFp64;
+GrB_BinaryOp GrB_TIMES_FP64 = &kTimesFp64;
+GrB_BinaryOp GrB_MIN_FP64 = &kMinFp64;
+GrB_BinaryOp GrB_MAX_FP64 = &kMaxFp64;
+GrB_BinaryOp GrB_LT_FP64 = &kLtFp64;
+GrB_BinaryOp GrB_LE_FP64 = &kLeFp64;
+GrB_BinaryOp GrB_GT_FP64 = &kGtFp64;
+GrB_BinaryOp GrB_GE_FP64 = &kGeFp64;
+GrB_BinaryOp GrB_EQ_FP64 = &kEqFp64;
+GrB_BinaryOp GrB_LOR = &kLor;
+GrB_BinaryOp GrB_LAND = &kLand;
+GrB_BinaryOp GrB_FIRST_FP64 = &kFirstFp64;
+GrB_BinaryOp GrB_SECOND_FP64 = &kSecondFp64;
+GrB_Semiring GxB_MIN_PLUS_FP64 = &kMinPlusFp64;
+GrB_Semiring GxB_PLUS_TIMES_FP64 = &kPlusTimesFp64;
+GrB_Semiring GxB_MIN_FIRST_FP64 = &kMinFirstFp64;
+GrB_Semiring GxB_LOR_LAND_BOOL = &kLorLandBool;
+
+// --- Descriptor. ----------------------------------------------------------------
+
+GrB_Info GrB_Descriptor_new(GrB_Descriptor* desc) {
+  if (!desc) return GrB_NULL_POINTER;
+  *desc = new (std::nothrow) GrB_Descriptor_opaque{};
+  return *desc ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+}
+
+GrB_Info GrB_Descriptor_set(GrB_Descriptor desc, GrB_Desc_Field field,
+                            GrB_Desc_Value value) {
+  if (!desc) return GrB_NULL_POINTER;
+  switch (field) {
+    case GrB_OUTP:
+      if (value == GrB_REPLACE) {
+        desc->impl.replace = true;
+      } else if (value == GrB_DEFAULT) {
+        desc->impl.replace = false;
+      } else {
+        return GrB_INVALID_VALUE;
+      }
+      return GrB_SUCCESS;
+    case GrB_MASK:
+      if (value == GrB_COMP) {
+        desc->impl.mask_complement = true;
+      } else if (value == GrB_STRUCTURE) {
+        desc->impl.mask_structure = true;
+      } else if (value == GrB_DEFAULT) {
+        desc->impl.mask_complement = false;
+        desc->impl.mask_structure = false;
+      } else {
+        return GrB_INVALID_VALUE;
+      }
+      return GrB_SUCCESS;
+    case GrB_INP0:
+      desc->impl.transpose_in0 = (value == GrB_TRAN);
+      return GrB_SUCCESS;
+    case GrB_INP1:
+      desc->impl.transpose_in1 = (value == GrB_TRAN);
+      return GrB_SUCCESS;
+  }
+  return GrB_INVALID_VALUE;
+}
+
+GrB_Info GrB_Descriptor_free(GrB_Descriptor* desc) {
+  if (!desc) return GrB_NULL_POINTER;
+  delete *desc;
+  *desc = nullptr;
+  return GrB_SUCCESS;
+}
+
+// --- User operators. ---------------------------------------------------------------
+
+GrB_Info GrB_UnaryOp_new(GrB_UnaryOp* op, double (*fn)(double)) {
+  if (!op || !fn) return GrB_NULL_POINTER;
+  *op = new (std::nothrow) GrB_UnaryOp_opaque{fn};
+  return *op ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+}
+
+GrB_Info GrB_UnaryOp_free(GrB_UnaryOp* op) {
+  if (!op) return GrB_NULL_POINTER;
+  delete *op;
+  *op = nullptr;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_BinaryOp_new(GrB_BinaryOp* op, double (*fn)(double, double)) {
+  if (!op || !fn) return GrB_NULL_POINTER;
+  *op = new (std::nothrow) GrB_BinaryOp_opaque{fn};
+  return *op ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+}
+
+GrB_Info GrB_BinaryOp_free(GrB_BinaryOp* op) {
+  if (!op) return GrB_NULL_POINTER;
+  delete *op;
+  *op = nullptr;
+  return GrB_SUCCESS;
+}
+
+// --- Vector object management. -------------------------------------------------------
+
+GrB_Info GrB_Vector_new(GrB_Vector* v, GrB_Index n) {
+  if (!v) return GrB_NULL_POINTER;
+  *v = new (std::nothrow) GrB_Vector_opaque{grb::Vector<double>(n)};
+  return *v ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+}
+
+GrB_Info GrB_Vector_dup(GrB_Vector* copy, GrB_Vector v) {
+  if (!copy || !v) return GrB_NULL_POINTER;
+  *copy = new (std::nothrow) GrB_Vector_opaque{v->impl};
+  return *copy ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+}
+
+GrB_Info GrB_Vector_free(GrB_Vector* v) {
+  if (!v) return GrB_NULL_POINTER;
+  delete *v;
+  *v = nullptr;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_size(GrB_Index* n, GrB_Vector v) {
+  if (!n || !v) return GrB_NULL_POINTER;
+  *n = v->impl.size();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_nvals(GrB_Index* nvals, GrB_Vector v) {
+  if (!nvals || !v) return GrB_NULL_POINTER;
+  *nvals = v->impl.nvals();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_clear(GrB_Vector v) {
+  if (!v) return GrB_NULL_POINTER;
+  v->impl.clear();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_setElement_FP64(GrB_Vector v, double x, GrB_Index i) {
+  if (!v) return GrB_NULL_POINTER;
+  return guarded([&] { v->impl.set_element(i, x); });
+}
+
+GrB_Info GrB_Vector_extractElement_FP64(double* x, GrB_Vector v,
+                                        GrB_Index i) {
+  if (!x || !v) return GrB_NULL_POINTER;
+  if (i >= v->impl.size()) return GrB_INVALID_INDEX;
+  auto value = v->impl.extract_element(i);
+  if (!value) return GrB_NO_VALUE;
+  *x = *value;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_removeElement(GrB_Vector v, GrB_Index i) {
+  if (!v) return GrB_NULL_POINTER;
+  return guarded([&] { v->impl.remove_element(i); });
+}
+
+GrB_Info GrB_Vector_extractTuples_FP64(GrB_Index* indices, double* values,
+                                       GrB_Index* count, GrB_Vector v) {
+  if (!indices || !values || !count || !v) return GrB_NULL_POINTER;
+  if (*count < v->impl.nvals()) return GrB_INVALID_VALUE;
+  GrB_Index k = 0;
+  v->impl.for_each([&](grb::Index i, const double& x) {
+    indices[k] = i;
+    values[k] = x;
+    ++k;
+  });
+  *count = k;
+  return GrB_SUCCESS;
+}
+
+// --- Matrix object management. ---------------------------------------------------------
+
+GrB_Info GrB_Matrix_new(GrB_Matrix* a, GrB_Index nrows, GrB_Index ncols) {
+  if (!a) return GrB_NULL_POINTER;
+  *a = new (std::nothrow) GrB_Matrix_opaque{grb::Matrix<double>(nrows, ncols)};
+  return *a ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+}
+
+GrB_Info GrB_Matrix_dup(GrB_Matrix* copy, GrB_Matrix a) {
+  if (!copy || !a) return GrB_NULL_POINTER;
+  *copy = new (std::nothrow) GrB_Matrix_opaque{a->impl};
+  return *copy ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+}
+
+GrB_Info GrB_Matrix_free(GrB_Matrix* a) {
+  if (!a) return GrB_NULL_POINTER;
+  delete *a;
+  *a = nullptr;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_nrows(GrB_Index* nrows, GrB_Matrix a) {
+  if (!nrows || !a) return GrB_NULL_POINTER;
+  *nrows = a->impl.nrows();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_ncols(GrB_Index* ncols, GrB_Matrix a) {
+  if (!ncols || !a) return GrB_NULL_POINTER;
+  *ncols = a->impl.ncols();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_nvals(GrB_Index* nvals, GrB_Matrix a) {
+  if (!nvals || !a) return GrB_NULL_POINTER;
+  *nvals = a->impl.nvals();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_clear(GrB_Matrix a) {
+  if (!a) return GrB_NULL_POINTER;
+  a->impl.clear();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_setElement_FP64(GrB_Matrix a, double x, GrB_Index row,
+                                    GrB_Index col) {
+  if (!a) return GrB_NULL_POINTER;
+  return guarded([&] { a->impl.set_element(row, col, x); });
+}
+
+GrB_Info GrB_Matrix_extractElement_FP64(double* x, GrB_Matrix a,
+                                        GrB_Index row, GrB_Index col) {
+  if (!x || !a) return GrB_NULL_POINTER;
+  if (row >= a->impl.nrows() || col >= a->impl.ncols()) {
+    return GrB_INVALID_INDEX;
+  }
+  auto value = a->impl.extract_element(row, col);
+  if (!value) return GrB_NO_VALUE;
+  *x = *value;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_build_FP64(GrB_Matrix a, const GrB_Index* rows,
+                               const GrB_Index* cols, const double* values,
+                               GrB_Index count, GrB_BinaryOp dup) {
+  if (!a || !rows || !cols || !values) return GrB_NULL_POINTER;
+  return guarded([&] {
+    std::span<const grb::Index> r(rows, count);
+    std::span<const grb::Index> c(cols, count);
+    std::span<const double> v(values, count);
+    if (dup) {
+      a->impl = grb::Matrix<double>::build(a->impl.nrows(), a->impl.ncols(),
+                                           r, c, v, CBinary{dup->fn});
+    } else {
+      a->impl = grb::Matrix<double>::build(a->impl.nrows(), a->impl.ncols(),
+                                           r, c, v);
+    }
+  });
+}
+
+// --- Operations. -------------------------------------------------------------------------
+
+GrB_Info GrB_Vector_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                          GrB_UnaryOp op, GrB_Vector u, GrB_Descriptor desc) {
+  if (!op || !u) return GrB_NULL_POINTER;
+  return run_vector_op(w, mask, accum, desc,
+                       [&](auto& out, const auto& m, const auto& acc,
+                           const grb::Descriptor& d) {
+                         grb::apply(out, m, acc, CUnary{op->fn}, u->impl, d);
+                       });
+}
+
+GrB_Info GrB_Matrix_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                          GrB_UnaryOp op, GrB_Matrix a, GrB_Descriptor desc) {
+  if (!op || !a) return GrB_NULL_POINTER;
+  return run_matrix_op(c, mask, accum, desc,
+                       [&](auto& out, const auto& m, const auto& acc,
+                           const grb::Descriptor& d) {
+                         grb::apply(out, m, acc, CUnary{op->fn}, a->impl, d);
+                       });
+}
+
+GrB_Info GrB_eWiseAdd(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                      GrB_BinaryOp op, GrB_Vector u, GrB_Vector v,
+                      GrB_Descriptor desc) {
+  if (!op || !u || !v) return GrB_NULL_POINTER;
+  return run_vector_op(
+      w, mask, accum, desc,
+      [&](auto& out, const auto& m, const auto& acc,
+          const grb::Descriptor& d) {
+        grb::ewise_add(out, m, acc, CBinary{op->fn}, u->impl, v->impl, d);
+      });
+}
+
+GrB_Info GrB_eWiseMult(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                       GrB_BinaryOp op, GrB_Vector u, GrB_Vector v,
+                       GrB_Descriptor desc) {
+  if (!op || !u || !v) return GrB_NULL_POINTER;
+  return run_vector_op(
+      w, mask, accum, desc,
+      [&](auto& out, const auto& m, const auto& acc,
+          const grb::Descriptor& d) {
+        grb::ewise_mult(out, m, acc, CBinary{op->fn}, u->impl, v->impl, d);
+      });
+}
+
+GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                 GrB_Semiring op, GrB_Vector u, GrB_Matrix a,
+                 GrB_Descriptor desc) {
+  if (!op || !u || !a) return GrB_NULL_POINTER;
+  return run_vector_op(w, mask, accum, desc,
+                       [&](auto& out, const auto& m, const auto& acc,
+                           const grb::Descriptor& d) {
+                         grb::vxm(out, m, acc, CSemiring{op}, u->impl,
+                                  a->impl, d);
+                       });
+}
+
+GrB_Info GrB_mxv(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                 GrB_Semiring op, GrB_Matrix a, GrB_Vector u,
+                 GrB_Descriptor desc) {
+  if (!op || !u || !a) return GrB_NULL_POINTER;
+  return run_vector_op(w, mask, accum, desc,
+                       [&](auto& out, const auto& m, const auto& acc,
+                           const grb::Descriptor& d) {
+                         grb::mxv(out, m, acc, CSemiring{op}, a->impl,
+                                  u->impl, d);
+                       });
+}
+
+GrB_Info GrB_Vector_reduce_FP64(double* out, GrB_BinaryOp accum,
+                                GrB_BinaryOp monoid_op, double identity,
+                                GrB_Vector u, GrB_Descriptor) {
+  if (!out || !monoid_op || !u) return GrB_NULL_POINTER;
+  return guarded([&] {
+    grb::Monoid<double, CBinary> monoid{CBinary{monoid_op->fn}, identity};
+    if (accum) {
+      grb::reduce(*out, CBinary{accum->fn}, monoid, u->impl);
+    } else {
+      grb::reduce(*out, grb::NoAccumulate{}, monoid, u->impl);
+    }
+  });
+}

@@ -1,0 +1,75 @@
+// edge_list.hpp — weighted edge lists, the interchange format between the
+// readers/generators and the grb::Matrix adjacency representation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+
+namespace dsg {
+
+using grb::Index;
+
+/// A single weighted directed edge u -> v.
+struct Edge {
+  Index src = 0;
+  Index dst = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A weighted edge list with an explicit vertex count.
+///
+/// Vertices are dense identifiers [0, num_vertices).  The list may contain
+/// duplicates and self-loops until normalize() is called.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(Index num_vertices) : num_vertices_(num_vertices) {}
+  EdgeList(Index num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  Index num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& edges() { return edges_; }
+
+  void set_num_vertices(Index n) { num_vertices_ = n; }
+
+  /// Appends an edge; grows num_vertices to cover the endpoints.
+  void add_edge(Index src, Index dst, double weight = 1.0);
+
+  /// Adds the reverse of every edge (same weight), making the list
+  /// symmetric.  Matches the paper's symmetric undirected inputs.
+  void symmetrize();
+
+  /// Removes self-loops (the paper assumes simple graphs: empty diagonal)
+  /// and combines duplicate (src,dst) pairs keeping the minimum weight —
+  /// the right reduction for shortest paths.
+  void normalize();
+
+  /// True if for every edge (u,v,w) the edge (v,u,w) is also present.
+  bool is_symmetric() const;
+
+  /// Largest endpoint + 1, ignoring num_vertices().
+  Index max_vertex_plus_one() const;
+
+  /// Converts to a CSR adjacency matrix A where A[u][v] = weight(u,v).
+  /// Duplicate edges keep the minimum weight.
+  grb::Matrix<double> to_matrix() const;
+
+  /// Builds an edge list back from an adjacency matrix.
+  static EdgeList from_matrix(const grb::Matrix<double>& a);
+
+  friend bool operator==(const EdgeList&, const EdgeList&) = default;
+
+ private:
+  Index num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dsg

@@ -1,0 +1,212 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graphblas/types.hpp"
+
+namespace dsg {
+
+namespace {
+
+/// Hash for (src,dst) pairs used by duplicate rejection.
+struct PairHash {
+  std::size_t operator()(const std::pair<Index, Index>& p) const {
+    return std::hash<Index>{}(p.first * 0x9E3779B97F4A7C15ull + p.second);
+  }
+};
+
+}  // namespace
+
+EdgeList generate_rmat(const RmatParams& params) {
+  if (params.a < 0 || params.b < 0 || params.c < 0 ||
+      params.a + params.b + params.c > 1.0) {
+    throw grb::InvalidValue("rmat: partition probabilities must be >=0 and "
+                            "a+b+c <= 1");
+  }
+  const Index n = Index{1} << params.scale;
+  const auto m =
+      static_cast<std::size_t>(params.edge_factor * static_cast<double>(n));
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  EdgeList graph(n);
+  graph.edges().reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    Index row = 0, col = 0;
+    for (unsigned level = 0; level < params.scale; ++level) {
+      const double r = uni(rng);
+      row <<= 1;
+      col <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: nothing to add
+      } else if (r < params.a + params.b) {
+        col |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row != col) {
+      graph.edges().push_back({row, col, 1.0});
+    }
+  }
+  return graph;
+}
+
+EdgeList generate_erdos_renyi(Index n, std::size_t m, std::uint64_t seed) {
+  if (n < 2 && m > 0) {
+    throw grb::InvalidValue("erdos_renyi: need >= 2 vertices for edges");
+  }
+  const auto max_edges = static_cast<std::size_t>(n) * (n - 1);
+  if (m > max_edges) {
+    throw grb::InvalidValue("erdos_renyi: m exceeds n*(n-1)");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> pick(0, n - 1);
+
+  EdgeList graph(n);
+  graph.edges().reserve(m);
+  std::unordered_set<std::pair<Index, Index>, PairHash> seen;
+  seen.reserve(2 * m);
+  while (seen.size() < m) {
+    const Index u = pick(rng), v = pick(rng);
+    if (u == v) continue;
+    if (seen.insert({u, v}).second) {
+      graph.edges().push_back({u, v, 1.0});
+    }
+  }
+  return graph;
+}
+
+EdgeList generate_grid2d(Index width, Index height, bool diagonals) {
+  if (width == 0 || height == 0) {
+    throw grb::InvalidValue("grid2d: zero dimension");
+  }
+  EdgeList graph(width * height);
+  auto id = [&](Index x, Index y) { return y * width + x; };
+  for (Index y = 0; y < height; ++y) {
+    for (Index x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        graph.edges().push_back({id(x, y), id(x + 1, y), 1.0});
+        graph.edges().push_back({id(x + 1, y), id(x, y), 1.0});
+      }
+      if (y + 1 < height) {
+        graph.edges().push_back({id(x, y), id(x, y + 1), 1.0});
+        graph.edges().push_back({id(x, y + 1), id(x, y), 1.0});
+      }
+      if (diagonals && x + 1 < width && y + 1 < height) {
+        graph.edges().push_back({id(x, y), id(x + 1, y + 1), 1.0});
+        graph.edges().push_back({id(x + 1, y + 1), id(x, y), 1.0});
+      }
+    }
+  }
+  return graph;
+}
+
+EdgeList generate_small_world(Index n, Index k, double beta,
+                              std::uint64_t seed) {
+  if (n < 3) throw grb::InvalidValue("small_world: need >= 3 vertices");
+  if (2 * k >= n) throw grb::InvalidValue("small_world: 2k must be < n");
+  if (beta < 0.0 || beta > 1.0) {
+    throw grb::InvalidValue("small_world: beta in [0,1]");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::uniform_int_distribution<Index> pick(0, n - 1);
+
+  EdgeList graph(n);
+  for (Index u = 0; u < n; ++u) {
+    for (Index j = 1; j <= k; ++j) {
+      Index v = (u + j) % n;
+      if (uni(rng) < beta) {
+        // Rewire to a random non-self target.
+        Index w = pick(rng);
+        while (w == u) w = pick(rng);
+        v = w;
+      }
+      graph.edges().push_back({u, v, 1.0});
+      graph.edges().push_back({v, u, 1.0});
+    }
+  }
+  return graph;
+}
+
+EdgeList generate_path(Index n) {
+  EdgeList graph(n);
+  for (Index u = 0; u + 1 < n; ++u) {
+    graph.edges().push_back({u, u + 1, 1.0});
+    graph.edges().push_back({u + 1, u, 1.0});
+  }
+  return graph;
+}
+
+EdgeList generate_cycle(Index n) {
+  if (n < 3) throw grb::InvalidValue("cycle: need >= 3 vertices");
+  EdgeList graph = generate_path(n);
+  graph.edges().push_back({n - 1, 0, 1.0});
+  graph.edges().push_back({0, n - 1, 1.0});
+  return graph;
+}
+
+EdgeList generate_star(Index n) {
+  if (n < 2) throw grb::InvalidValue("star: need >= 2 vertices");
+  EdgeList graph(n);
+  for (Index u = 1; u < n; ++u) {
+    graph.edges().push_back({0, u, 1.0});
+    graph.edges().push_back({u, 0, 1.0});
+  }
+  return graph;
+}
+
+EdgeList generate_complete(Index n) {
+  EdgeList graph(n);
+  for (Index u = 0; u < n; ++u) {
+    for (Index v = 0; v < n; ++v) {
+      if (u != v) graph.edges().push_back({u, v, 1.0});
+    }
+  }
+  return graph;
+}
+
+EdgeList generate_binary_tree(Index n) {
+  EdgeList graph(n);
+  for (Index u = 0; u < n; ++u) {
+    const Index left = 2 * u + 1, right = 2 * u + 2;
+    if (left < n) {
+      graph.edges().push_back({u, left, 1.0});
+      graph.edges().push_back({left, u, 1.0});
+    }
+    if (right < n) {
+      graph.edges().push_back({u, right, 1.0});
+      graph.edges().push_back({right, u, 1.0});
+    }
+  }
+  return graph;
+}
+
+EdgeList generate_connected_random(Index n, std::size_t extra_edges,
+                                   std::uint64_t seed) {
+  if (n == 0) return EdgeList{};
+  std::mt19937_64 rng(seed);
+  EdgeList graph(n);
+  // Random spanning tree: attach each vertex to a random earlier vertex.
+  for (Index u = 1; u < n; ++u) {
+    std::uniform_int_distribution<Index> pick(0, u - 1);
+    const Index p = pick(rng);
+    graph.edges().push_back({p, u, 1.0});
+    graph.edges().push_back({u, p, 1.0});
+  }
+  std::uniform_int_distribution<Index> pick(0, n - 1);
+  for (std::size_t e = 0; e < extra_edges; ++e) {
+    const Index u = pick(rng), v = pick(rng);
+    if (u == v) continue;
+    graph.edges().push_back({u, v, 1.0});
+    graph.edges().push_back({v, u, 1.0});
+  }
+  return graph;
+}
+
+}  // namespace dsg

@@ -1,0 +1,128 @@
+#include "graph/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graphblas/types.hpp"
+
+namespace dsg {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+EdgeList read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw grb::InvalidValue("MatrixMarket: empty input");
+  }
+
+  // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+  std::istringstream hdr(line);
+  std::string banner, object, format, field, symmetry;
+  hdr >> banner >> object >> format >> field >> symmetry;
+  if (to_lower(banner) != "%%matrixmarket") {
+    throw grb::InvalidValue("MatrixMarket: missing %%MatrixMarket banner");
+  }
+  if (to_lower(object) != "matrix" || to_lower(format) != "coordinate") {
+    throw grb::InvalidValue(
+        "MatrixMarket: only 'matrix coordinate' is supported");
+  }
+  field = to_lower(field);
+  symmetry = to_lower(symmetry);
+  const bool pattern = (field == "pattern");
+  if (!pattern && field != "real" && field != "integer" && field != "double") {
+    throw grb::InvalidValue("MatrixMarket: unsupported field '" + field + "'");
+  }
+  const bool symmetric = (symmetry == "symmetric");
+  if (!symmetric && symmetry != "general") {
+    throw grb::InvalidValue("MatrixMarket: unsupported symmetry '" + symmetry +
+                            "'");
+  }
+
+  // Skip comments, read size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long nrows = 0, ncols = 0, nnz = 0;
+  if (!(size_line >> nrows >> ncols >> nnz) || nrows < 0 || ncols < 0 ||
+      nnz < 0) {
+    throw grb::InvalidValue("MatrixMarket: bad size line '" + line + "'");
+  }
+  if (nrows != ncols) {
+    throw grb::InvalidValue(
+        "MatrixMarket: adjacency matrices must be square, got " +
+        std::to_string(nrows) + "x" + std::to_string(ncols));
+  }
+
+  EdgeList graph(static_cast<Index>(nrows));
+  graph.edges().reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  long long seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    long long r = 0, c = 0;
+    double w = 1.0;
+    if (!(ls >> r >> c)) {
+      throw grb::InvalidValue("MatrixMarket: bad entry line '" + line + "'");
+    }
+    if (!pattern && !(ls >> w)) {
+      throw grb::InvalidValue("MatrixMarket: missing value in '" + line + "'");
+    }
+    if (r < 1 || r > nrows || c < 1 || c > ncols) {
+      throw grb::InvalidValue("MatrixMarket: entry out of bounds in '" + line +
+                              "'");
+    }
+    const Index ri = static_cast<Index>(r - 1);
+    const Index ci = static_cast<Index>(c - 1);
+    graph.edges().push_back({ri, ci, w});
+    if (symmetric && ri != ci) {
+      graph.edges().push_back({ci, ri, w});
+    }
+    ++seen;
+  }
+  if (seen != nnz) {
+    throw grb::InvalidValue("MatrixMarket: expected " + std::to_string(nnz) +
+                            " entries, got " + std::to_string(seen));
+  }
+  return graph;
+}
+
+EdgeList read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw grb::InvalidValue("MatrixMarket: cannot open '" + path + "'");
+  }
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const EdgeList& graph) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by deltastep_graphblas\n";
+  out << graph.num_vertices() << " " << graph.num_vertices() << " "
+      << graph.num_edges() << "\n";
+  for (const Edge& e : graph.edges()) {
+    out << (e.src + 1) << " " << (e.dst + 1) << " " << e.weight << "\n";
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const EdgeList& graph) {
+  std::ofstream out(path);
+  if (!out) {
+    throw grb::InvalidValue("MatrixMarket: cannot open '" + path +
+                            "' for writing");
+  }
+  write_matrix_market(out, graph);
+}
+
+}  // namespace dsg

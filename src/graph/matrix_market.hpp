@@ -1,0 +1,30 @@
+// matrix_market.hpp — Matrix Market (.mtx) coordinate-format reader/writer,
+// the interchange format of SuiteSparse and the GraphChallenge datasets.
+//
+// Supported: `%%MatrixMarket matrix coordinate <real|integer|pattern>
+// <general|symmetric>`.  Pattern entries get weight 1; symmetric files are
+// expanded to both triangles on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace dsg {
+
+/// Parses Matrix Market coordinate data from a stream.
+/// Vertex ids in the file are 1-based (per the format) and converted to
+/// 0-based.  Throws grb::InvalidValue on malformed input.
+EdgeList read_matrix_market(std::istream& in);
+
+/// Convenience: reads from a file path.
+EdgeList read_matrix_market_file(const std::string& path);
+
+/// Writes an edge list as `matrix coordinate real general`.
+void write_matrix_market(std::ostream& out, const EdgeList& graph);
+
+/// Convenience: writes to a file path.
+void write_matrix_market_file(const std::string& path, const EdgeList& graph);
+
+}  // namespace dsg

@@ -1,0 +1,67 @@
+#include "graph/snap_reader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "graphblas/types.hpp"
+
+namespace dsg {
+
+SnapReadResult read_snap(std::istream& in) {
+  SnapReadResult result;
+  std::unordered_map<Index, Index> compact;  // original -> dense
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    long long src = 0, dst = 0;
+    double w = 1.0;
+    if (!(ls >> src >> dst)) {
+      throw grb::InvalidValue("SNAP: bad edge line '" + line + "'");
+    }
+    if (src < 0 || dst < 0) {
+      throw grb::InvalidValue("SNAP: negative vertex id in '" + line + "'");
+    }
+    ls >> w;  // optional; keeps default 1.0 on failure
+
+    auto intern = [&](Index original) {
+      auto [it, inserted] =
+          compact.try_emplace(original, static_cast<Index>(compact.size()));
+      if (inserted) result.original_id.push_back(original);
+      return it->second;
+    };
+    const Index s = intern(static_cast<Index>(src));
+    const Index d = intern(static_cast<Index>(dst));
+    result.graph.edges().push_back({s, d, w});
+  }
+  result.graph.set_num_vertices(static_cast<Index>(compact.size()));
+  return result;
+}
+
+SnapReadResult read_snap_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw grb::InvalidValue("SNAP: cannot open '" + path + "'");
+  }
+  return read_snap(in);
+}
+
+void write_snap(std::ostream& out, const EdgeList& graph) {
+  out << "# Directed graph: written by deltastep_graphblas\n";
+  out << "# Nodes: " << graph.num_vertices()
+      << " Edges: " << graph.num_edges() << "\n";
+  out << "# FromNodeId\tToNodeId\tWeight\n";
+  for (const Edge& e : graph.edges()) {
+    out << e.src << "\t" << e.dst << "\t" << e.weight << "\n";
+  }
+}
+
+void write_snap_file(const std::string& path, const EdgeList& graph) {
+  std::ofstream out(path);
+  if (!out) {
+    throw grb::InvalidValue("SNAP: cannot open '" + path + "' for writing");
+  }
+  write_snap(out, graph);
+}
+
+}  // namespace dsg

@@ -1,0 +1,39 @@
+// snap_reader.hpp — reader for SNAP-style whitespace-separated edge lists
+// (the format of the Stanford Network Analysis Platform datasets the paper
+// evaluates on: '# comment' lines, then 'src dst [weight]' per line).
+//
+// Vertex ids in SNAP files are arbitrary (sparse, not necessarily starting
+// at 0); the reader compacts them to dense [0, n) and can return the
+// relabeling map.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace dsg {
+
+struct SnapReadResult {
+  EdgeList graph;
+  /// original id of each compacted vertex: original_id[new] = old.
+  std::vector<Index> original_id;
+};
+
+/// Parses a SNAP edge list from a stream.  Lines starting with '#' are
+/// comments; entries are 'src dst' or 'src dst weight'.  Missing weights
+/// default to 1 (the paper uses unit weights).
+SnapReadResult read_snap(std::istream& in);
+
+/// Convenience: reads from a file path.
+SnapReadResult read_snap_file(const std::string& path);
+
+/// Writes a SNAP-format edge list (with a header comment).
+void write_snap(std::ostream& out, const EdgeList& graph);
+
+/// Convenience: writes to a file path.
+void write_snap_file(const std::string& path, const EdgeList& graph);
+
+}  // namespace dsg

@@ -1,0 +1,128 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace dsg {
+
+namespace {
+
+/// Undirected adjacency (successor lists over symmetrized edges).
+std::vector<std::vector<Index>> undirected_adjacency(const EdgeList& graph) {
+  std::vector<std::vector<Index>> adj(graph.num_vertices());
+  for (const Edge& e : graph.edges()) {
+    adj[e.src].push_back(e.dst);
+    adj[e.dst].push_back(e.src);
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::vector<Index> out_degrees(const EdgeList& graph) {
+  std::vector<Index> deg(graph.num_vertices(), 0);
+  for (const Edge& e : graph.edges()) ++deg[e.src];
+  return deg;
+}
+
+std::vector<Index> component_sizes(const EdgeList& graph) {
+  const Index n = graph.num_vertices();
+  auto adj = undirected_adjacency(graph);
+  std::vector<char> seen(n, 0);
+  std::vector<Index> sizes;
+  std::deque<Index> queue;
+  for (Index s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    Index count = 0;
+    seen[s] = 1;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const Index u = queue.front();
+      queue.pop_front();
+      ++count;
+      for (Index v : adj[u]) {
+        if (!seen[v]) {
+          seen[v] = 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    sizes.push_back(count);
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+std::vector<Index> bfs_levels(const EdgeList& graph, Index source) {
+  const Index n = graph.num_vertices();
+  constexpr Index kUnreached = std::numeric_limits<Index>::max();
+  std::vector<Index> level(n, kUnreached);
+  if (source >= n) return level;
+
+  std::vector<std::vector<Index>> adj(n);
+  for (const Edge& e : graph.edges()) adj[e.src].push_back(e.dst);
+
+  std::deque<Index> queue;
+  level[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const Index u = queue.front();
+    queue.pop_front();
+    for (Index v : adj[u]) {
+      if (level[v] == kUnreached) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+GraphStats compute_stats(const EdgeList& graph) {
+  GraphStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  if (s.num_vertices == 0) return s;
+
+  auto deg = out_degrees(graph);
+  s.min_degree = *std::min_element(deg.begin(), deg.end());
+  s.max_degree = *std::max_element(deg.begin(), deg.end());
+  s.avg_degree = graph.num_edges() == 0
+                     ? 0.0
+                     : static_cast<double>(graph.num_edges()) /
+                           static_cast<double>(s.num_vertices);
+
+  if (!graph.edges().empty()) {
+    s.min_weight = s.max_weight = graph.edges().front().weight;
+    for (const Edge& e : graph.edges()) {
+      s.min_weight = std::min(s.min_weight, e.weight);
+      s.max_weight = std::max(s.max_weight, e.weight);
+    }
+  }
+
+  auto comps = component_sizes(graph);
+  s.num_components = static_cast<Index>(comps.size());
+  s.largest_component = comps.empty() ? 0 : comps.front();
+
+  auto levels = bfs_levels(graph, 0);
+  constexpr Index kUnreached = std::numeric_limits<Index>::max();
+  for (Index l : levels) {
+    if (l != kUnreached) s.bfs_ecc_from_zero = std::max(s.bfs_ecc_from_zero, l);
+  }
+  return s;
+}
+
+std::string format_stats(const GraphStats& s) {
+  std::ostringstream os;
+  os << "|V|=" << s.num_vertices << " |E|=" << s.num_edges
+     << " deg[min/avg/max]=" << s.min_degree << "/" << s.avg_degree << "/"
+     << s.max_degree << " w[min/max]=" << s.min_weight << "/" << s.max_weight
+     << " comps=" << s.num_components << " (largest " << s.largest_component
+     << ") ecc0=" << s.bfs_ecc_from_zero;
+  return os.str();
+}
+
+}  // namespace dsg

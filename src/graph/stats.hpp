@@ -1,0 +1,42 @@
+// stats.hpp — structural statistics used by the benchmark reporter
+// (Fig. 3/4 sort graphs by ascending node count and annotate sizes) and by
+// the test suite's sanity checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace dsg {
+
+struct GraphStats {
+  Index num_vertices = 0;
+  std::size_t num_edges = 0;  // directed edge count
+  Index min_degree = 0;       // out-degree
+  Index max_degree = 0;
+  double avg_degree = 0.0;
+  double min_weight = 0.0;
+  double max_weight = 0.0;
+  Index num_components = 0;       // weakly connected components
+  Index largest_component = 0;    // vertex count of the largest
+  Index bfs_ecc_from_zero = 0;    // BFS eccentricity of vertex 0
+                                  // (diameter lower bound)
+};
+
+/// Computes the full statistics block (one BFS + one component sweep).
+GraphStats compute_stats(const EdgeList& graph);
+
+/// Out-degree of every vertex.
+std::vector<Index> out_degrees(const EdgeList& graph);
+
+/// Vertex count of each weakly connected component, descending.
+std::vector<Index> component_sizes(const EdgeList& graph);
+
+/// Unweighted BFS hop counts from `source` (max() where unreachable).
+std::vector<Index> bfs_levels(const EdgeList& graph, Index source);
+
+/// One-line human-readable summary.
+std::string format_stats(const GraphStats& stats);
+
+}  // namespace dsg

@@ -1,0 +1,31 @@
+// weights.hpp — edge weight models.
+//
+// The paper runs with unit weights and Δ=1 (so delta-stepping degenerates
+// towards Dijkstra-like behaviour, Sec. VII).  The weighted models exercise
+// the light/heavy split for the Δ-sweep ablation.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace dsg {
+
+/// Sets every edge weight to 1 (the paper's configuration).
+void assign_unit_weights(EdgeList& graph);
+
+/// Uniform real weights in [lo, hi).  Symmetric pairs (u,v)/(v,u) receive
+/// the same weight so undirected semantics are preserved.
+void assign_uniform_weights(EdgeList& graph, double lo, double hi,
+                            std::uint64_t seed = 42);
+
+/// Integer weights uniform in {lo, ..., hi}, symmetric-consistent.
+void assign_integer_weights(EdgeList& graph, int lo, int hi,
+                            std::uint64_t seed = 42);
+
+/// Heavy-tailed weights: exp(X) with X uniform in [0, scale] — produces the
+/// long light/heavy tail that makes the Δ split interesting.
+void assign_exponential_weights(EdgeList& graph, double scale,
+                                std::uint64_t seed = 42);
+
+}  // namespace dsg

@@ -1,0 +1,61 @@
+// descriptor.hpp — operation descriptors, analogous to GrB_Descriptor.
+//
+// A descriptor modifies how an operation treats its output, mask and inputs:
+//  - outp = replace  : clear the output before writing results
+//                      (the paper's `clear_desc`, used pervasively in Fig. 2)
+//  - mask complement : use the complement of the mask's structure/values
+//  - mask structure  : mask by presence of entries, ignoring values
+//  - transpose in0/in1: operate on the transpose of an input matrix
+#pragma once
+
+#include <cstdint>
+
+namespace grb {
+
+struct Descriptor {
+  bool replace = false;          ///< GrB_OUTP = GrB_REPLACE
+  bool mask_complement = false;  ///< GrB_MASK = GrB_COMP
+  bool mask_structure = false;   ///< GrB_MASK = GrB_STRUCTURE
+  bool transpose_in0 = false;    ///< GrB_INP0 = GrB_TRAN
+  bool transpose_in1 = false;    ///< GrB_INP1 = GrB_TRAN
+
+  constexpr Descriptor with_replace(bool v = true) const {
+    Descriptor d = *this;
+    d.replace = v;
+    return d;
+  }
+  constexpr Descriptor with_mask_complement(bool v = true) const {
+    Descriptor d = *this;
+    d.mask_complement = v;
+    return d;
+  }
+  constexpr Descriptor with_mask_structure(bool v = true) const {
+    Descriptor d = *this;
+    d.mask_structure = v;
+    return d;
+  }
+  constexpr Descriptor with_transpose_in0(bool v = true) const {
+    Descriptor d = *this;
+    d.transpose_in0 = v;
+    return d;
+  }
+  constexpr Descriptor with_transpose_in1(bool v = true) const {
+    Descriptor d = *this;
+    d.transpose_in1 = v;
+    return d;
+  }
+};
+
+/// Default descriptor: merge into output, mask by value, no transpose.
+inline constexpr Descriptor default_desc{};
+
+/// The paper's `clear_desc`: replace output contents.
+inline constexpr Descriptor replace_desc{.replace = true};
+
+/// Complemented mask.
+inline constexpr Descriptor complement_mask_desc{.mask_complement = true};
+
+/// Structural mask.
+inline constexpr Descriptor structure_mask_desc{.mask_structure = true};
+
+}  // namespace grb

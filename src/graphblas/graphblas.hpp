@@ -1,0 +1,28 @@
+// graphblas.hpp — umbrella header for the grb:: GraphBLAS-style substrate.
+//
+// Include this to get the full public API:
+//   - grb::Vector<T>, grb::Matrix<T>         (sparse containers)
+//   - operators / monoids / semirings        (ops.hpp, monoid.hpp, semiring.hpp)
+//   - grb::Descriptor, grb::NoMask, grb::NoAccumulate
+//   - operations: apply, ewise_add, ewise_mult, vxm, mxv, mxm, reduce,
+//                 select, extract, assign, transpose
+#pragma once
+
+#include "graphblas/descriptor.hpp"
+#include "graphblas/mask.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/monoid.hpp"
+#include "graphblas/operations/apply.hpp"
+#include "graphblas/operations/assign.hpp"
+#include "graphblas/operations/ewise.hpp"
+#include "graphblas/operations/extract.hpp"
+#include "graphblas/operations/kronecker.hpp"
+#include "graphblas/operations/mxm.hpp"
+#include "graphblas/operations/mxv.hpp"
+#include "graphblas/operations/reduce.hpp"
+#include "graphblas/operations/select.hpp"
+#include "graphblas/operations/transpose.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/semiring.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"

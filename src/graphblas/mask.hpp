@@ -1,0 +1,267 @@
+// mask.hpp — mask and accumulator handling shared by every GraphBLAS
+// operation.
+//
+// Every GraphBLAS operation has the form
+//     C<M, desc> accum= T
+// where T is the computed result.  The write phase is:
+//   1. Z = accum ? (C union-combined with T via accum) : T
+//   2. for every position p:
+//        mask true at p  -> C[p] = Z[p] (absent if Z absent)
+//        mask false at p -> C[p] kept, or deleted when desc.replace
+// A value mask tests presence *and* truthiness; a structural mask
+// (desc.mask_structure) tests presence only; desc.mask_complement flips the
+// test.  `NoMask` means "all positions writable" (complement: none).
+#pragma once
+
+#include <type_traits>
+#include <vector>
+
+#include "graphblas/descriptor.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace grb {
+
+/// Tag: operation runs unmasked (GrB_NULL mask).
+struct NoMask {};
+
+/// Tag: results assign rather than accumulate (GrB_NULL accum).
+struct NoAccumulate {};
+
+namespace detail {
+
+template <typename Mask>
+inline constexpr bool is_no_mask_v = std::is_same_v<std::decay_t<Mask>, NoMask>;
+
+template <typename Accum>
+inline constexpr bool is_no_accum_v =
+    std::is_same_v<std::decay_t<Accum>, NoAccumulate>;
+
+/// Point query against a vector mask under descriptor flags.
+template <typename MaskT>
+class VectorMaskProbe {
+ public:
+  VectorMaskProbe(const Vector<MaskT>& mask, const Descriptor& desc)
+      : mask_(&mask),
+        complement_(desc.mask_complement),
+        structural_(desc.mask_structure) {}
+
+  bool operator()(Index i) const {
+    bool t;
+    auto v = mask_->extract_element(i);
+    if (structural_) {
+      t = v.has_value();
+    } else {
+      t = v.has_value() && *v != MaskT(0);
+    }
+    return complement_ ? !t : t;
+  }
+
+ private:
+  const Vector<MaskT>* mask_;
+  bool complement_;
+  bool structural_;
+};
+
+/// Point query against a matrix mask under descriptor flags.
+template <typename MaskT>
+class MatrixMaskProbe {
+ public:
+  MatrixMaskProbe(const Matrix<MaskT>& mask, const Descriptor& desc)
+      : mask_(&mask),
+        complement_(desc.mask_complement),
+        structural_(desc.mask_structure) {}
+
+  bool operator()(Index r, Index c) const {
+    bool t;
+    auto v = mask_->extract_element(r, c);
+    if (structural_) {
+      t = v.has_value();
+    } else {
+      t = v.has_value() && *v != MaskT(0);
+    }
+    return complement_ ? !t : t;
+  }
+
+ private:
+  const Matrix<MaskT>* mask_;
+  bool complement_;
+  bool structural_;
+};
+
+// ---------------------------------------------------------------------------
+// Vector write phase.
+// ---------------------------------------------------------------------------
+
+/// Performs `w<probe> accum= z` with replace semantics.  `probe(i)` decides
+/// writability per index; pass nullptr-like AlwaysTrue for no mask.
+template <typename W, typename Z, typename Probe, typename Accum>
+void masked_write_vector(Vector<W>& w, const Vector<Z>& z, const Probe& probe,
+                         const Accum& accum, bool replace) {
+  std::vector<Index> out_ind;
+  std::vector<storage_of_t<W>> out_val;
+  out_ind.reserve(w.nvals() + z.nvals());
+  out_val.reserve(w.nvals() + z.nvals());
+
+  auto wi = w.indices();
+  auto wv = w.values();
+  auto zi = z.indices();
+  auto zv = z.values();
+  std::size_t a = 0, b = 0;
+  while (a < wi.size() || b < zi.size()) {
+    bool in_w = false, in_z = false;
+    Index i;
+    if (a < wi.size() && (b >= zi.size() || wi[a] <= zi[b])) {
+      i = wi[a];
+      in_w = true;
+      if (b < zi.size() && zi[b] == i) in_z = true;
+    } else {
+      i = zi[b];
+      in_z = true;
+    }
+
+    if (probe(i)) {
+      // Mask true: write Z-after-accum.
+      if constexpr (is_no_accum_v<Accum>) {
+        if (in_z) {
+          out_ind.push_back(i);
+          out_val.push_back(static_cast<W>(zv[b]));
+        }
+      } else {
+        if (in_w && in_z) {
+          out_ind.push_back(i);
+          out_val.push_back(static_cast<W>(accum(wv[a], zv[b])));
+        } else if (in_z) {
+          out_ind.push_back(i);
+          out_val.push_back(static_cast<W>(zv[b]));
+        } else {  // only w
+          out_ind.push_back(i);
+          out_val.push_back(wv[a]);
+        }
+      }
+    } else {
+      // Mask false: keep old value unless replace.
+      if (!replace && in_w) {
+        out_ind.push_back(i);
+        out_val.push_back(wv[a]);
+      }
+    }
+
+    if (in_w) ++a;
+    if (in_z) ++b;
+  }
+  w.adopt(std::move(out_ind), std::move(out_val));
+}
+
+struct AlwaysTrueProbe {
+  constexpr bool operator()(Index) const { return true; }
+  constexpr bool operator()(Index, Index) const { return true; }
+};
+struct AlwaysFalseProbe {
+  constexpr bool operator()(Index) const { return false; }
+  constexpr bool operator()(Index, Index) const { return false; }
+};
+
+/// Dispatches on mask type and invokes masked_write_vector.
+template <typename W, typename Z, typename Mask, typename Accum>
+void write_vector_result(Vector<W>& w, const Vector<Z>& z, const Mask& mask,
+                         const Accum& accum, const Descriptor& desc) {
+  if constexpr (is_no_mask_v<Mask>) {
+    if (desc.mask_complement) {
+      // Complement of "no mask" (all true) is all false: nothing writable.
+      masked_write_vector(w, z, AlwaysFalseProbe{}, accum, desc.replace);
+    } else {
+      masked_write_vector(w, z, AlwaysTrueProbe{}, accum, desc.replace);
+    }
+  } else {
+    check_size_match(mask.size(), w.size(), "mask size vs output size");
+    VectorMaskProbe<typename Mask::value_type> probe(mask, desc);
+    masked_write_vector(w, z, probe, accum, desc.replace);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix write phase.
+// ---------------------------------------------------------------------------
+
+template <typename W, typename Z, typename Probe, typename Accum>
+void masked_write_matrix(Matrix<W>& w, const Matrix<Z>& z, const Probe& probe,
+                         const Accum& accum, bool replace) {
+  const Index nrows = w.nrows();
+  std::vector<Index> out_ptr(nrows + 1, 0);
+  std::vector<Index> out_ind;
+  std::vector<storage_of_t<W>> out_val;
+  out_ind.reserve(w.nvals() + z.nvals());
+  out_val.reserve(w.nvals() + z.nvals());
+
+  for (Index r = 0; r < nrows; ++r) {
+    auto wi = w.row_indices(r);
+    auto wv = w.row_values(r);
+    auto zi = z.row_indices(r);
+    auto zv = z.row_values(r);
+    std::size_t a = 0, b = 0;
+    while (a < wi.size() || b < zi.size()) {
+      bool in_w = false, in_z = false;
+      Index c;
+      if (a < wi.size() && (b >= zi.size() || wi[a] <= zi[b])) {
+        c = wi[a];
+        in_w = true;
+        if (b < zi.size() && zi[b] == c) in_z = true;
+      } else {
+        c = zi[b];
+        in_z = true;
+      }
+
+      if (probe(r, c)) {
+        if constexpr (is_no_accum_v<Accum>) {
+          if (in_z) {
+            out_ind.push_back(c);
+            out_val.push_back(static_cast<W>(zv[b]));
+          }
+        } else {
+          if (in_w && in_z) {
+            out_ind.push_back(c);
+            out_val.push_back(static_cast<W>(accum(wv[a], zv[b])));
+          } else if (in_z) {
+            out_ind.push_back(c);
+            out_val.push_back(static_cast<W>(zv[b]));
+          } else {
+            out_ind.push_back(c);
+            out_val.push_back(wv[a]);
+          }
+        }
+      } else {
+        if (!replace && in_w) {
+          out_ind.push_back(c);
+          out_val.push_back(wv[a]);
+        }
+      }
+
+      if (in_w) ++a;
+      if (in_z) ++b;
+    }
+    out_ptr[r + 1] = static_cast<Index>(out_ind.size());
+  }
+  w.adopt(std::move(out_ptr), std::move(out_ind), std::move(out_val));
+}
+
+template <typename W, typename Z, typename Mask, typename Accum>
+void write_matrix_result(Matrix<W>& w, const Matrix<Z>& z, const Mask& mask,
+                         const Accum& accum, const Descriptor& desc) {
+  if constexpr (is_no_mask_v<Mask>) {
+    if (desc.mask_complement) {
+      masked_write_matrix(w, z, AlwaysFalseProbe{}, accum, desc.replace);
+    } else {
+      masked_write_matrix(w, z, AlwaysTrueProbe{}, accum, desc.replace);
+    }
+  } else {
+    check_size_match(mask.nrows(), w.nrows(), "mask rows vs output rows");
+    check_size_match(mask.ncols(), w.ncols(), "mask cols vs output cols");
+    MatrixMaskProbe<typename Mask::value_type> probe(mask, desc);
+    masked_write_matrix(w, z, probe, accum, desc.replace);
+  }
+}
+
+}  // namespace detail
+}  // namespace grb

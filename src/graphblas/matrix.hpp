@@ -1,0 +1,241 @@
+// matrix.hpp — grb::Matrix<T>, a sparse matrix in CSR (compressed sparse
+// row) form, analogous to GrB_Matrix.
+//
+// CSR matches the access pattern of the delta-stepping kernels: row i holds
+// the outgoing edges of vertex i, and the (min,+) vxm pulls rows of A for
+// each stored element of the input vector, which is exactly
+// tReq = A_Lᵀ (t ∘ tB_i) evaluated as (t ∘ tB_i)ᵀ A_L.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+
+namespace grb {
+
+template <typename T>
+class Matrix {
+ public:
+  using value_type = T;
+  using storage_type = storage_of_t<T>;
+
+  Matrix() = default;
+
+  /// Empty matrix of logical dimensions nrows x ncols.
+  Matrix(Index nrows, Index ncols)
+      : nrows_(nrows), ncols_(ncols), row_ptr_(nrows + 1, 0) {}
+
+  /// Builds from COO triples; duplicates combined with `dup`
+  /// (GrB_Matrix_build).  Triples need not be sorted.
+  template <typename DupOp = Second<T>>
+  static Matrix build(Index nrows, Index ncols, std::span<const Index> rows,
+                      std::span<const Index> cols, std::span<const T> values,
+                      DupOp dup = DupOp{}) {
+    if (rows.size() != cols.size() || rows.size() != values.size()) {
+      throw InvalidValue("Matrix::build: triple count mismatch");
+    }
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      detail::check_index(rows[k], nrows, "Matrix::build row");
+      detail::check_index(cols[k], ncols, "Matrix::build col");
+    }
+    std::vector<std::size_t> order(rows.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return std::tie(rows[a], cols[a]) <
+                              std::tie(rows[b], cols[b]);
+                     });
+
+    Matrix m(nrows, ncols);
+    m.col_ind_.reserve(rows.size());
+    m.val_.reserve(rows.size());
+    Index prev_r = all_indices, prev_c = all_indices;
+    for (std::size_t k : order) {
+      const Index r = rows[k], c = cols[k];
+      if (!m.col_ind_.empty() && r == prev_r && c == prev_c) {
+        m.val_.back() = dup(m.val_.back(), values[k]);
+      } else {
+        m.col_ind_.push_back(c);
+        m.val_.push_back(values[k]);
+        ++m.row_ptr_[r + 1];
+        prev_r = r;
+        prev_c = c;
+      }
+    }
+    for (Index r = 0; r < nrows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+    return m;
+  }
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+
+  /// Number of stored elements (GrB_Matrix_nvals).
+  Index nvals() const { return static_cast<Index>(col_ind_.size()); }
+
+  bool empty() const { return col_ind_.empty(); }
+
+  /// Removes all stored elements (GrB_Matrix_clear).
+  void clear() {
+    std::fill(row_ptr_.begin(), row_ptr_.end(), Index{0});
+    col_ind_.clear();
+    val_.clear();
+  }
+
+  /// Stored column indices of row r (ascending).
+  std::span<const Index> row_indices(Index r) const {
+    detail::check_index(r, nrows_, "Matrix::row_indices");
+    return {col_ind_.data() + row_ptr_[r],
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  /// Stored values of row r, parallel to row_indices(r).
+  std::span<const storage_type> row_values(Index r) const {
+    detail::check_index(r, nrows_, "Matrix::row_values");
+    return {val_.data() + row_ptr_[r],
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  /// Number of stored elements in row r (out-degree of vertex r).
+  Index row_nvals(Index r) const {
+    detail::check_index(r, nrows_, "Matrix::row_nvals");
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+
+  bool has_element(Index r, Index c) const {
+    auto cols = row_indices(r);
+    return std::binary_search(cols.begin(), cols.end(), c);
+  }
+
+  /// Stored value at (r, c) or nullopt (GrB_Matrix_extractElement).
+  std::optional<T> extract_element(Index r, Index c) const {
+    auto cols = row_indices(r);
+    auto it = std::lower_bound(cols.begin(), cols.end(), c);
+    if (it == cols.end() || *it != c) return std::nullopt;
+    return static_cast<T>(
+        row_values(r)[static_cast<std::size_t>(it - cols.begin())]);
+  }
+
+  /// Sets A[r][c] = x (GrB_Matrix_setElement).  O(nnz) worst case —
+  /// intended for tests and incremental construction of small matrices;
+  /// bulk data should go through build().
+  void set_element(Index r, Index c, const T& x) {
+    detail::check_index(r, nrows_, "Matrix::set_element row");
+    detail::check_index(c, ncols_, "Matrix::set_element col");
+    const Index lo = row_ptr_[r], hi = row_ptr_[r + 1];
+    auto it = std::lower_bound(col_ind_.begin() + lo, col_ind_.begin() + hi, c);
+    auto pos = static_cast<std::size_t>(it - col_ind_.begin());
+    if (it != col_ind_.begin() + hi && *it == c) {
+      val_[pos] = x;
+      return;
+    }
+    col_ind_.insert(it, c);
+    val_.insert(val_.begin() + static_cast<std::ptrdiff_t>(pos), x);
+    for (Index rr = r + 1; rr <= nrows_; ++rr) ++row_ptr_[rr];
+  }
+
+  /// Removes the element at (r, c) if present (GrB_Matrix_removeElement).
+  void remove_element(Index r, Index c) {
+    detail::check_index(r, nrows_, "Matrix::remove_element row");
+    detail::check_index(c, ncols_, "Matrix::remove_element col");
+    const Index lo = row_ptr_[r], hi = row_ptr_[r + 1];
+    auto it = std::lower_bound(col_ind_.begin() + lo, col_ind_.begin() + hi, c);
+    if (it == col_ind_.begin() + hi || *it != c) return;
+    auto pos = static_cast<std::size_t>(it - col_ind_.begin());
+    col_ind_.erase(it);
+    val_.erase(val_.begin() + static_cast<std::ptrdiff_t>(pos));
+    for (Index rr = r + 1; rr <= nrows_; ++rr) --row_ptr_[rr];
+  }
+
+  /// Dumps to COO triples in row-major order (GrB_Matrix_extractTuples).
+  void extract_tuples(std::vector<Index>& rows, std::vector<Index>& cols,
+                      std::vector<T>& values) const {
+    rows.clear();
+    cols.clear();
+    values.clear();
+    rows.reserve(nvals());
+    for (Index r = 0; r < nrows_; ++r) {
+      for (Index k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        rows.push_back(r);
+      }
+    }
+    cols = col_ind_;
+    values.assign(val_.begin(), val_.end());
+  }
+
+  /// Invokes f(row, col, value) in row-major order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Index r = 0; r < nrows_; ++r) {
+      for (Index k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        f(r, col_ind_[k], static_cast<T>(val_[k]));
+      }
+    }
+  }
+
+  /// Explicit transpose as a new CSR matrix (GrB_transpose without mask).
+  /// Counting sort by column: O(nnz + n).
+  Matrix transposed() const {
+    Matrix t(ncols_, nrows_);
+    t.col_ind_.resize(col_ind_.size());
+    t.val_.resize(val_.size());
+    // Count entries per column.
+    for (Index c : col_ind_) ++t.row_ptr_[c + 1];
+    for (Index c = 0; c < ncols_; ++c) t.row_ptr_[c + 1] += t.row_ptr_[c];
+    std::vector<Index> next(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+    for (Index r = 0; r < nrows_; ++r) {
+      for (Index k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const Index c = col_ind_[k];
+        const Index slot = next[c]++;
+        t.col_ind_[slot] = r;
+        t.val_[slot] = val_[k];
+      }
+    }
+    return t;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ &&
+           a.row_ptr_ == b.row_ptr_ && a.col_ind_ == b.col_ind_ &&
+           a.val_ == b.val_;
+  }
+
+  // --- Internal bulk access for kernel implementations. ---------------------
+  void adopt(std::vector<Index>&& row_ptr, std::vector<Index>&& col_ind,
+             std::vector<storage_type>&& values) {
+    row_ptr_ = std::move(row_ptr);
+    col_ind_ = std::move(col_ind);
+    val_ = std::move(values);
+  }
+  std::span<const Index> row_ptr() const { return row_ptr_; }
+  std::span<const Index> col_ind() const { return col_ind_; }
+  std::span<const storage_type> raw_values() const { return val_; }
+
+ private:
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  std::vector<Index> row_ptr_;  // size nrows_+1
+  std::vector<Index> col_ind_;     // ascending within each row
+  std::vector<storage_type> val_;  // parallel to col_ind_
+};
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Matrix<T>& m) {
+  os << "Matrix(" << m.nrows() << "x" << m.ncols() << ", nvals=" << m.nvals()
+     << ") {";
+  bool first = true;
+  m.for_each([&](Index r, Index c, const T& x) {
+    os << (first ? "" : ", ") << "(" << r << "," << c << "):" << x;
+    first = false;
+  });
+  return os << "}";
+}
+
+}  // namespace grb

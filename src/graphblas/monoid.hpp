@@ -1,0 +1,60 @@
+// monoid.hpp — monoids: associative binary operators with identity,
+// analogous to GrB_Monoid.
+#pragma once
+
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+
+namespace grb {
+
+/// Generic monoid from a binary op and an identity value.
+/// The op must be associative; commutativity is required by reductions that
+/// reassociate freely (all of ours do).
+template <typename T, typename BinaryOp>
+struct Monoid {
+  using value_type = T;
+  BinaryOp op{};
+  T identity_value{};
+
+  constexpr T operator()(const T& a, const T& b) const { return op(a, b); }
+  constexpr T identity() const { return identity_value; }
+};
+
+/// PlusMonoid: (T, +, 0).
+template <typename T>
+constexpr Monoid<T, Plus<T>> plus_monoid() {
+  return {Plus<T>{}, T(0)};
+}
+
+/// TimesMonoid: (T, *, 1).
+template <typename T>
+constexpr Monoid<T, Times<T>> times_monoid() {
+  return {Times<T>{}, T(1)};
+}
+
+/// MinMonoid: (T, min, +inf).  The additive monoid of the (min,+) semiring
+/// at the heart of SSSP.
+template <typename T>
+constexpr Monoid<T, Min<T>> min_monoid() {
+  return {Min<T>{}, infinity_value<T>()};
+}
+
+/// MaxMonoid: (T, max, lowest).
+template <typename T>
+constexpr Monoid<T, Max<T>> max_monoid() {
+  return {Max<T>{}, std::numeric_limits<T>::lowest()};
+}
+
+/// LorMonoid: (bool-ish, ||, 0).  Used by `S = S ∪ tBi` in delta-stepping.
+template <typename T>
+constexpr Monoid<T, LogicalOr<T>> lor_monoid() {
+  return {LogicalOr<T>{}, T(0)};
+}
+
+/// LandMonoid: (bool-ish, &&, 1).
+template <typename T>
+constexpr Monoid<T, LogicalAnd<T>> land_monoid() {
+  return {LogicalAnd<T>{}, T(1)};
+}
+
+}  // namespace grb

@@ -1,0 +1,85 @@
+// apply.hpp — GrB_apply: point-wise application of a unary operator to the
+// stored elements of a vector or matrix, with optional mask and accumulator.
+//
+// This is the workhorse of the paper's filter idiom: a first apply turns a
+// threshold predicate into a boolean object, and a second apply uses that
+// boolean object as a *mask* over an identity op to keep only the entries
+// where the predicate held (Fig. 2, lines 16-17, 20-21, 27-28, 35, 37, ...).
+#pragma once
+
+#include <vector>
+
+#include "graphblas/descriptor.hpp"
+#include "graphblas/mask.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace grb {
+
+/// w<mask> accum= op(u)
+///
+/// Applies `op` to every stored element of `u`; absent elements stay absent.
+/// Mask/accum/descriptor behave per the standard write rule (see mask.hpp).
+template <typename W, typename Mask, typename Accum, typename UnaryOp,
+          typename U>
+void apply(Vector<W>& w, const Mask& mask, const Accum& accum, UnaryOp op,
+           const Vector<U>& u, const Descriptor& desc = default_desc) {
+  detail::check_size_match(w.size(), u.size(), "apply: w vs u");
+
+  using Z = decltype(op(std::declval<U>()));
+  Vector<Z> z(u.size());
+  std::vector<Index> zi(u.indices().begin(), u.indices().end());
+  std::vector<storage_of_t<Z>> zv;
+  zv.reserve(u.nvals());
+  for (const auto& x : u.values()) {
+    zv.push_back(static_cast<storage_of_t<Z>>(op(static_cast<U>(x))));
+  }
+  z.adopt(std::move(zi), std::move(zv));
+
+  detail::write_vector_result(w, z, mask, accum, desc);
+}
+
+/// Unmasked, non-accumulating convenience overload.
+template <typename W, typename UnaryOp, typename U>
+void apply(Vector<W>& w, UnaryOp op, const Vector<U>& u,
+           const Descriptor& desc = default_desc) {
+  apply(w, NoMask{}, NoAccumulate{}, op, u, desc);
+}
+
+/// C<Mask> accum= op(A)     (with optional transpose of A via desc)
+template <typename C, typename Mask, typename Accum, typename UnaryOp,
+          typename A>
+void apply(Matrix<C>& c, const Mask& mask, const Accum& accum, UnaryOp op,
+           const Matrix<A>& a, const Descriptor& desc = default_desc) {
+  const Matrix<A>* src = &a;
+  Matrix<A> at;
+  if (desc.transpose_in0) {
+    at = a.transposed();
+    src = &at;
+  }
+  detail::check_size_match(c.nrows(), src->nrows(), "apply: C rows vs A rows");
+  detail::check_size_match(c.ncols(), src->ncols(), "apply: C cols vs A cols");
+
+  using Z = decltype(op(std::declval<A>()));
+  Matrix<Z> z(src->nrows(), src->ncols());
+  std::vector<Index> zptr(src->row_ptr().begin(), src->row_ptr().end());
+  std::vector<Index> zind(src->col_ind().begin(), src->col_ind().end());
+  std::vector<storage_of_t<Z>> zval;
+  zval.reserve(src->nvals());
+  for (const auto& x : src->raw_values()) {
+    zval.push_back(static_cast<storage_of_t<Z>>(op(static_cast<A>(x))));
+  }
+  z.adopt(std::move(zptr), std::move(zind), std::move(zval));
+
+  detail::write_matrix_result(c, z, mask, accum, desc);
+}
+
+/// Unmasked, non-accumulating convenience overload (matrix).
+template <typename C, typename UnaryOp, typename A>
+void apply(Matrix<C>& c, UnaryOp op, const Matrix<A>& a,
+           const Descriptor& desc = default_desc) {
+  apply(c, NoMask{}, NoAccumulate{}, op, a, desc);
+}
+
+}  // namespace grb

@@ -1,0 +1,237 @@
+// ewise.hpp — GrB_eWiseAdd and GrB_eWiseMult.
+//
+// eWiseAdd operates on the *union* of the input structures: where both
+// operands are present the binary op combines them; where only one is
+// present, that value passes through unchanged.  This pass-through is
+// exactly the non-commutative-operator pitfall the paper analyses in
+// Sec. V-B: computing the filter (tReq < t) with eWiseAdd(LT) returns t's
+// value (truthy!) wherever tReq is absent, so the algorithm must apply tReq
+// as a mask.  We implement the standard behaviour faithfully and unit-test
+// the pitfall.
+//
+// eWiseMult operates on the *intersection*: output has entries only where
+// both inputs do.
+#pragma once
+
+#include <vector>
+
+#include "graphblas/descriptor.hpp"
+#include "graphblas/mask.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace grb {
+
+/// w<mask> accum= u (+op) v  — union (eWiseAdd) on vectors.
+template <typename W, typename Mask, typename Accum, typename BinaryOp,
+          typename U, typename V>
+void ewise_add(Vector<W>& w, const Mask& mask, const Accum& accum,
+               BinaryOp op, const Vector<U>& u, const Vector<V>& v,
+               const Descriptor& desc = default_desc) {
+  detail::check_size_match(u.size(), v.size(), "ewise_add: u vs v");
+  detail::check_size_match(w.size(), u.size(), "ewise_add: w vs u");
+
+  using Z = std::common_type_t<decltype(op(std::declval<U>(), std::declval<V>())), U, V>;
+  Vector<Z> z(u.size());
+  auto& zi = z.mutable_indices();
+  auto& zv = z.mutable_values();
+  zi.reserve(u.nvals() + v.nvals());
+  zv.reserve(u.nvals() + v.nvals());
+
+  auto ui = u.indices();
+  auto uv = u.values();
+  auto vi = v.indices();
+  auto vv = v.values();
+  std::size_t a = 0, b = 0;
+  while (a < ui.size() || b < vi.size()) {
+    if (a < ui.size() && (b >= vi.size() || ui[a] < vi[b])) {
+      zi.push_back(ui[a]);
+      zv.push_back(static_cast<Z>(uv[a]));  // lone operand passes through
+      ++a;
+    } else if (b < vi.size() && (a >= ui.size() || vi[b] < ui[a])) {
+      zi.push_back(vi[b]);
+      zv.push_back(static_cast<Z>(vv[b]));
+      ++b;
+    } else {
+      zi.push_back(ui[a]);
+      zv.push_back(static_cast<Z>(op(uv[a], vv[b])));
+      ++a;
+      ++b;
+    }
+  }
+  detail::write_vector_result(w, z, mask, accum, desc);
+}
+
+/// Unmasked, non-accumulating convenience overload.
+template <typename W, typename BinaryOp, typename U, typename V>
+void ewise_add(Vector<W>& w, BinaryOp op, const Vector<U>& u,
+               const Vector<V>& v, const Descriptor& desc = default_desc) {
+  ewise_add(w, NoMask{}, NoAccumulate{}, op, u, v, desc);
+}
+
+/// w<mask> accum= u (.op) v  — intersection (eWiseMult) on vectors.
+template <typename W, typename Mask, typename Accum, typename BinaryOp,
+          typename U, typename V>
+void ewise_mult(Vector<W>& w, const Mask& mask, const Accum& accum,
+                BinaryOp op, const Vector<U>& u, const Vector<V>& v,
+                const Descriptor& desc = default_desc) {
+  detail::check_size_match(u.size(), v.size(), "ewise_mult: u vs v");
+  detail::check_size_match(w.size(), u.size(), "ewise_mult: w vs u");
+
+  using Z = decltype(op(std::declval<U>(), std::declval<V>()));
+  Vector<Z> z(u.size());
+  auto& zi = z.mutable_indices();
+  auto& zv = z.mutable_values();
+
+  auto ui = u.indices();
+  auto uv = u.values();
+  auto vi = v.indices();
+  auto vv = v.values();
+  std::size_t a = 0, b = 0;
+  while (a < ui.size() && b < vi.size()) {
+    if (ui[a] < vi[b]) {
+      ++a;
+    } else if (vi[b] < ui[a]) {
+      ++b;
+    } else {
+      zi.push_back(ui[a]);
+      zv.push_back(op(uv[a], vv[b]));
+      ++a;
+      ++b;
+    }
+  }
+  detail::write_vector_result(w, z, mask, accum, desc);
+}
+
+/// Unmasked, non-accumulating convenience overload.
+template <typename W, typename BinaryOp, typename U, typename V>
+void ewise_mult(Vector<W>& w, BinaryOp op, const Vector<U>& u,
+                const Vector<V>& v, const Descriptor& desc = default_desc) {
+  ewise_mult(w, NoMask{}, NoAccumulate{}, op, u, v, desc);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix variants.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Row-wise union/intersection merge shared by the matrix eWise kernels.
+template <bool kUnion, typename Z, typename BinaryOp, typename A, typename B>
+Matrix<Z> ewise_matrix_kernel(BinaryOp op, const Matrix<A>& a,
+                              const Matrix<B>& b) {
+  Matrix<Z> z(a.nrows(), a.ncols());
+  std::vector<Index> zptr(a.nrows() + 1, 0);
+  std::vector<Index> zind;
+  std::vector<storage_of_t<Z>> zval;
+  zind.reserve(kUnion ? a.nvals() + b.nvals()
+                      : std::min(a.nvals(), b.nvals()));
+  zval.reserve(zind.capacity());
+
+  for (Index r = 0; r < a.nrows(); ++r) {
+    auto ai = a.row_indices(r);
+    auto av = a.row_values(r);
+    auto bi = b.row_indices(r);
+    auto bv = b.row_values(r);
+    std::size_t x = 0, y = 0;
+    while (x < ai.size() || y < bi.size()) {
+      if (x < ai.size() && (y >= bi.size() || ai[x] < bi[y])) {
+        if constexpr (kUnion) {
+          zind.push_back(ai[x]);
+          zval.push_back(static_cast<Z>(av[x]));
+        }
+        ++x;
+      } else if (y < bi.size() && (x >= ai.size() || bi[y] < ai[x])) {
+        if constexpr (kUnion) {
+          zind.push_back(bi[y]);
+          zval.push_back(static_cast<Z>(bv[y]));
+        }
+        ++y;
+      } else {
+        zind.push_back(ai[x]);
+        zval.push_back(static_cast<Z>(op(av[x], bv[y])));
+        ++x;
+        ++y;
+      }
+    }
+    zptr[r + 1] = static_cast<Index>(zind.size());
+  }
+  z.adopt(std::move(zptr), std::move(zind), std::move(zval));
+  return z;
+}
+
+}  // namespace detail
+
+/// C<Mask> accum= A (+op) B — union (eWiseAdd) on matrices.
+template <typename C, typename Mask, typename Accum, typename BinaryOp,
+          typename A, typename B>
+void ewise_add(Matrix<C>& c, const Mask& mask, const Accum& accum,
+               BinaryOp op, const Matrix<A>& a, const Matrix<B>& b,
+               const Descriptor& desc = default_desc) {
+  const Matrix<A>* pa = &a;
+  Matrix<A> at;
+  if (desc.transpose_in0) {
+    at = a.transposed();
+    pa = &at;
+  }
+  const Matrix<B>* pb = &b;
+  Matrix<B> bt;
+  if (desc.transpose_in1) {
+    bt = b.transposed();
+    pb = &bt;
+  }
+  detail::check_size_match(pa->nrows(), pb->nrows(), "ewise_add: A vs B rows");
+  detail::check_size_match(pa->ncols(), pb->ncols(), "ewise_add: A vs B cols");
+  detail::check_size_match(c.nrows(), pa->nrows(), "ewise_add: C vs A rows");
+  detail::check_size_match(c.ncols(), pa->ncols(), "ewise_add: C vs A cols");
+
+  using Z = std::common_type_t<decltype(op(std::declval<A>(), std::declval<B>())), A, B>;
+  auto z = detail::ewise_matrix_kernel<true, Z>(op, *pa, *pb);
+  detail::write_matrix_result(c, z, mask, accum, desc);
+}
+
+/// Unmasked convenience overload (matrix eWiseAdd).
+template <typename C, typename BinaryOp, typename A, typename B>
+void ewise_add(Matrix<C>& c, BinaryOp op, const Matrix<A>& a,
+               const Matrix<B>& b, const Descriptor& desc = default_desc) {
+  ewise_add(c, NoMask{}, NoAccumulate{}, op, a, b, desc);
+}
+
+/// C<Mask> accum= A (.op) B — intersection (eWiseMult) on matrices.
+/// This is the Hadamard product used by A_L = A ∘ (0 < A ≤ Δ).
+template <typename C, typename Mask, typename Accum, typename BinaryOp,
+          typename A, typename B>
+void ewise_mult(Matrix<C>& c, const Mask& mask, const Accum& accum,
+                BinaryOp op, const Matrix<A>& a, const Matrix<B>& b,
+                const Descriptor& desc = default_desc) {
+  const Matrix<A>* pa = &a;
+  Matrix<A> at;
+  if (desc.transpose_in0) {
+    at = a.transposed();
+    pa = &at;
+  }
+  const Matrix<B>* pb = &b;
+  Matrix<B> bt;
+  if (desc.transpose_in1) {
+    bt = b.transposed();
+    pb = &bt;
+  }
+  detail::check_size_match(pa->nrows(), pb->nrows(), "ewise_mult: A vs B rows");
+  detail::check_size_match(pa->ncols(), pb->ncols(), "ewise_mult: A vs B cols");
+  detail::check_size_match(c.nrows(), pa->nrows(), "ewise_mult: C vs A rows");
+  detail::check_size_match(c.ncols(), pa->ncols(), "ewise_mult: C vs A cols");
+
+  using Z = decltype(op(std::declval<A>(), std::declval<B>()));
+  auto z = detail::ewise_matrix_kernel<false, Z>(op, *pa, *pb);
+  detail::write_matrix_result(c, z, mask, accum, desc);
+}
+
+/// Unmasked convenience overload (matrix eWiseMult).
+template <typename C, typename BinaryOp, typename A, typename B>
+void ewise_mult(Matrix<C>& c, BinaryOp op, const Matrix<A>& a,
+                const Matrix<B>& b, const Descriptor& desc = default_desc) {
+  ewise_mult(c, NoMask{}, NoAccumulate{}, op, a, b, desc);
+}
+
+}  // namespace grb

@@ -1,0 +1,150 @@
+// extract.hpp — GrB_extract: gather a subvector / submatrix by index list.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graphblas/descriptor.hpp"
+#include "graphblas/mask.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace grb {
+
+namespace detail {
+
+/// Expands the `all_indices` sentinel into 0..n-1.
+inline std::vector<Index> resolve_indices(std::span<const Index> idx,
+                                          Index n) {
+  if (idx.size() == 1 && idx[0] == all_indices) {
+    std::vector<Index> out(n);
+    for (Index i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  return {idx.begin(), idx.end()};
+}
+
+}  // namespace detail
+
+/// w<mask> accum= u(indices):  w[k] = u[indices[k]].
+/// `indices` may contain duplicates and need not be sorted; pass the single
+/// element grb::all_indices for "all of u".
+template <typename W, typename Mask, typename Accum, typename U>
+void extract(Vector<W>& w, const Mask& mask, const Accum& accum,
+             const Vector<U>& u, std::span<const Index> indices,
+             const Descriptor& desc = default_desc) {
+  auto idx = detail::resolve_indices(indices, u.size());
+  detail::check_size_match(w.size(), static_cast<Index>(idx.size()),
+                           "extract: w vs indices");
+
+  Vector<U> z(static_cast<Index>(idx.size()));
+  auto& zi = z.mutable_indices();
+  auto& zv = z.mutable_values();
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    detail::check_index(idx[k], u.size(), "extract: index");
+    if (auto v = u.extract_element(idx[k])) {
+      zi.push_back(static_cast<Index>(k));
+      zv.push_back(*v);
+    }
+  }
+  detail::write_vector_result(w, z, mask, accum, desc);
+}
+
+/// Unmasked convenience overload.
+template <typename W, typename U>
+void extract(Vector<W>& w, const Vector<U>& u, std::span<const Index> indices,
+             const Descriptor& desc = default_desc) {
+  extract(w, NoMask{}, NoAccumulate{}, u, indices, desc);
+}
+
+/// C<Mask> accum= A(row_indices, col_indices).
+template <typename C, typename Mask, typename Accum, typename A>
+void extract(Matrix<C>& c, const Mask& mask, const Accum& accum,
+             const Matrix<A>& a, std::span<const Index> row_indices,
+             std::span<const Index> col_indices,
+             const Descriptor& desc = default_desc) {
+  const Matrix<A>* pa = &a;
+  Matrix<A> at;
+  if (desc.transpose_in0) {
+    at = a.transposed();
+    pa = &at;
+  }
+  auto ri = detail::resolve_indices(row_indices, pa->nrows());
+  auto ci = detail::resolve_indices(col_indices, pa->ncols());
+  detail::check_size_match(c.nrows(), static_cast<Index>(ri.size()),
+                           "extract: C rows vs row_indices");
+  detail::check_size_match(c.ncols(), static_cast<Index>(ci.size()),
+                           "extract: C cols vs col_indices");
+
+  // Invert the column selection: old column -> list of new positions.
+  std::vector<std::vector<Index>> col_map(pa->ncols());
+  for (std::size_t k = 0; k < ci.size(); ++k) {
+    detail::check_index(ci[k], pa->ncols(), "extract: col index");
+    col_map[ci[k]].push_back(static_cast<Index>(k));
+  }
+
+  Matrix<A> z(static_cast<Index>(ri.size()), static_cast<Index>(ci.size()));
+  std::vector<Index> zptr(ri.size() + 1, 0);
+  std::vector<Index> zind;
+  std::vector<A> zval;
+  std::vector<std::pair<Index, A>> row_buf;
+  for (std::size_t rk = 0; rk < ri.size(); ++rk) {
+    detail::check_index(ri[rk], pa->nrows(), "extract: row index");
+    row_buf.clear();
+    auto cols = pa->row_indices(ri[rk]);
+    auto vals = pa->row_values(ri[rk]);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      for (Index new_c : col_map[cols[k]]) {
+        row_buf.emplace_back(new_c, static_cast<A>(vals[k]));
+      }
+    }
+    std::sort(row_buf.begin(), row_buf.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [ncol, v] : row_buf) {
+      zind.push_back(ncol);
+      zval.push_back(v);
+    }
+    zptr[rk + 1] = static_cast<Index>(zind.size());
+  }
+  z.adopt(std::move(zptr), std::move(zind), std::move(zval));
+  detail::write_matrix_result(c, z, mask, accum, desc);
+}
+
+/// Unmasked convenience overload (matrix).
+template <typename C, typename A>
+void extract(Matrix<C>& c, const Matrix<A>& a,
+             std::span<const Index> row_indices,
+             std::span<const Index> col_indices,
+             const Descriptor& desc = default_desc) {
+  extract(c, NoMask{}, NoAccumulate{}, a, row_indices, col_indices, desc);
+}
+
+/// Column extraction: w<mask> accum= A(:, col) — used by vertex-centric
+/// "incoming edges of v" access (paper Sec. II-B).
+template <typename W, typename Mask, typename Accum, typename A>
+void extract_column(Vector<W>& w, const Mask& mask, const Accum& accum,
+                    const Matrix<A>& a, Index col,
+                    const Descriptor& desc = default_desc) {
+  const Matrix<A>* pa = &a;
+  Matrix<A> at;
+  if (desc.transpose_in0) {
+    at = a.transposed();
+    pa = &at;
+  }
+  detail::check_index(col, pa->ncols(), "extract_column: col");
+  detail::check_size_match(w.size(), pa->nrows(), "extract_column: w vs rows");
+
+  Vector<A> z(pa->nrows());
+  auto& zi = z.mutable_indices();
+  auto& zv = z.mutable_values();
+  for (Index r = 0; r < pa->nrows(); ++r) {
+    if (auto v = pa->extract_element(r, col)) {
+      zi.push_back(r);
+      zv.push_back(*v);
+    }
+  }
+  detail::write_vector_result(w, z, mask, accum, desc);
+}
+
+}  // namespace grb

@@ -1,0 +1,178 @@
+// mxv.hpp — GrB_vxm and GrB_mxv: sparse vector–matrix and matrix–vector
+// products over an arbitrary semiring.
+//
+// vxm computes w = uᵀ A, which over (min,+) with u = (t ∘ tB_i) and A = A_L
+// is exactly the edge-relaxation request vector tReq = A_Lᵀ (t ∘ tB_i) of
+// the delta-stepping formulation (paper Fig. 2, lines 43 and 60).
+//
+// Kernel shape: for each stored u[i], scatter semiring.mult(u[i], A[i][j])
+// into a dense accumulator indexed by j, combining with semiring.add.  This
+// is the push-style SpMSpV that SuiteSparse uses for row-major vxm; its cost
+// is proportional to the sum of the out-degrees of the frontier.
+#pragma once
+
+#include <vector>
+
+#include "graphblas/descriptor.hpp"
+#include "graphblas/mask.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/semiring.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace grb {
+
+namespace detail {
+
+/// Dense scatter accumulator reused across products.  `occupied` doubles as
+/// the structure of the result.
+template <typename Z>
+struct ScatterAccumulator {
+  std::vector<storage_of_t<Z>> value;
+  std::vector<unsigned char> occupied;
+  std::vector<Index> touched;  // indices with occupied==1, unsorted
+
+  void reset(Index n) {
+    value.assign(n, Z{});
+    occupied.assign(n, 0);
+    touched.clear();
+  }
+
+  template <typename SR>
+  void scatter(Index j, const Z& x, const SR& sr) {
+    if (!occupied[j]) {
+      occupied[j] = 1;
+      value[j] = x;
+      touched.push_back(j);
+    } else {
+      value[j] = sr.add(static_cast<Z>(value[j]), x);
+    }
+  }
+};
+
+/// Core push kernel: z = uᵀ A over semiring `sr` (no mask/accum — those are
+/// applied by the caller's write phase).
+template <typename Z, typename SR, typename U, typename A>
+Vector<Z> vxm_kernel(const SR& sr, const Vector<U>& u, const Matrix<A>& a) {
+  Vector<Z> z(a.ncols());
+  ScatterAccumulator<Z> acc;
+  acc.reset(a.ncols());
+
+  u.for_each([&](Index i, const U& ux) {
+    auto cols = a.row_indices(i);
+    auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      acc.scatter(cols[k],
+                  static_cast<Z>(sr.mult(ux, static_cast<A>(vals[k]))), sr);
+    }
+  });
+
+  std::sort(acc.touched.begin(), acc.touched.end());
+  auto& zi = z.mutable_indices();
+  auto& zv = z.mutable_values();
+  zi.reserve(acc.touched.size());
+  zv.reserve(acc.touched.size());
+  for (Index j : acc.touched) {
+    zi.push_back(j);
+    zv.push_back(acc.value[j]);
+  }
+  return z;
+}
+
+/// Core pull kernel: z = A u over semiring `sr` (dot products of CSR rows
+/// with the sparse input vector).
+template <typename Z, typename SR, typename A, typename U>
+Vector<Z> mxv_kernel(const SR& sr, const Matrix<A>& a, const Vector<U>& u) {
+  Vector<Z> z(a.nrows());
+  auto& zi = z.mutable_indices();
+  auto& zv = z.mutable_values();
+
+  auto ui = u.indices();
+  auto uv = u.values();
+  for (Index r = 0; r < a.nrows(); ++r) {
+    auto cols = a.row_indices(r);
+    auto vals = a.row_values(r);
+    bool any = false;
+    Z acc{};
+    std::size_t x = 0, y = 0;
+    while (x < cols.size() && y < ui.size()) {
+      if (cols[x] < ui[y]) {
+        ++x;
+      } else if (ui[y] < cols[x]) {
+        ++y;
+      } else {
+        const Z p = static_cast<Z>(
+            sr.mult(static_cast<A>(vals[x]), static_cast<U>(uv[y])));
+        acc = any ? sr.add(acc, p) : p;
+        any = true;
+        ++x;
+        ++y;
+      }
+    }
+    if (any) {
+      zi.push_back(r);
+      zv.push_back(acc);
+    }
+  }
+  return z;
+}
+
+}  // namespace detail
+
+/// w<mask> accum= uᵀ A  (GrB_vxm).  desc.transpose_in1 transposes A.
+template <typename W, typename Mask, typename Accum, typename SR, typename U,
+          typename A>
+void vxm(Vector<W>& w, const Mask& mask, const Accum& accum, const SR& sr,
+         const Vector<U>& u, const Matrix<A>& a,
+         const Descriptor& desc = default_desc) {
+  const Matrix<A>* pa = &a;
+  Matrix<A> at;
+  if (desc.transpose_in1) {
+    at = a.transposed();
+    pa = &at;
+  }
+  detail::check_size_match(u.size(), pa->nrows(), "vxm: u size vs A rows");
+  detail::check_size_match(w.size(), pa->ncols(), "vxm: w size vs A cols");
+
+  using Z = typename SR::value_type;
+  auto z = detail::vxm_kernel<Z>(sr, u, *pa);
+  detail::write_vector_result(w, z, mask, accum, desc);
+}
+
+/// Unmasked, non-accumulating convenience overload.
+template <typename W, typename SR, typename U, typename A>
+void vxm(Vector<W>& w, const SR& sr, const Vector<U>& u, const Matrix<A>& a,
+         const Descriptor& desc = default_desc) {
+  vxm(w, NoMask{}, NoAccumulate{}, sr, u, a, desc);
+}
+
+/// w<mask> accum= A u  (GrB_mxv).  desc.transpose_in0 transposes A, in which
+/// case the push kernel (vxm on the untransposed matrix) is used since
+/// Aᵀu = (uᵀA)ᵀ.
+template <typename W, typename Mask, typename Accum, typename SR, typename A,
+          typename U>
+void mxv(Vector<W>& w, const Mask& mask, const Accum& accum, const SR& sr,
+         const Matrix<A>& a, const Vector<U>& u,
+         const Descriptor& desc = default_desc) {
+  using Z = typename SR::value_type;
+  if (desc.transpose_in0) {
+    detail::check_size_match(u.size(), a.nrows(), "mxv(T): u size vs A rows");
+    detail::check_size_match(w.size(), a.ncols(), "mxv(T): w size vs A cols");
+    auto z = detail::vxm_kernel<Z>(sr, u, a);
+    detail::write_vector_result(w, z, mask, accum, desc);
+    return;
+  }
+  detail::check_size_match(u.size(), a.ncols(), "mxv: u size vs A cols");
+  detail::check_size_match(w.size(), a.nrows(), "mxv: w size vs A rows");
+  auto z = detail::mxv_kernel<Z>(sr, a, u);
+  detail::write_vector_result(w, z, mask, accum, desc);
+}
+
+/// Unmasked, non-accumulating convenience overload.
+template <typename W, typename SR, typename A, typename U>
+void mxv(Vector<W>& w, const SR& sr, const Matrix<A>& a, const Vector<U>& u,
+         const Descriptor& desc = default_desc) {
+  mxv(w, NoMask{}, NoAccumulate{}, sr, a, u, desc);
+}
+
+}  // namespace grb

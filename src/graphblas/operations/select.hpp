@@ -1,0 +1,141 @@
+// select.hpp — GxB_select-style structural filtering: keep the stored
+// elements satisfying an index-aware predicate.
+//
+// select() is the *fused* alternative to the paper's double-apply filter
+// idiom: one pass instead of "apply predicate -> boolean object -> apply
+// identity under mask".  The ABL-OPS benchmark contrasts the two.
+#pragma once
+
+#include <vector>
+
+#include "graphblas/descriptor.hpp"
+#include "graphblas/mask.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+
+namespace grb {
+
+/// w<mask> accum= select(pred, u):  w keeps u's entries where
+/// pred(value, index) holds.
+template <typename W, typename Mask, typename Accum, typename Pred,
+          typename U>
+  requires VectorSelectOpFor<Pred, U>
+void select(Vector<W>& w, const Mask& mask, const Accum& accum, Pred pred,
+            const Vector<U>& u, const Descriptor& desc = default_desc) {
+  detail::check_size_match(w.size(), u.size(), "select: w vs u");
+
+  Vector<U> z(u.size());
+  auto& zi = z.mutable_indices();
+  auto& zv = z.mutable_values();
+  u.for_each([&](Index i, const U& x) {
+    if (pred(x, i)) {
+      zi.push_back(i);
+      zv.push_back(x);
+    }
+  });
+  detail::write_vector_result(w, z, mask, accum, desc);
+}
+
+/// Value-only predicate convenience: wraps pred(value) into pred(value, i).
+template <typename W, typename Pred, typename U>
+  requires UnaryOpFor<Pred, U> && (!VectorSelectOpFor<Pred, U>)
+void select(Vector<W>& w, Pred pred, const Vector<U>& u,
+            const Descriptor& desc = default_desc) {
+  select(
+      w, NoMask{}, NoAccumulate{},
+      [&pred](const U& x, Index) { return static_cast<bool>(pred(x)); }, u,
+      desc);
+}
+
+/// Index-aware unmasked convenience overload.
+template <typename W, typename Pred, typename U>
+  requires VectorSelectOpFor<Pred, U>
+void select(Vector<W>& w, Pred pred, const Vector<U>& u,
+            const Descriptor& desc = default_desc) {
+  select(w, NoMask{}, NoAccumulate{}, pred, u, desc);
+}
+
+/// C<Mask> accum= select(pred, A): keeps A's entries where
+/// pred(value, row, col) holds.
+template <typename C, typename Mask, typename Accum, typename Pred,
+          typename A>
+  requires MatrixSelectOpFor<Pred, A>
+void select(Matrix<C>& c, const Mask& mask, const Accum& accum, Pred pred,
+            const Matrix<A>& a, const Descriptor& desc = default_desc) {
+  const Matrix<A>* pa = &a;
+  Matrix<A> at;
+  if (desc.transpose_in0) {
+    at = a.transposed();
+    pa = &at;
+  }
+  detail::check_size_match(c.nrows(), pa->nrows(), "select: C vs A rows");
+  detail::check_size_match(c.ncols(), pa->ncols(), "select: C vs A cols");
+
+  Matrix<A> z(pa->nrows(), pa->ncols());
+  std::vector<Index> zptr(pa->nrows() + 1, 0);
+  std::vector<Index> zind;
+  std::vector<storage_of_t<A>> zval;
+  for (Index r = 0; r < pa->nrows(); ++r) {
+    auto cols = pa->row_indices(r);
+    auto vals = pa->row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (pred(static_cast<A>(vals[k]), r, cols[k])) {
+        zind.push_back(cols[k]);
+        zval.push_back(vals[k]);
+      }
+    }
+    zptr[r + 1] = static_cast<Index>(zind.size());
+  }
+  z.adopt(std::move(zptr), std::move(zind), std::move(zval));
+  detail::write_matrix_result(c, z, mask, accum, desc);
+}
+
+/// Value-only predicate convenience (matrix).
+template <typename C, typename Pred, typename A>
+  requires UnaryOpFor<Pred, A> && (!MatrixSelectOpFor<Pred, A>)
+void select(Matrix<C>& c, Pred pred, const Matrix<A>& a,
+            const Descriptor& desc = default_desc) {
+  select(
+      c, NoMask{}, NoAccumulate{},
+      [&pred](const A& x, Index, Index) { return static_cast<bool>(pred(x)); },
+      a, desc);
+}
+
+/// Index-aware unmasked convenience overload (matrix).
+template <typename C, typename Pred, typename A>
+  requires MatrixSelectOpFor<Pred, A>
+void select(Matrix<C>& c, Pred pred, const Matrix<A>& a,
+            const Descriptor& desc = default_desc) {
+  select(c, NoMask{}, NoAccumulate{}, pred, a, desc);
+}
+
+// --- Predefined index-aware predicates (GxB_TRIL / GxB_TRIU / diag). --------
+
+/// Keeps entries strictly below the diagonal shifted by k: col < row + k.
+struct TriLower {
+  std::int64_t k = 0;
+  template <typename T>
+  bool operator()(const T&, Index r, Index c) const {
+    return static_cast<std::int64_t>(c) <= static_cast<std::int64_t>(r) + k;
+  }
+};
+
+/// Keeps entries on/above the shifted diagonal: col >= row + k.
+struct TriUpper {
+  std::int64_t k = 0;
+  template <typename T>
+  bool operator()(const T&, Index r, Index c) const {
+    return static_cast<std::int64_t>(c) >= static_cast<std::int64_t>(r) + k;
+  }
+};
+
+/// Keeps off-diagonal entries (removes self-loops).
+struct OffDiagonal {
+  template <typename T>
+  bool operator()(const T&, Index r, Index c) const {
+    return r != c;
+  }
+};
+
+}  // namespace grb

@@ -1,0 +1,29 @@
+// transpose.hpp — GrB_transpose with mask/accum/descriptor.
+#pragma once
+
+#include "graphblas/descriptor.hpp"
+#include "graphblas/mask.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+
+namespace grb {
+
+/// C<Mask> accum= Aᵀ.  With desc.transpose_in0 the two transposes cancel
+/// and this is a (possibly masked) copy of A.
+template <typename C, typename Mask, typename Accum, typename A>
+void transpose(Matrix<C>& c, const Mask& mask, const Accum& accum,
+               const Matrix<A>& a, const Descriptor& desc = default_desc) {
+  Matrix<A> z = desc.transpose_in0 ? a : a.transposed();
+  detail::check_size_match(c.nrows(), z.nrows(), "transpose: C vs Aᵀ rows");
+  detail::check_size_match(c.ncols(), z.ncols(), "transpose: C vs Aᵀ cols");
+  detail::write_matrix_result(c, z, mask, accum, desc);
+}
+
+/// Unmasked convenience overload.
+template <typename C, typename A>
+void transpose(Matrix<C>& c, const Matrix<A>& a,
+               const Descriptor& desc = default_desc) {
+  transpose(c, NoMask{}, NoAccumulate{}, a, desc);
+}
+
+}  // namespace grb

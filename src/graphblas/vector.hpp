@@ -1,0 +1,207 @@
+// vector.hpp — grb::Vector<T>, a sparse vector with sorted coordinate
+// storage, analogous to GrB_Vector.
+//
+// Storage is two parallel arrays (indices ascending, values) — the classic
+// compressed sparse vector.  All mutating entry points keep the sort
+// invariant; bulk construction goes through build().
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graphblas/ops.hpp"
+#include "graphblas/types.hpp"
+
+namespace grb {
+
+template <typename T>
+class Vector {
+ public:
+  using value_type = T;
+  using storage_type = storage_of_t<T>;
+
+  Vector() = default;
+
+  /// An empty (no stored elements) vector of logical dimension n.
+  explicit Vector(Index n) : size_(n) {}
+
+  /// A vector with every position stored, all equal to `fill`.
+  /// This mirrors the dense initialization `t = ∞` in delta-stepping.
+  static Vector full(Index n, const T& fill) {
+    Vector v(n);
+    v.ind_.resize(n);
+    std::iota(v.ind_.begin(), v.ind_.end(), Index{0});
+    v.val_.assign(n, fill);
+    return v;
+  }
+
+  /// Builds from (index, value) tuples; duplicates combined with `dup`.
+  /// Indices need not be sorted.  Throws IndexOutOfBounds on bad indices.
+  template <typename DupOp = Second<T>>
+  static Vector build(Index n, std::span<const Index> indices,
+                      std::span<const T> values, DupOp dup = DupOp{}) {
+    if (indices.size() != values.size()) {
+      throw InvalidValue("Vector::build: index/value count mismatch");
+    }
+    Vector v(n);
+    std::vector<std::pair<Index, T>> tuples;
+    tuples.reserve(indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      detail::check_index(indices[k], n, "Vector::build");
+      tuples.emplace_back(indices[k], values[k]);
+    }
+    std::stable_sort(tuples.begin(), tuples.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    v.ind_.reserve(tuples.size());
+    v.val_.reserve(tuples.size());
+    for (const auto& [i, x] : tuples) {
+      if (!v.ind_.empty() && v.ind_.back() == i) {
+        v.val_.back() = dup(v.val_.back(), x);
+      } else {
+        v.ind_.push_back(i);
+        v.val_.push_back(x);
+      }
+    }
+    return v;
+  }
+
+  /// Logical dimension (GrB_Vector_size).
+  Index size() const { return size_; }
+
+  /// Number of stored elements (GrB_Vector_nvals).
+  Index nvals() const { return static_cast<Index>(ind_.size()); }
+
+  bool empty() const { return ind_.empty(); }
+
+  /// Removes all stored elements; dimension unchanged (GrB_Vector_clear).
+  void clear() {
+    ind_.clear();
+    val_.clear();
+  }
+
+  /// Resizes the logical dimension; entries at indices >= n are dropped
+  /// (GrB_Vector_resize semantics).
+  void resize(Index n) {
+    if (n < size_) {
+      auto it = std::lower_bound(ind_.begin(), ind_.end(), n);
+      auto keep = static_cast<std::size_t>(it - ind_.begin());
+      ind_.resize(keep);
+      val_.resize(keep);
+    }
+    size_ = n;
+  }
+
+  /// Stores v[i] = x, replacing any existing element
+  /// (GrB_Vector_setElement).
+  void set_element(Index i, const T& x) {
+    detail::check_index(i, size_, "Vector::set_element");
+    auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
+    auto pos = static_cast<std::size_t>(it - ind_.begin());
+    if (it != ind_.end() && *it == i) {
+      val_[pos] = x;
+    } else {
+      ind_.insert(it, i);
+      val_.insert(val_.begin() + static_cast<std::ptrdiff_t>(pos), x);
+    }
+  }
+
+  /// Removes the element at i if present (GrB_Vector_removeElement).
+  void remove_element(Index i) {
+    detail::check_index(i, size_, "Vector::remove_element");
+    auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
+    if (it != ind_.end() && *it == i) {
+      auto pos = static_cast<std::size_t>(it - ind_.begin());
+      ind_.erase(it);
+      val_.erase(val_.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+  }
+
+  /// True if an element is stored at i.
+  bool has_element(Index i) const {
+    auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
+    return it != ind_.end() && *it == i;
+  }
+
+  /// Returns the stored value at i, or nullopt (GrB_Vector_extractElement,
+  /// with GrB_NO_VALUE mapped to nullopt).
+  std::optional<T> extract_element(Index i) const {
+    auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
+    if (it == ind_.end() || *it != i) return std::nullopt;
+    return static_cast<T>(val_[static_cast<std::size_t>(it - ind_.begin())]);
+  }
+
+  /// Value at i or `dflt` when absent — the "implicit value" read used all
+  /// over delta-stepping, where absent tentative distances mean ∞.
+  T at_or(Index i, const T& dflt) const {
+    auto v = extract_element(i);
+    return v ? *v : dflt;
+  }
+
+  /// Raw sorted views (read-only).  Values are exposed as storage_type
+  /// (identical to T except bool -> unsigned char).
+  std::span<const Index> indices() const { return ind_; }
+  std::span<const storage_type> values() const { return val_; }
+
+  /// Dumps to (indices, values) (GrB_Vector_extractTuples).
+  void extract_tuples(std::vector<Index>& indices, std::vector<T>& values) const {
+    indices = ind_;
+    values.assign(val_.begin(), val_.end());
+  }
+
+  /// Invokes f(index, value) over stored elements in ascending index order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t k = 0; k < ind_.size(); ++k) {
+      f(ind_[k], static_cast<T>(val_[k]));
+    }
+  }
+
+  /// Densifies into a std::vector with `fill` at absent positions.
+  std::vector<T> to_dense(const T& fill = T{}) const {
+    std::vector<T> out(size_, fill);
+    for (std::size_t k = 0; k < ind_.size(); ++k) {
+      out[static_cast<std::size_t>(ind_[k])] = static_cast<T>(val_[k]);
+    }
+    return out;
+  }
+
+  /// Structural + value equality (same dimension, same stored set).
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.size_ == b.size_ && a.ind_ == b.ind_ && a.val_ == b.val_;
+  }
+
+  // --- Internal bulk access for kernel implementations. ---------------------
+  // Kernels in operations/ construct results as sorted triples directly;
+  // adopt() installs them without re-validation beyond debug checks.
+  void adopt(std::vector<Index>&& indices, std::vector<storage_type>&& values) {
+    ind_ = std::move(indices);
+    val_ = std::move(values);
+  }
+  std::vector<Index>& mutable_indices() { return ind_; }
+  std::vector<storage_type>& mutable_values() { return val_; }
+
+ private:
+  Index size_ = 0;
+  std::vector<Index> ind_;        // ascending
+  std::vector<storage_type> val_;  // parallel to ind_
+};
+
+/// Debug/logging helper.
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Vector<T>& v) {
+  os << "Vector(n=" << v.size() << ", nvals=" << v.nvals() << ") {";
+  bool first = true;
+  v.for_each([&](Index i, const T& x) {
+    os << (first ? "" : ", ") << i << ":" << x;
+    first = false;
+  });
+  return os << "}";
+}
+
+}  // namespace grb

@@ -1,0 +1,97 @@
+#include "sssp/bellman_ford.hpp"
+
+#include <deque>
+#include <vector>
+
+namespace dsg {
+
+SsspResult bellman_ford(const grb::Matrix<double>& a, Index source) {
+  check_sssp_inputs(a, source);
+  const Index n = a.nrows();
+
+  SsspResult result;
+  result.dist.assign(n, kInfDist);
+  result.dist[source] = 0.0;
+
+  std::deque<Index> queue;
+  std::vector<unsigned char> in_queue(n, 0);
+  std::vector<Index> relax_count(n, 0);
+  queue.push_back(source);
+  in_queue[source] = 1;
+
+  while (!queue.empty()) {
+    const Index u = queue.front();
+    queue.pop_front();
+    in_queue[u] = 0;
+    const double du = result.dist[u];
+
+    auto cols = a.row_indices(u);
+    auto vals = a.row_values(u);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Index v = cols[k];
+      const double cand = du + vals[k];
+      ++result.stats.relax_requests;
+      if (cand < result.dist[v]) {
+        result.dist[v] = cand;
+        if (!in_queue[v]) {
+          if (++relax_count[v] >= n) {
+            throw grb::InvalidValue(
+                "bellman_ford: negative cycle reachable from source");
+          }
+          queue.push_back(v);
+          in_queue[v] = 1;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+SsspResult bellman_ford_rounds(const grb::Matrix<double>& a, Index source) {
+  check_sssp_inputs(a, source);
+  const Index n = a.nrows();
+
+  SsspResult result;
+  result.dist.assign(n, kInfDist);
+  result.dist[source] = 0.0;
+
+  // t_{k+1}[v] = min(t_k[v], min_u t_k[u] + w(u,v)) — a full (min,+)
+  // relaxation sweep per round, at most |V|-1 rounds.
+  for (Index round = 0; round + 1 < n; ++round) {
+    ++result.stats.outer_iterations;
+    bool changed = false;
+    for (Index u = 0; u < n; ++u) {
+      const double du = result.dist[u];
+      if (du == kInfDist) continue;
+      auto cols = a.row_indices(u);
+      auto vals = a.row_values(u);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const Index v = cols[k];
+        const double cand = du + vals[k];
+        ++result.stats.relax_requests;
+        if (cand < result.dist[v]) {
+          result.dist[v] = cand;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // One more sweep detects reachable negative cycles.
+  for (Index u = 0; u < n; ++u) {
+    const double du = result.dist[u];
+    if (du == kInfDist) continue;
+    auto cols = a.row_indices(u);
+    auto vals = a.row_values(u);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (du + vals[k] < result.dist[cols[k]]) {
+        throw grb::InvalidValue(
+            "bellman_ford_rounds: negative cycle reachable from source");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dsg

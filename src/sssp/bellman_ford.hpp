@@ -1,0 +1,23 @@
+// bellman_ford.hpp — Bellman–Ford baseline.
+//
+// Delta-stepping interpolates between Dijkstra (Δ -> min weight) and
+// Bellman–Ford (Δ -> ∞ gives one bucket holding everything, i.e. pure
+// rounds of simultaneous relaxation).  The Δ-sweep ablation uses both ends.
+#pragma once
+
+#include "graphblas/matrix.hpp"
+#include "sssp/common.hpp"
+
+namespace dsg {
+
+/// Queue-based Bellman–Ford (SPFA-style worklist) from `source`.
+/// Handles negative weights; throws grb::InvalidValue when a negative
+/// cycle is reachable from the source.
+SsspResult bellman_ford(const grb::Matrix<double>& a, Index source);
+
+/// Classic round-based Bellman–Ford: |V|-1 full relaxation sweeps with
+/// early exit.  Also the linear-algebraic r-fold (min,+) vxm iteration
+/// t_{k+1} = min(t_k, A'ᵀ t_k) — used to cross-check the semiring kernels.
+SsspResult bellman_ford_rounds(const grb::Matrix<double>& a, Index source);
+
+}  // namespace dsg

@@ -1,0 +1,80 @@
+// common.hpp — shared types for the SSSP algorithm family.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "graphblas/types.hpp"
+
+namespace dsg {
+
+using grb::Index;
+
+/// Distance value meaning "unreachable".
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// Per-run instrumentation.  The counters expose the algorithm's control
+/// structure (bucket count, phase count) and the timers feed the SEC6B
+/// phase-breakdown benchmark.
+struct SsspStats {
+  std::uint64_t outer_iterations = 0;  ///< buckets processed (i increments)
+  std::uint64_t light_phases = 0;      ///< inner-loop light relaxation rounds
+  std::uint64_t relax_requests = 0;    ///< relaxation requests generated
+  double setup_seconds = 0.0;   ///< A_L / A_H split (matrix filtering)
+  double light_seconds = 0.0;   ///< light-edge vxm / push phases
+  double heavy_seconds = 0.0;   ///< heavy-edge vxm / push phases
+  double vector_seconds = 0.0;  ///< point-wise vector filter/update work
+};
+
+/// Result of one SSSP run: dist[v] is the shortest-path weight from the
+/// source to v, kInfDist when unreachable.
+struct SsspResult {
+  std::vector<double> dist;
+  SsspStats stats;
+};
+
+/// Options shared by all delta-stepping variants.
+struct DeltaSteppingOptions {
+  double delta = 1.0;  ///< bucket width Δ (>0)
+
+  /// When true, collect the per-phase timers in SsspStats (small overhead).
+  bool profile = false;
+};
+
+/// Validates inputs common to every SSSP entry point.
+/// Throws grb::InvalidValue / grb::IndexOutOfBounds on violations.
+inline void check_sssp_inputs(const grb::Matrix<double>& a, Index source) {
+  if (a.nrows() != a.ncols()) {
+    throw grb::DimensionMismatch("sssp: adjacency matrix must be square");
+  }
+  if (a.nrows() == 0) {
+    throw grb::InvalidValue("sssp: empty graph");
+  }
+  grb::detail::check_index(source, a.nrows(), "sssp: source");
+}
+
+/// Throws if any stored weight is negative (delta-stepping and Dijkstra
+/// require non-negative weights); returns the max weight.
+inline double check_nonnegative_weights(const grb::Matrix<double>& a) {
+  double max_w = 0.0;
+  a.for_each([&](Index, Index, const double& w) {
+    if (w < 0.0) {
+      throw grb::InvalidValue("sssp: negative edge weight " +
+                              std::to_string(w));
+    }
+    if (w > max_w) max_w = w;
+  });
+  return max_w;
+}
+
+inline void check_delta(double delta) {
+  if (!(delta > 0.0)) {
+    throw grb::InvalidValue("sssp: delta must be > 0, got " +
+                            std::to_string(delta));
+  }
+}
+
+}  // namespace dsg

@@ -1,0 +1,22 @@
+// delta_stepping_capi.hpp — the paper's Fig. 2 SuiteSparse listing,
+// transcribed nearly line-for-line against the C API shim in
+// capi/graphblas.h: same call sequence, same operator set, same global
+// `delta` / `i_global` state threading the custom unary operators.
+//
+// This is the most literal of the repository's delta-stepping variants and
+// exists to demonstrate (and regression-test) that the paper's published
+// code runs unchanged on this substrate.
+#pragma once
+
+#include "graphblas/matrix.hpp"
+#include "sssp/common.hpp"
+
+namespace dsg {
+
+/// Runs the Fig. 2 listing.  Not thread-safe (the listing's operator state
+/// is global, as in the paper).  `options.profile` is ignored — the
+/// listing has no instrumentation hooks.
+SsspResult delta_stepping_capi(const grb::Matrix<double>& a, Index source,
+                               const DeltaSteppingOptions& options = {});
+
+}  // namespace dsg

@@ -1,0 +1,194 @@
+#include "sssp/delta_stepping_fused.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+namespace dsg {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+namespace detail {
+
+LightHeavySplit split_light_heavy(const grb::Matrix<double>& a, double delta) {
+  const Index n = a.nrows();
+  LightHeavySplit s;
+  s.light_ptr.assign(n + 1, 0);
+  s.heavy_ptr.assign(n + 1, 0);
+
+  // Pass 1: count light/heavy entries per row.
+  auto row_ptr = a.row_ptr();
+  auto col_ind = a.col_ind();
+  auto values = a.raw_values();
+  for (Index r = 0; r < n; ++r) {
+    for (Index k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double w = values[k];
+      if (w > 0.0 && w <= delta) {
+        ++s.light_ptr[r + 1];
+      } else if (w > delta) {
+        ++s.heavy_ptr[r + 1];
+      }
+    }
+  }
+  for (Index r = 0; r < n; ++r) {
+    s.light_ptr[r + 1] += s.light_ptr[r];
+    s.heavy_ptr[r + 1] += s.heavy_ptr[r];
+  }
+  s.light_ind.resize(s.light_ptr[n]);
+  s.light_val.resize(s.light_ptr[n]);
+  s.heavy_ind.resize(s.heavy_ptr[n]);
+  s.heavy_val.resize(s.heavy_ptr[n]);
+
+  // Pass 2: fill.
+  std::vector<Index> lnext(s.light_ptr.begin(), s.light_ptr.end() - 1);
+  std::vector<Index> hnext(s.heavy_ptr.begin(), s.heavy_ptr.end() - 1);
+  for (Index r = 0; r < n; ++r) {
+    for (Index k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double w = values[k];
+      const Index c = col_ind[k];
+      if (w > 0.0 && w <= delta) {
+        const Index slot = lnext[r]++;
+        s.light_ind[slot] = c;
+        s.light_val[slot] = w;
+      } else if (w > delta) {
+        const Index slot = hnext[r]++;
+        s.heavy_ind[slot] = c;
+        s.heavy_val[slot] = w;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace detail
+
+SsspResult delta_stepping_fused(const grb::Matrix<double>& a, Index source,
+                                const DeltaSteppingOptions& options) {
+  check_sssp_inputs(a, source);
+  check_nonnegative_weights(a);
+  check_delta(options.delta);
+
+  const Index n = a.nrows();
+  const double delta = options.delta;
+  SsspStats stats;
+
+  // A_L / A_H split (the heavyweight "matrix filtering" step).
+  auto setup_start = Clock::now();
+  auto split = detail::split_light_heavy(a, delta);
+  stats.setup_seconds = seconds_since(setup_start);
+
+  // Dense work vectors.  Absent == infinity for t/tReq; tb/s are the
+  // characteristic vectors of tB_i and S.
+  std::vector<double> t(n, kInfDist);
+  std::vector<double> treq(n, kInfDist);
+  std::vector<unsigned char> tb(n, 0);
+  std::vector<unsigned char> s(n, 0);
+  std::vector<Index> frontier;   // indices with tb set (bucket members)
+  std::vector<Index> touched;    // indices where treq got a request
+
+  t[source] = 0.0;
+
+  Index i = 0;
+  // Outer loop: while some reached vertex still has t >= i*delta.
+  // `remaining` counts reached vertices with t >= i*delta; recomputed in the
+  // fused per-bucket pass below.
+  auto count_remaining = [&](double lo) {
+    Index count = 0;
+    for (Index v = 0; v < n; ++v) {
+      if (t[v] != kInfDist && t[v] >= lo) ++count;
+    }
+    return count;
+  };
+
+  while (count_remaining(static_cast<double>(i) * delta) > 0) {
+    ++stats.outer_iterations;
+    const double lo = static_cast<double>(i) * delta;
+    const double hi = lo + delta;
+
+    // Fused bucket construction: tb and the frontier in one pass.
+    auto vec_start = Clock::now();
+    frontier.clear();
+    for (Index v = 0; v < n; ++v) {
+      const bool in_bucket = (t[v] >= lo && t[v] < hi);
+      tb[v] = in_bucket;
+      if (in_bucket) frontier.push_back(v);
+    }
+    if (options.profile) stats.vector_seconds += seconds_since(vec_start);
+
+    while (!frontier.empty()) {
+      ++stats.light_phases;
+      stats.relax_requests += frontier.size();
+
+      // Fusion 1: tReq = A_Lᵀ (t ∘ tB_i) as a single push traversal —
+      // the Hadamard filter is the frontier list itself.
+      auto light_start = Clock::now();
+      for (Index v : frontier) {
+        const double tv = t[v];
+        for (Index k = split.light_ptr[v]; k < split.light_ptr[v + 1]; ++k) {
+          const Index w = split.light_ind[k];
+          const double cand = tv + split.light_val[k];
+          if (cand < treq[w]) {
+            if (treq[w] == kInfDist) touched.push_back(w);
+            treq[w] = cand;
+          }
+        }
+      }
+      if (options.profile) stats.light_seconds += seconds_since(light_start);
+
+      // Fusion 2: S |= tB_i;  tB_i' = in-range(tReq) ∘ (tReq < t);
+      // t = min(t, tReq) — one pass over the touched set plus the frontier.
+      vec_start = Clock::now();
+      for (Index v : frontier) s[v] = 1;
+      frontier.clear();
+      for (Index w : touched) {
+        const double req = treq[w];
+        const bool improved = req < t[w];
+        if (improved) {
+          t[w] = req;
+          if (req >= lo && req < hi) {
+            // (Re)introduce into the bucket.  `touched` holds each vertex at
+            // most once per phase (treq acts as the min-combining
+            // accumulator), so no dedup test is needed here.
+            frontier.push_back(w);
+            tb[w] = 1;
+          }
+        }
+        treq[w] = kInfDist;  // reset the request buffer for the next phase
+      }
+      touched.clear();
+      if (options.profile) stats.vector_seconds += seconds_since(vec_start);
+    }
+
+    // Heavy relaxation from all vertices settled in this bucket:
+    // tReq = A_Hᵀ (t ∘ S); t = min(t, tReq), fused into one traversal.
+    auto heavy_start = Clock::now();
+    for (Index v = 0; v < n; ++v) {
+      if (!s[v]) continue;
+      const double tv = t[v];
+      for (Index k = split.heavy_ptr[v]; k < split.heavy_ptr[v + 1]; ++k) {
+        const Index w = split.heavy_ind[k];
+        const double cand = tv + split.heavy_val[k];
+        if (cand < t[w]) t[w] = cand;
+      }
+      s[v] = 0;  // clear S for the next bucket while we are here
+    }
+    if (options.profile) stats.heavy_seconds += seconds_since(heavy_start);
+
+    ++i;
+  }
+
+  SsspResult result;
+  result.dist = std::move(t);
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace dsg

@@ -1,0 +1,238 @@
+#include "sssp/delta_stepping_graphblas.hpp"
+
+#include <chrono>
+
+#include "graphblas/graphblas.hpp"
+
+namespace dsg {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+SsspResult delta_stepping_graphblas(const grb::Matrix<double>& a, Index source,
+                                    const DeltaSteppingOptions& options) {
+  check_sssp_inputs(a, source);
+  check_nonnegative_weights(a);
+  check_delta(options.delta);
+
+  const Index n = a.nrows();
+  const double delta = options.delta;
+  SsspStats stats;
+  const auto minplus = grb::min_plus_semiring<double>();
+
+  // t[src] = 0                                           (Fig. 2, line 8)
+  grb::Vector<double> t(n);
+  t.set_element(source, 0.0);
+
+  // A_L = A .* (0 < A .<= delta); A_H = A .* (A .> delta)
+  // Two GrB_apply calls per matrix: predicate -> boolean matrix, then
+  // identity under that matrix as a value mask.    (Fig. 2, lines 15-21)
+  auto setup_start = Clock::now();
+  grb::Matrix<bool> ab(n, n);
+  grb::Matrix<double> al(n, n);
+  grb::Matrix<double> ah(n, n);
+  grb::apply(ab, grb::NoMask{}, grb::NoAccumulate{},
+             grb::LightEdgePredicate<double>{delta}, a);
+  grb::apply(al, ab, grb::NoAccumulate{}, grb::Identity<double>{}, a);
+  grb::apply(ab, grb::NoMask{}, grb::NoAccumulate{},
+             grb::GreaterThanThreshold<double>{delta}, a, grb::replace_desc);
+  grb::apply(ah, ab, grb::NoAccumulate{}, grb::Identity<double>{}, a);
+  stats.setup_seconds = seconds_since(setup_start);
+
+  // Work vectors, kept allocated across iterations like the C listing.
+  grb::Vector<bool> tgeq(n);     // t .>= i*delta (boolean, incl. false)
+  grb::Vector<double> tcomp(n);  // t where tgeq true
+  grb::Vector<bool> tb(n);       // bucket membership filter tB_i
+  grb::Vector<double> tmasked(n);
+  grb::Vector<double> treq(n);
+  grb::Vector<bool> tless(n);  // (tReq .< t)
+  grb::Vector<bool> s(n);      // processed-vertex set S
+
+  Index i = 0;
+
+  // Outer loop: while (t .>= i*delta) != 0        (Fig. 2, lines 26-30)
+  grb::apply(tgeq, grb::NoMask{}, grb::NoAccumulate{},
+             grb::GreaterEqualThreshold<double>{0.0}, t);
+  grb::apply(tcomp, tgeq, grb::NoAccumulate{}, grb::Identity<double>{}, t,
+             grb::replace_desc);
+  while (tcomp.nvals() > 0) {
+    ++stats.outer_iterations;
+    const double lo = static_cast<double>(i) * delta;
+    const double hi = lo + delta;
+
+    // s = 0                                         (Fig. 2, line 32)
+    s.clear();
+
+    auto vec_start = Clock::now();
+    // tBi = (i*delta .<= t .< (i+1)*delta)          (Fig. 2, line 35)
+    grb::apply(tb, grb::NoMask{}, grb::NoAccumulate{},
+               grb::HalfOpenRangePredicate<double>{lo, hi}, t,
+               grb::replace_desc);
+    // t .* tBi                                      (Fig. 2, line 37)
+    grb::apply(tmasked, tb, grb::NoAccumulate{}, grb::Identity<double>{}, t,
+               grb::replace_desc);
+    if (options.profile) stats.vector_seconds += seconds_since(vec_start);
+
+    // Inner loop: while tBi != 0                    (Fig. 2, lines 39-57)
+    while (tmasked.nvals() > 0) {
+      ++stats.light_phases;
+      stats.relax_requests += tmasked.nvals();
+
+      // tReq = A_L' (min.+) (t .* tBi)              (Fig. 2, line 43)
+      auto light_start = Clock::now();
+      grb::vxm(treq, grb::NoMask{}, grb::NoAccumulate{}, minplus, tmasked, al,
+               grb::replace_desc);
+      if (options.profile) stats.light_seconds += seconds_since(light_start);
+
+      vec_start = Clock::now();
+      // s = s + tBi                                 (Fig. 2, line 45)
+      grb::ewise_add(s, grb::NoMask{}, grb::NoAccumulate{},
+                     grb::LogicalOr<bool>{}, s, tb);
+
+      // tBi = (i*delta .<= tReq .< (i+1)*delta) .* (tReq .< t)
+      // The (tReq < t) comparison is computed by eWiseAdd under the tReq
+      // mask — the Sec. V-B workaround for union pass-through with a
+      // non-commutative operator.                   (Fig. 2, lines 48-49)
+      grb::ewise_add(tless, treq, grb::NoAccumulate{}, grb::LessThan<double>{},
+                     treq, t, grb::replace_desc);
+      grb::apply(tb, tless, grb::NoAccumulate{},
+                 grb::HalfOpenRangePredicate<double>{lo, hi}, treq,
+                 grb::replace_desc);
+
+      // t = min(t, tReq)                            (Fig. 2, line 52)
+      grb::ewise_add(t, grb::NoMask{}, grb::NoAccumulate{},
+                     grb::Min<double>{}, t, treq);
+
+      // tmasked = t .* tBi                          (Fig. 2, line 54)
+      grb::apply(tmasked, tb, grb::NoAccumulate{}, grb::Identity<double>{}, t,
+                 grb::replace_desc);
+      if (options.profile) stats.vector_seconds += seconds_since(vec_start);
+    }
+
+    // Heavy relaxation for all vertices processed in this bucket:
+    // tReq = A_H' (min.+) (t .* s)                  (Fig. 2, lines 58-63)
+    auto heavy_start = Clock::now();
+    grb::apply(tmasked, s, grb::NoAccumulate{}, grb::Identity<double>{}, t,
+               grb::replace_desc);
+    grb::vxm(treq, grb::NoMask{}, grb::NoAccumulate{}, minplus, tmasked, ah,
+             grb::replace_desc);
+    grb::ewise_add(t, grb::NoMask{}, grb::NoAccumulate{}, grb::Min<double>{},
+                   t, treq);
+    if (options.profile) stats.heavy_seconds += seconds_since(heavy_start);
+
+    // i = i + 1; recompute the outer condition      (Fig. 2, lines 66-69)
+    ++i;
+    vec_start = Clock::now();
+    grb::apply(tgeq, grb::NoMask{}, grb::NoAccumulate{},
+               grb::GreaterEqualThreshold<double>{static_cast<double>(i) *
+                                                  delta},
+               t, grb::replace_desc);
+    grb::apply(tcomp, tgeq, grb::NoAccumulate{}, grb::Identity<double>{}, t,
+               grb::replace_desc);
+    if (options.profile) stats.vector_seconds += seconds_since(vec_start);
+  }
+
+  SsspResult result;
+  result.dist = t.to_dense(kInfDist);
+  // Stored-but-unreached cannot happen: t only ever receives finite values.
+  result.stats = stats;
+  return result;
+}
+
+SsspResult delta_stepping_graphblas_select(
+    const grb::Matrix<double>& a, Index source,
+    const DeltaSteppingOptions& options) {
+  check_sssp_inputs(a, source);
+  check_nonnegative_weights(a);
+  check_delta(options.delta);
+
+  const Index n = a.nrows();
+  const double delta = options.delta;
+  SsspStats stats;
+  const auto minplus = grb::min_plus_semiring<double>();
+
+  grb::Vector<double> t(n);
+  t.set_element(source, 0.0);
+
+  // One fused select per filter instead of apply+apply.
+  auto setup_start = Clock::now();
+  grb::Matrix<double> al(n, n);
+  grb::Matrix<double> ah(n, n);
+  grb::select(al, grb::LightEdgePredicate<double>{delta}, a);
+  grb::select(ah, grb::GreaterThanThreshold<double>{delta}, a);
+  stats.setup_seconds = seconds_since(setup_start);
+
+  grb::Vector<double> tcomp(n);
+  grb::Vector<double> tbv(n);  // bucket members carrying their t values
+  grb::Vector<double> treq(n);
+  grb::Vector<double> tnew(n);
+  grb::Vector<bool> s(n);
+
+  Index i = 0;
+  grb::select(tcomp, grb::GreaterEqualThreshold<double>{0.0}, t);
+  while (tcomp.nvals() > 0) {
+    ++stats.outer_iterations;
+    const double lo = static_cast<double>(i) * delta;
+    const double hi = lo + delta;
+    s.clear();
+
+    // tbv = t restricted to the bucket, one pass.
+    grb::select(tbv, grb::HalfOpenRangePredicate<double>{lo, hi}, t,
+                grb::replace_desc);
+    while (tbv.nvals() > 0) {
+      ++stats.light_phases;
+      stats.relax_requests += tbv.nvals();
+
+      auto light_start = Clock::now();
+      grb::vxm(treq, grb::NoMask{}, grb::NoAccumulate{}, minplus, tbv, al,
+               grb::replace_desc);
+      if (options.profile) stats.light_seconds += seconds_since(light_start);
+
+      // S |= bucket members (structural mask of tbv).
+      grb::assign_scalar(s, tbv, true, grb::structure_mask_desc);
+
+      // Improved-and-in-bucket: tnew = treq entries that beat t...
+      grb::ewise_add(tnew, treq, grb::NoAccumulate{}, grb::LessThan<double>{},
+                     treq, t, grb::replace_desc);
+      // ...keep treq values where the comparison was true,
+      grb::apply(tnew, tnew, grb::NoAccumulate{}, grb::Identity<double>{},
+                 treq, grb::replace_desc);
+      // t = min(t, treq)
+      grb::ewise_add(t, grb::NoMask{}, grb::NoAccumulate{},
+                     grb::Min<double>{}, t, treq);
+      // next bucket frontier: improved entries that fall in [lo, hi)
+      grb::select(tbv, grb::HalfOpenRangePredicate<double>{lo, hi}, tnew,
+                  grb::replace_desc);
+    }
+
+    auto heavy_start = Clock::now();
+    grb::Vector<double> tmasked(n);
+    grb::apply(tmasked, s, grb::NoAccumulate{}, grb::Identity<double>{}, t,
+               grb::replace_desc);
+    grb::vxm(treq, grb::NoMask{}, grb::NoAccumulate{}, minplus, tmasked, ah,
+             grb::replace_desc);
+    grb::ewise_add(t, grb::NoMask{}, grb::NoAccumulate{}, grb::Min<double>{},
+                   t, treq);
+    if (options.profile) stats.heavy_seconds += seconds_since(heavy_start);
+
+    ++i;
+    grb::select(tcomp,
+                grb::GreaterEqualThreshold<double>{static_cast<double>(i) *
+                                                   delta},
+                t, grb::replace_desc);
+  }
+
+  SsspResult result;
+  result.dist = t.to_dense(kInfDist);
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace dsg

@@ -1,0 +1,36 @@
+// delta_stepping_graphblas.hpp — the paper's primary artifact: the linear
+// algebraic delta-stepping SSSP implemented call-for-call on the GraphBLAS
+// substrate (paper Fig. 1 left / Fig. 2).
+//
+// The structure deliberately mirrors the SuiteSparse listing in Fig. 2,
+// including the double-apply filter idiom and the eWiseAdd-with-tReq-mask
+// workaround for the non-commutative (tReq < t) comparison (Sec. V-B).
+// This is the *unfused* implementation whose cost Fig. 3 compares against
+// the fused C implementation.
+#pragma once
+
+#include "graphblas/matrix.hpp"
+#include "sssp/common.hpp"
+
+namespace dsg {
+
+/// Runs delta-stepping from `source` on adjacency matrix `a` (weights > 0)
+/// using only GraphBLAS operations.
+///
+/// Faithfulness notes:
+///  - A_L / A_H are built with two GrB_apply calls each (predicate then
+///    identity-under-mask), exactly like Fig. 2 lines 16-21.
+///  - The bucket filter, the (tReq < t) test and the S-set update use the
+///    same apply / eWiseAdd sequence as Fig. 2 lines 35-54.
+///  - Relaxations are vxm over the (min,+) semiring (lines 43 and 60).
+SsspResult delta_stepping_graphblas(const grb::Matrix<double>& a, Index source,
+                                    const DeltaSteppingOptions& options = {});
+
+/// Variant using one fused grb::select per filter instead of the
+/// double-apply idiom — the "what if the API had first-class selection"
+/// ablation (still unfused across operations).  Used by ABL-OPS.
+SsspResult delta_stepping_graphblas_select(
+    const grb::Matrix<double>& a, Index source,
+    const DeltaSteppingOptions& options = {});
+
+}  // namespace dsg

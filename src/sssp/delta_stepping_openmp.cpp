@@ -1,0 +1,322 @@
+#include "sssp/delta_stepping_openmp.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "sssp/delta_stepping_fused.hpp"
+
+#if defined(DSG_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace dsg {
+
+#if !defined(DSG_HAVE_OPENMP)
+
+SsspResult delta_stepping_openmp(const grb::Matrix<double>& a, Index source,
+                                 const OpenMpOptions& options) {
+  return delta_stepping_fused(a, source, options);
+}
+
+#else  // DSG_HAVE_OPENMP
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Minimum number of vector elements a task must own before spawning tasks
+/// pays for itself.  Below 2x this, passes run serially inside the single
+/// region.  (The paper's graphs are large; small inputs would drown in task
+/// overhead and obscure the Fig. 4 shape.)
+constexpr Index kMinGrain = 1 << 15;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One-sided CSR filter: rows of `a` with the predicate applied.  Runs as a
+/// single task, mirroring the paper's one-task-per-matrix split.
+template <typename Pred>
+void filter_csr(const grb::Matrix<double>& a, Pred pred,
+                std::vector<Index>& out_ptr, std::vector<Index>& out_ind,
+                std::vector<double>& out_val) {
+  const Index n = a.nrows();
+  auto row_ptr = a.row_ptr();
+  auto col_ind = a.col_ind();
+  auto values = a.raw_values();
+  out_ptr.assign(n + 1, 0);
+  for (Index r = 0; r < n; ++r) {
+    for (Index k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (pred(values[k])) ++out_ptr[r + 1];
+    }
+  }
+  for (Index r = 0; r < n; ++r) out_ptr[r + 1] += out_ptr[r];
+  out_ind.resize(out_ptr[n]);
+  out_val.resize(out_ptr[n]);
+  std::vector<Index> next(out_ptr.begin(), out_ptr.end() - 1);
+  for (Index r = 0; r < n; ++r) {
+    for (Index k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (pred(values[k])) {
+        const Index slot = next[r]++;
+        out_ind[slot] = col_ind[k];
+        out_val[slot] = values[k];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot loops as free functions: keeps codegen identical to the fused
+// implementation (loops nested inside the outlined `omp single` body access
+// captured state through indirection, which costs 20-30%).
+// ---------------------------------------------------------------------------
+
+/// Counts reached vertices with t >= lo in [begin, end).
+Index count_ge_range(const double* t, Index begin, Index end, double lo) {
+  Index count = 0;
+  for (Index v = begin; v < end; ++v) {
+    if (t[v] != kInfDist && t[v] >= lo) ++count;
+  }
+  return count;
+}
+
+/// Appends vertices with lo <= t < hi in [begin, end) to `out`.
+void collect_bucket_range(const double* t, Index begin, Index end, double lo,
+                          double hi, std::vector<Index>& out) {
+  out.clear();
+  for (Index v = begin; v < end; ++v) {
+    if (t[v] >= lo && t[v] < hi) out.push_back(v);
+  }
+}
+
+/// The fused tB/t update over a slice of the touched list; re-bucketed
+/// vertices land in `out`.  Slices hold disjoint vertices, so no races.
+void sweep_touched_range(double* t, double* treq, const Index* touched,
+                         Index begin, Index end, double lo, double hi,
+                         std::vector<Index>& out) {
+  out.clear();
+  for (Index idx = begin; idx < end; ++idx) {
+    const Index w = touched[idx];
+    const double req = treq[w];
+    if (req < t[w]) {
+      t[w] = req;
+      if (req >= lo && req < hi) out.push_back(w);
+    }
+    treq[w] = kInfDist;
+  }
+}
+
+/// Collects and clears set bits of s in [begin, end).
+void collect_settled_range(unsigned char* s, Index begin, Index end,
+                           std::vector<Index>& out) {
+  out.clear();
+  for (Index v = begin; v < end; ++v) {
+    if (s[v]) {
+      out.push_back(v);
+      s[v] = 0;
+    }
+  }
+}
+
+/// Light-edge push over the frontier (sequential, like the paper).
+void push_light(const detail::LightHeavySplit& split, const double* t,
+                double* treq, const std::vector<Index>& frontier,
+                std::vector<Index>& touched) {
+  touched.clear();
+  for (Index v : frontier) {
+    const double tv = t[v];
+    for (Index k = split.light_ptr[v]; k < split.light_ptr[v + 1]; ++k) {
+      const Index w = split.light_ind[k];
+      const double cand = tv + split.light_val[k];
+      if (cand < treq[w]) {
+        if (treq[w] == kInfDist) touched.push_back(w);
+        treq[w] = cand;
+      }
+    }
+  }
+}
+
+/// Heavy-edge push over the settled set (sequential, like the paper).
+void push_heavy(const detail::LightHeavySplit& split,
+                const std::vector<Index>& settled, double* t) {
+  for (Index v : settled) {
+    const double tv = t[v];
+    for (Index k = split.heavy_ptr[v]; k < split.heavy_ptr[v + 1]; ++k) {
+      const Index w = split.heavy_ind[k];
+      const double cand = tv + split.heavy_val[k];
+      if (cand < t[w]) t[w] = cand;
+    }
+  }
+}
+
+/// Splits [0, n) into task ranges of at least kMinGrain elements, at most
+/// `max_tasks` ranges.  A single range means "run serially".
+std::vector<std::pair<Index, Index>> task_ranges(Index n, int max_tasks) {
+  const Index by_grain = (n + kMinGrain - 1) / kMinGrain;
+  const Index tasks = std::max<Index>(
+      1, std::min<Index>(by_grain, static_cast<Index>(max_tasks)));
+  const Index chunk = (n + tasks - 1) / tasks;
+  std::vector<std::pair<Index, Index>> ranges;
+  for (Index begin = 0; begin < n; begin += chunk) {
+    ranges.emplace_back(begin, std::min(n, begin + chunk));
+  }
+  if (ranges.empty()) ranges.emplace_back(0, 0);
+  return ranges;
+}
+
+/// Runs `body(begin, end, slot)` over [0, n): serially when one range
+/// suffices, as OpenMP tasks otherwise.  Must be called from inside the
+/// single region.
+template <typename Body>
+void tasked_for(Index n, int num_tasks, Body body) {
+  auto ranges = task_ranges(n, num_tasks);
+  if (ranges.size() == 1) {
+    body(ranges[0].first, ranges[0].second, std::size_t{0});
+    return;
+  }
+  for (std::size_t k = 0; k < ranges.size(); ++k) {
+    const Index begin = ranges[k].first;
+    const Index end = ranges[k].second;
+#pragma omp task firstprivate(begin, end, k) shared(body)
+    body(begin, end, k);
+  }
+#pragma omp taskwait
+}
+
+}  // namespace
+
+SsspResult delta_stepping_openmp(const grb::Matrix<double>& a, Index source,
+                                 const OpenMpOptions& options) {
+  check_sssp_inputs(a, source);
+  check_nonnegative_weights(a);
+  check_delta(options.delta);
+
+  const Index n = a.nrows();
+  const double delta = options.delta;
+  SsspStats stats;
+
+  if (options.num_threads > 0) omp_set_num_threads(options.num_threads);
+
+  detail::LightHeavySplit split;
+  std::vector<double> t_vec(n, kInfDist);
+  std::vector<double> treq_vec(n, kInfDist);
+  std::vector<unsigned char> s_vec(n, 0);
+  t_vec[source] = 0.0;
+  double* t = t_vec.data();
+  double* treq = treq_vec.data();
+  unsigned char* s = s_vec.data();
+
+#pragma omp parallel
+#pragma omp single
+  {
+    int num_tasks = options.tasks_per_vector;
+    if (num_tasks <= 0) num_tasks = omp_get_num_threads();
+
+    // --- A_L and A_H construction: one task each (paper Sec. VI-C). -------
+    auto setup_start = Clock::now();
+#pragma omp task shared(split, a)
+    filter_csr(
+        a, [delta](double w) { return w > 0.0 && w <= delta; },
+        split.light_ptr, split.light_ind, split.light_val);
+#pragma omp task shared(split, a)
+    filter_csr(
+        a, [delta](double w) { return w > delta; }, split.heavy_ptr,
+        split.heavy_ind, split.heavy_val);
+#pragma omp taskwait
+    stats.setup_seconds = seconds_since(setup_start);
+
+    std::vector<std::vector<Index>> parts(
+        static_cast<std::size_t>(num_tasks) + 1);
+    std::vector<Index> frontier;
+    std::vector<Index> touched;
+
+    auto gather_parts = [&](std::size_t count, std::vector<Index>& out) {
+      out.clear();
+      for (std::size_t k = 0; k < count; ++k) {
+        out.insert(out.end(), parts[k].begin(), parts[k].end());
+      }
+    };
+
+    // Outer condition: count of reached vertices with t >= i*delta.
+    auto count_remaining = [&](double lo) {
+      std::atomic<Index> count{0};
+      tasked_for(n, num_tasks, [&](Index begin, Index end, std::size_t) {
+        count.fetch_add(count_ge_range(t, begin, end, lo),
+                        std::memory_order_relaxed);
+      });
+      return count.load();
+    };
+
+    Index i = 0;
+    while (count_remaining(static_cast<double>(i) * delta) > 0) {
+      ++stats.outer_iterations;
+      const double lo = static_cast<double>(i) * delta;
+      const double hi = lo + delta;
+
+      // Bucket construction: evenly-sized tasks over the t vector.
+      auto vec_start = Clock::now();
+      std::size_t used = 0;
+      tasked_for(n, num_tasks, [&](Index begin, Index end, std::size_t k) {
+        collect_bucket_range(t, begin, end, lo, hi, parts[k]);
+#pragma omp atomic
+        ++used;
+      });
+      gather_parts(used, frontier);
+      if (options.profile) stats.vector_seconds += seconds_since(vec_start);
+
+      while (!frontier.empty()) {
+        ++stats.light_phases;
+        stats.relax_requests += frontier.size();
+
+        // Light push — sequential, as in the paper (parallelizing within
+        // the matrix-vector operation is its "future work").
+        auto light_start = Clock::now();
+        push_light(split, t, treq, frontier, touched);
+        if (options.profile) stats.light_seconds += seconds_since(light_start);
+
+        // Fused tB/S/t update: S from the old frontier, then a tasked
+        // sweep over the touched set.
+        vec_start = Clock::now();
+        for (Index v : frontier) s[v] = 1;
+
+        used = 0;
+        tasked_for(static_cast<Index>(touched.size()), num_tasks,
+                   [&](Index begin, Index end, std::size_t k) {
+                     sweep_touched_range(t, treq, touched.data(), begin, end,
+                                         lo, hi, parts[k]);
+#pragma omp atomic
+                     ++used;
+                   });
+        gather_parts(used, frontier);
+        if (options.profile) stats.vector_seconds += seconds_since(vec_start);
+      }
+
+      // Heavy relaxation: the settled-set scan is point-wise vector work
+      // and is tasked like the other filters; the (min,+) push itself stays
+      // sequential, as in the paper.
+      auto heavy_start = Clock::now();
+      used = 0;
+      tasked_for(n, num_tasks, [&](Index begin, Index end, std::size_t k) {
+        collect_settled_range(s, begin, end, parts[k]);
+#pragma omp atomic
+        ++used;
+      });
+      std::vector<Index> settled;
+      gather_parts(used, settled);
+      push_heavy(split, settled, t);
+      if (options.profile) stats.heavy_seconds += seconds_since(heavy_start);
+
+      ++i;
+    }
+  }  // omp single / parallel
+
+  SsspResult result;
+  result.dist = std::move(t_vec);
+  result.stats = stats;
+  return result;
+}
+
+#endif  // DSG_HAVE_OPENMP
+
+}  // namespace dsg

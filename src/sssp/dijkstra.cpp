@@ -1,0 +1,61 @@
+#include "sssp/dijkstra.hpp"
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace dsg {
+
+namespace {
+
+/// (distance, vertex) min-heap entry; lazy deletion via distance check.
+using HeapEntry = std::pair<double, Index>;
+
+SsspResult dijkstra_impl(const grb::Matrix<double>& a, Index source,
+                         std::vector<Index>* parent) {
+  check_sssp_inputs(a, source);
+  check_nonnegative_weights(a);
+
+  const Index n = a.nrows();
+  SsspResult result;
+  result.dist.assign(n, kInfDist);
+  if (parent) parent->assign(n, grb::all_indices);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  result.dist[source] = 0.0;
+  heap.push({0.0, source});
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > result.dist[u]) continue;  // stale entry
+    ++result.stats.outer_iterations;   // settled vertices
+
+    auto cols = a.row_indices(u);
+    auto vals = a.row_values(u);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Index v = cols[k];
+      const double cand = d + vals[k];
+      ++result.stats.relax_requests;
+      if (cand < result.dist[v]) {
+        result.dist[v] = cand;
+        if (parent) (*parent)[v] = u;
+        heap.push({cand, v});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+SsspResult dijkstra(const grb::Matrix<double>& a, Index source) {
+  return dijkstra_impl(a, source, nullptr);
+}
+
+SsspResult dijkstra_with_parents(const grb::Matrix<double>& a, Index source,
+                                 std::vector<Index>& parent) {
+  return dijkstra_impl(a, source, &parent);
+}
+
+}  // namespace dsg

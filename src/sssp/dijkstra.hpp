@@ -1,0 +1,21 @@
+// dijkstra.hpp — Dijkstra's algorithm with a binary heap, the classic
+// priority-queue SSSP the paper contrasts with delta-stepping (Sec. VII:
+// with Δ = min edge weight, delta-stepping degenerates to Dijkstra-like
+// settling order).  Serves as the primary correctness oracle.
+#pragma once
+
+#include "graphblas/matrix.hpp"
+#include "sssp/common.hpp"
+
+namespace dsg {
+
+/// Binary-heap Dijkstra from `source`; weights must be non-negative.
+SsspResult dijkstra(const grb::Matrix<double>& a, Index source);
+
+/// Dijkstra that also records a shortest-path tree: parent[v] is the
+/// predecessor of v on a shortest path, or grb::all_indices for the source
+/// and unreachable vertices.
+SsspResult dijkstra_with_parents(const grb::Matrix<double>& a, Index source,
+                                 std::vector<Index>& parent);
+
+}  // namespace dsg

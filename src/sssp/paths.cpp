@@ -1,0 +1,81 @@
+#include "sssp/paths.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsg {
+
+std::vector<Index> recover_parents(const grb::Matrix<double>& a, Index source,
+                                   const std::vector<double>& dist,
+                                   double tolerance) {
+  check_sssp_inputs(a, source);
+  if (dist.size() != a.nrows()) {
+    throw grb::DimensionMismatch("recover_parents: dist size vs matrix");
+  }
+  if (dist[source] != 0.0) {
+    throw grb::InvalidValue("recover_parents: dist[source] must be 0");
+  }
+
+  const Index n = a.nrows();
+  std::vector<Index> parent(n, kNoParent);
+  std::vector<unsigned char> satisfied(n, 0);
+  satisfied[source] = 1;
+
+  // One sweep over the edges: (u,v) is a tree edge candidate when
+  // dist[u] + w == dist[v] (within tolerance).  Smallest u wins.
+  a.for_each([&](Index u, Index v, const double& w) {
+    if (dist[u] == kInfDist) return;
+    if (std::abs(dist[u] + w - dist[v]) <= tolerance) {
+      if (!satisfied[v] || (parent[v] != kNoParent && u < parent[v])) {
+        parent[v] = u;
+        satisfied[v] = 1;
+      }
+    }
+  });
+
+  for (Index v = 0; v < n; ++v) {
+    if (v != source && dist[v] != kInfDist && !satisfied[v]) {
+      throw grb::InvalidValue(
+          "recover_parents: no tight predecessor for vertex " +
+          std::to_string(v) + " — dist is not a valid SSSP solution");
+    }
+  }
+  return parent;
+}
+
+std::vector<Index> extract_path(const std::vector<Index>& parent,
+                                Index source, Index target) {
+  if (target >= parent.size() || source >= parent.size()) {
+    throw grb::IndexOutOfBounds("extract_path: vertex out of range");
+  }
+  std::vector<Index> path;
+  Index v = target;
+  path.push_back(v);
+  while (v != source) {
+    v = parent[v];
+    if (v == kNoParent) return {};  // unreachable
+    path.push_back(v);
+    if (path.size() > parent.size()) {
+      throw grb::InvalidValue("extract_path: parent array contains a cycle");
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double path_weight(const grb::Matrix<double>& a,
+                   const std::vector<Index>& path) {
+  double total = 0.0;
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    auto w = a.extract_element(path[k], path[k + 1]);
+    if (!w) {
+      throw grb::InvalidValue("path_weight: missing edge " +
+                              std::to_string(path[k]) + " -> " +
+                              std::to_string(path[k + 1]));
+    }
+    total += *w;
+  }
+  return total;
+}
+
+}  // namespace dsg

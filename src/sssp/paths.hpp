@@ -1,0 +1,40 @@
+// paths.hpp — shortest-path tree extraction.
+//
+// The paper's implementations return only the distance vector ("Set the
+// return paths" in Fig. 2 returns t).  Downstream users usually want the
+// actual routes, so the library adds post-hoc parent recovery: for any
+// valid distance vector, a parent of v is any in-neighbour u with
+// dist(u) + w(u,v) == dist(v).  This works for every SSSP variant without
+// instrumenting their inner loops.
+#pragma once
+
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "sssp/common.hpp"
+
+namespace dsg {
+
+/// Marker for "no parent" (source and unreachable vertices).
+inline constexpr Index kNoParent = grb::all_indices;
+
+/// Recovers a shortest-path tree from a distance vector.
+/// parent[v] = some u with dist[u] + w(u,v) == dist[v] (ties broken by the
+/// smallest such u, making the result deterministic), kNoParent for the
+/// source and unreachable vertices.
+/// Throws grb::InvalidValue if `dist` is not a fixed point of relaxation
+/// (i.e. not a valid SSSP solution for `a`).
+std::vector<Index> recover_parents(const grb::Matrix<double>& a, Index source,
+                                   const std::vector<double>& dist,
+                                   double tolerance = 1e-9);
+
+/// Reconstructs the vertex sequence source -> ... -> target from a parent
+/// array.  Returns an empty vector when target is unreachable.
+std::vector<Index> extract_path(const std::vector<Index>& parent,
+                                Index source, Index target);
+
+/// Sum of edge weights along `path` in `a`; throws if an edge is missing.
+double path_weight(const grb::Matrix<double>& a,
+                   const std::vector<Index>& path);
+
+}  // namespace dsg

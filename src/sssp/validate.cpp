@@ -1,0 +1,111 @@
+#include "sssp/validate.hpp"
+
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+namespace dsg {
+
+namespace {
+
+ValidationReport fail(std::string message) {
+  return {false, std::move(message)};
+}
+
+}  // namespace
+
+ValidationReport validate_sssp(const grb::Matrix<double>& a, Index source,
+                               const std::vector<double>& dist,
+                               double tolerance) {
+  const Index n = a.nrows();
+  if (dist.size() != n) {
+    return fail("dist size " + std::to_string(dist.size()) + " != |V| " +
+                std::to_string(n));
+  }
+  if (dist[source] != 0.0) {
+    std::ostringstream os;
+    os << "dist[source=" << source << "] = " << dist[source] << ", want 0";
+    return fail(os.str());
+  }
+
+  // Reachability via BFS over the structure.
+  std::vector<unsigned char> reachable(n, 0);
+  {
+    std::deque<Index> queue;
+    reachable[source] = 1;
+    queue.push_back(source);
+    while (!queue.empty()) {
+      const Index u = queue.front();
+      queue.pop_front();
+      for (Index v : a.row_indices(u)) {
+        if (!reachable[v]) {
+          reachable[v] = 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+
+  ValidationReport report;
+  for (Index v = 0; v < n; ++v) {
+    if (reachable[v] && dist[v] == kInfDist) {
+      std::ostringstream os;
+      os << "vertex " << v << " is reachable but dist is inf";
+      return fail(os.str());
+    }
+    if (!reachable[v] && dist[v] != kInfDist) {
+      std::ostringstream os;
+      os << "vertex " << v << " is unreachable but dist = " << dist[v];
+      return fail(os.str());
+    }
+  }
+
+  // Relaxation fixed point + tight predecessor existence.
+  std::vector<unsigned char> has_pred(n, 0);
+  has_pred[source] = 1;
+  bool violated = false;
+  std::ostringstream violation;
+  a.for_each([&](Index u, Index v, const double& w) {
+    if (violated || dist[u] == kInfDist) return;
+    if (dist[v] > dist[u] + w + tolerance) {
+      violation << "edge (" << u << "," << v << ",w=" << w
+                << ") violates triangle inequality: " << dist[v] << " > "
+                << dist[u] + w;
+      violated = true;
+      return;
+    }
+    if (std::abs(dist[u] + w - dist[v]) <= tolerance) has_pred[v] = 1;
+  });
+  if (violated) return fail(violation.str());
+
+  for (Index v = 0; v < n; ++v) {
+    if (dist[v] != kInfDist && !has_pred[v]) {
+      std::ostringstream os;
+      os << "vertex " << v << " (dist " << dist[v]
+         << ") has no tight predecessor";
+      return fail(os.str());
+    }
+  }
+  return report;
+}
+
+ValidationReport compare_distances(const std::vector<double>& expected,
+                                   const std::vector<double>& actual,
+                                   double tolerance) {
+  if (expected.size() != actual.size()) {
+    return fail("size mismatch: " + std::to_string(expected.size()) + " vs " +
+                std::to_string(actual.size()));
+  }
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    const double e = expected[v], g = actual[v];
+    const bool einf = (e == kInfDist), ginf = (g == kInfDist);
+    if (einf != ginf || (!einf && std::abs(e - g) > tolerance)) {
+      std::ostringstream os;
+      os << "dist[" << v << "]: expected " << e << ", got " << g;
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+}  // namespace dsg

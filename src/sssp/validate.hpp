@@ -1,0 +1,33 @@
+// validate.hpp — SSSP solution checkers used by the tests, the benchmark
+// harness (every timed run is validated once), and the examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+#include "sssp/common.hpp"
+
+namespace dsg {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string message;  // first violation found, empty when ok
+};
+
+/// Full structural validation of a distance vector against the graph:
+///  - dist[source] == 0;
+///  - no edge is over-relaxed: dist[v] <= dist[u] + w(u,v) for every edge;
+///  - every finite dist[v], v != source, has a tight predecessor
+///    (dist[u] + w(u,v) == dist[v] for some in-edge);
+///  - vertices unreachable in the structure have dist == inf.
+ValidationReport validate_sssp(const grb::Matrix<double>& a, Index source,
+                               const std::vector<double>& dist,
+                               double tolerance = 1e-9);
+
+/// Element-wise comparison of two distance vectors (inf == inf allowed).
+ValidationReport compare_distances(const std::vector<double>& expected,
+                                   const std::vector<double>& actual,
+                                   double tolerance = 1e-9);
+
+}  // namespace dsg

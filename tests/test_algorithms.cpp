@@ -1,0 +1,297 @@
+// Unit + property tests for the GraphBLAS algorithm collection (BFS,
+// connected components, PageRank, triangles, K-truss), each cross-checked
+// against an independent reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/connected_components.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/triangles.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "graph/weights.hpp"
+#include "sssp/paths.hpp"
+
+namespace {
+
+using dsg::EdgeList;
+using grb::Index;
+
+EdgeList undirected_sample(std::uint64_t seed) {
+  auto g = dsg::generate_rmat({.scale = 8, .edge_factor = 6, .seed = seed});
+  g.symmetrize();
+  dsg::assign_unit_weights(g);
+  g.normalize();
+  return g;
+}
+
+// --- BFS. ---------------------------------------------------------------------
+
+TEST(BfsGraphBlas, LevelsMatchReferenceBfs) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto g = undirected_sample(seed);
+    auto a = g.to_matrix();
+    auto got = dsg::bfs_levels_graphblas(a, 0);
+    auto want = dsg::bfs_levels(g, 0);
+    ASSERT_EQ(got.size(), want.size());
+    for (Index v = 0; v < g.num_vertices(); ++v) {
+      if (want[v] == std::numeric_limits<Index>::max()) {
+        EXPECT_EQ(got[v], dsg::kUnreachedLevel) << "v=" << v;
+      } else {
+        EXPECT_EQ(got[v], want[v]) << "v=" << v;
+      }
+    }
+  }
+}
+
+TEST(BfsGraphBlas, PathGraph) {
+  auto g = dsg::generate_path(6);
+  auto levels = dsg::bfs_levels_graphblas(g.to_matrix(), 2);
+  EXPECT_EQ(levels[2], 0u);
+  EXPECT_EQ(levels[0], 2u);
+  EXPECT_EQ(levels[5], 3u);
+}
+
+TEST(BfsGraphBlas, DisconnectedStaysUnreached) {
+  EdgeList g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 1.0);
+  g.add_edge(2, 3, 1.0);
+  auto levels = dsg::bfs_levels_graphblas(g.to_matrix(), 0);
+  EXPECT_EQ(levels[2], dsg::kUnreachedLevel);
+  EXPECT_EQ(levels[3], dsg::kUnreachedLevel);
+}
+
+TEST(BfsGraphBlas, ParentsFormValidBfsTree) {
+  auto g = undirected_sample(7);
+  auto a = g.to_matrix();
+  auto parent = dsg::bfs_parents_graphblas(a, 0);
+  auto levels = dsg::bfs_levels_graphblas(a, 0);
+  EXPECT_EQ(parent[0], dsg::kNoParent);
+  for (Index v = 0; v < g.num_vertices(); ++v) {
+    if (v == 0 || levels[v] == dsg::kUnreachedLevel) continue;
+    ASSERT_NE(parent[v], dsg::kNoParent) << "v=" << v;
+    // Parent is one level above and an actual in-neighbour.
+    EXPECT_EQ(levels[parent[v]] + 1, levels[v]) << "v=" << v;
+    EXPECT_TRUE(a.has_element(parent[v], v)) << "v=" << v;
+  }
+}
+
+TEST(BfsGraphBlas, SourceOutOfRangeThrows) {
+  auto g = dsg::generate_path(3);
+  EXPECT_THROW(dsg::bfs_levels_graphblas(g.to_matrix(), 5),
+               grb::IndexOutOfBounds);
+}
+
+// --- Connected components. ------------------------------------------------------
+
+TEST(ConnectedComponents, MatchesReferenceCounts) {
+  for (std::uint64_t seed : {1u, 5u, 9u}) {
+    auto g = undirected_sample(seed);
+    auto labels = dsg::connected_components_graphblas(g.to_matrix());
+    auto ref_sizes = dsg::component_sizes(g);
+    EXPECT_EQ(dsg::count_components(labels),
+              static_cast<Index>(ref_sizes.size()));
+  }
+}
+
+TEST(ConnectedComponents, LabelsAreConsistentWithinEdges) {
+  auto g = undirected_sample(11);
+  auto labels = dsg::connected_components_graphblas(g.to_matrix());
+  for (const auto& e : g.edges()) {
+    EXPECT_EQ(labels[e.src], labels[e.dst]);
+  }
+}
+
+TEST(ConnectedComponents, LabelIsMinimumVertexId) {
+  EdgeList g(6);
+  g.add_edge(4, 5, 1.0);
+  g.add_edge(5, 4, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 1, 1.0);
+  auto labels = dsg::connected_components_graphblas(g.to_matrix());
+  EXPECT_EQ(labels[4], 4u);
+  EXPECT_EQ(labels[5], 4u);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[2], 1u);
+  EXPECT_EQ(labels[0], 0u);  // isolated keeps own id
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(dsg::count_components(labels), 4u);
+}
+
+TEST(ConnectedComponents, SingleComponentGraph) {
+  auto g = dsg::generate_connected_random(64, 32, 3);
+  auto labels = dsg::connected_components_graphblas(g.to_matrix());
+  EXPECT_EQ(dsg::count_components(labels), 1u);
+  for (Index l : labels) EXPECT_EQ(l, 0u);
+}
+
+// --- PageRank. -------------------------------------------------------------------
+
+TEST(PageRank, SumsToOneAndConverges) {
+  auto g = undirected_sample(13);
+  auto result = dsg::pagerank_graphblas(g.to_matrix(), {.tolerance = 1e-12});
+  const double total =
+      std::accumulate(result.rank.begin(), result.rank.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_LT(result.residual, 1e-10);
+  EXPECT_GT(result.iterations, 1u);
+}
+
+TEST(PageRank, UniformOnCycle) {
+  auto g = dsg::generate_cycle(8);
+  auto result = dsg::pagerank_graphblas(g.to_matrix());
+  for (double r : result.rank) {
+    EXPECT_NEAR(r, 1.0 / 8.0, 1e-9);
+  }
+}
+
+TEST(PageRank, HubOfStarDominates) {
+  auto g = dsg::generate_star(20);
+  auto result = dsg::pagerank_graphblas(g.to_matrix());
+  for (Index v = 1; v < 20; ++v) {
+    EXPECT_GT(result.rank[0], result.rank[v]);
+  }
+}
+
+TEST(PageRank, HandlesDanglingVertices) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);  // vertex 2 dangles
+  auto result = dsg::pagerank_graphblas(g.to_matrix());
+  const double total =
+      std::accumulate(result.rank.begin(), result.rank.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_GT(result.rank[2], 0.0);
+}
+
+TEST(PageRank, RejectsBadDamping) {
+  auto g = dsg::generate_cycle(4);
+  EXPECT_THROW(dsg::pagerank_graphblas(g.to_matrix(), {.damping = 1.0}),
+               grb::InvalidValue);
+}
+
+// --- Triangles / K-truss. ----------------------------------------------------------
+
+std::uint64_t brute_force_triangles(const EdgeList& g) {
+  auto a = g.to_matrix();
+  std::uint64_t count = 0;
+  const Index n = a.nrows();
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      if (!a.has_element(i, j)) continue;
+      for (Index k = j + 1; k < n; ++k) {
+        if (a.has_element(i, k) && a.has_element(j, k)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(Triangles, KnownSmallCases) {
+  // Triangle
+  auto tri = dsg::generate_complete(3);
+  EXPECT_EQ(dsg::triangle_count_graphblas(tri.to_matrix()), 1u);
+  // K4 has 4 triangles; K5 has 10.
+  EXPECT_EQ(dsg::triangle_count_graphblas(
+                dsg::generate_complete(4).to_matrix()), 4u);
+  EXPECT_EQ(dsg::triangle_count_graphblas(
+                dsg::generate_complete(5).to_matrix()), 10u);
+  // Trees and cycles >3 have none.
+  EXPECT_EQ(dsg::triangle_count_graphblas(
+                dsg::generate_binary_tree(15).to_matrix()), 0u);
+  EXPECT_EQ(dsg::triangle_count_graphblas(
+                dsg::generate_cycle(6).to_matrix()), 0u);
+}
+
+TEST(Triangles, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed : {2u, 4u, 6u}) {
+    auto g = dsg::generate_erdos_renyi(60, 400, seed);
+    g.symmetrize();
+    g.normalize();
+    EXPECT_EQ(dsg::triangle_count_graphblas(g.to_matrix()),
+              brute_force_triangles(g))
+        << "seed " << seed;
+  }
+}
+
+TEST(EdgeSupport, CountsTrianglesPerEdge) {
+  // K4: every edge participates in exactly 2 triangles.
+  auto g = dsg::generate_complete(4);
+  auto support = dsg::edge_support_graphblas(g.to_matrix());
+  support.for_each([&](Index, Index, const double& s) {
+    EXPECT_DOUBLE_EQ(s, 2.0);
+  });
+  EXPECT_EQ(support.nvals(), 12u);
+}
+
+TEST(KTruss, K3KeepsOnlyTriangleEdges) {
+  // Triangle 0-1-2 with a pendant 2-3: the pendant edge has no support.
+  EdgeList g(4);
+  auto add_sym = [&](Index i, Index j) {
+    g.add_edge(i, j, 1.0);
+    g.add_edge(j, i, 1.0);
+  };
+  add_sym(0, 1);
+  add_sym(1, 2);
+  add_sym(0, 2);
+  add_sym(2, 3);
+  auto truss = dsg::k_truss_graphblas(g.to_matrix(), 3);
+  EXPECT_EQ(truss.nvals(), 6u);  // the triangle, both directions
+  EXPECT_FALSE(truss.has_element(2, 3));
+  EXPECT_TRUE(truss.has_element(0, 1));
+}
+
+TEST(KTruss, K4OfCompleteGraph) {
+  // K5 is a 5-truss; asking for k=4 keeps everything.
+  auto g = dsg::generate_complete(5);
+  auto truss = dsg::k_truss_graphblas(g.to_matrix(), 4);
+  EXPECT_EQ(truss.nvals(), 20u);
+  // k=6 kills it entirely (every edge has support 3 < 4).
+  auto empty = dsg::k_truss_graphblas(g.to_matrix(), 6);
+  EXPECT_EQ(empty.nvals(), 0u);
+}
+
+TEST(KTruss, CascadingRemoval) {
+  // Two triangles sharing an edge plus a tail: removing the tail first
+  // round is not enough for k=4 — the whole structure unravels.
+  EdgeList g(5);
+  auto add_sym = [&](Index i, Index j) {
+    g.add_edge(i, j, 1.0);
+    g.add_edge(j, i, 1.0);
+  };
+  add_sym(0, 1);
+  add_sym(1, 2);
+  add_sym(0, 2);
+  add_sym(1, 3);
+  add_sym(2, 3);
+  add_sym(3, 4);
+  auto t3 = dsg::k_truss_graphblas(g.to_matrix(), 3);
+  EXPECT_EQ(t3.nvals(), 10u);  // both triangles survive, tail dropped
+  auto t4 = dsg::k_truss_graphblas(g.to_matrix(), 4);
+  EXPECT_EQ(t4.nvals(), 0u);  // only edge (1,2) has support 2; cascade
+}
+
+TEST(KTruss, PreservesOriginalWeights) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 2.5);
+  g.add_edge(1, 0, 2.5);
+  g.add_edge(1, 2, 3.5);
+  g.add_edge(2, 1, 3.5);
+  g.add_edge(0, 2, 4.5);
+  g.add_edge(2, 0, 4.5);
+  auto truss = dsg::k_truss_graphblas(g.to_matrix(), 3);
+  EXPECT_DOUBLE_EQ(*truss.extract_element(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(*truss.extract_element(2, 0), 4.5);
+}
+
+TEST(KTruss, RejectsBadK) {
+  auto g = dsg::generate_complete(4);
+  EXPECT_THROW(dsg::k_truss_graphblas(g.to_matrix(), 2), grb::InvalidValue);
+}
+
+}  // namespace

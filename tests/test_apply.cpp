@@ -1,0 +1,207 @@
+// Unit tests for grb::apply — including the paper's double-apply filter
+// idiom (predicate -> boolean object -> identity under mask) and the full
+// mask/accumulator/descriptor matrix.
+#include <gtest/gtest.h>
+
+#include "graphblas/graphblas.hpp"
+
+namespace {
+
+using grb::Index;
+
+grb::Vector<double> vec(std::initializer_list<std::pair<Index, double>> elems,
+                        Index n) {
+  grb::Vector<double> v(n);
+  for (auto [i, x] : elems) v.set_element(i, x);
+  return v;
+}
+
+TEST(ApplyVector, UnaryOpOnStoredElementsOnly) {
+  auto u = vec({{0, 1.0}, {2, -2.0}, {4, 3.0}}, 5);
+  grb::Vector<double> w(5);
+  grb::apply(w, grb::AbsOp<double>{}, u);
+  EXPECT_EQ(w.nvals(), 3u);
+  EXPECT_DOUBLE_EQ(*w.extract_element(2), 2.0);
+  EXPECT_FALSE(w.has_element(1));  // absent stays absent
+}
+
+TEST(ApplyVector, TypeChangingOp) {
+  auto u = vec({{0, 0.5}, {1, 3.0}}, 3);
+  grb::Vector<bool> w(3);
+  grb::apply(w, grb::GreaterThanThreshold<double>{1.0}, u);
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_FALSE(*w.extract_element(0));  // stored false!
+  EXPECT_TRUE(*w.extract_element(1));
+}
+
+TEST(ApplyVector, DimensionMismatchThrows) {
+  grb::Vector<double> u(4), w(5);
+  EXPECT_THROW(grb::apply(w, grb::Identity<double>{}, u),
+               grb::DimensionMismatch);
+}
+
+TEST(ApplyVector, DefaultDescMergesIntoOutput) {
+  auto u = vec({{1, 5.0}}, 4);
+  auto w = vec({{0, 9.0}}, 4);
+  // Without a mask and without accum the output is replaced by T
+  // (GraphBLAS write rule), so the old w[0] disappears.
+  grb::apply(w, grb::NoMask{}, grb::NoAccumulate{}, grb::Identity<double>{},
+             u);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_FALSE(w.has_element(0));
+  EXPECT_DOUBLE_EQ(*w.extract_element(1), 5.0);
+}
+
+TEST(ApplyVector, ValueMaskKeepsUnmaskedOldValues) {
+  auto u = vec({{0, 1.0}, {1, 2.0}, {2, 3.0}}, 3);
+  auto w = vec({{2, 99.0}}, 3);
+  grb::Vector<bool> mask(3);
+  mask.set_element(0, true);
+  mask.set_element(1, false);  // stored but falsy -> not writable
+  grb::apply(w, mask, grb::NoAccumulate{}, grb::Identity<double>{}, u);
+  EXPECT_DOUBLE_EQ(*w.extract_element(0), 1.0);   // mask true: written
+  EXPECT_FALSE(w.has_element(1));                 // mask false: not written
+  EXPECT_DOUBLE_EQ(*w.extract_element(2), 99.0);  // mask absent: old kept
+}
+
+TEST(ApplyVector, ValueMaskWithReplaceDropsUnmasked) {
+  auto u = vec({{0, 1.0}, {2, 3.0}}, 3);
+  auto w = vec({{1, 50.0}, {2, 99.0}}, 3);
+  grb::Vector<bool> mask(3);
+  mask.set_element(0, true);
+  grb::apply(w, mask, grb::NoAccumulate{}, grb::Identity<double>{}, u,
+             grb::replace_desc);
+  EXPECT_EQ(w.nvals(), 1u);  // everything outside the mask replaced away
+  EXPECT_DOUBLE_EQ(*w.extract_element(0), 1.0);
+}
+
+TEST(ApplyVector, StructuralMaskIgnoresValues) {
+  auto u = vec({{0, 1.0}, {1, 2.0}}, 3);
+  grb::Vector<double> w(3);
+  grb::Vector<bool> mask(3);
+  mask.set_element(1, false);  // present but false
+  grb::apply(w, mask, grb::NoAccumulate{}, grb::Identity<double>{}, u,
+             grb::structure_mask_desc);
+  EXPECT_EQ(w.nvals(), 1u);  // structural: presence counts
+  EXPECT_DOUBLE_EQ(*w.extract_element(1), 2.0);
+}
+
+TEST(ApplyVector, ComplementMask) {
+  auto u = vec({{0, 1.0}, {1, 2.0}, {2, 3.0}}, 3);
+  grb::Vector<double> w(3);
+  grb::Vector<bool> mask(3);
+  mask.set_element(0, true);
+  grb::apply(w, mask, grb::NoAccumulate{}, grb::Identity<double>{}, u,
+             grb::complement_mask_desc);
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_FALSE(w.has_element(0));
+  EXPECT_TRUE(w.has_element(1));
+  EXPECT_TRUE(w.has_element(2));
+}
+
+TEST(ApplyVector, AccumCombinesOldAndNew) {
+  auto u = vec({{0, 1.0}, {1, 2.0}}, 3);
+  auto w = vec({{1, 10.0}, {2, 20.0}}, 3);
+  grb::apply(w, grb::NoMask{}, grb::Plus<double>{}, grb::Identity<double>{},
+             u);
+  EXPECT_DOUBLE_EQ(*w.extract_element(0), 1.0);   // only new
+  EXPECT_DOUBLE_EQ(*w.extract_element(1), 12.0);  // accum(10, 2)
+  EXPECT_DOUBLE_EQ(*w.extract_element(2), 20.0);  // only old survives accum
+}
+
+TEST(ApplyVector, PaperFilterIdiom) {
+  // The Fig. 2 lines 27-28 idiom: tgeq = (t >= thr); tcomp = t<tgeq>.
+  auto t = vec({{0, 0.0}, {1, 5.0}, {2, 2.0}}, 4);
+  grb::Vector<bool> tgeq(4);
+  grb::Vector<double> tcomp(4);
+  grb::apply(tgeq, grb::NoMask{}, grb::NoAccumulate{},
+             grb::GreaterEqualThreshold<double>{2.0}, t);
+  EXPECT_EQ(tgeq.nvals(), 3u);  // stored true AND false results
+  grb::apply(tcomp, tgeq, grb::NoAccumulate{}, grb::Identity<double>{}, t,
+             grb::replace_desc);
+  EXPECT_EQ(tcomp.nvals(), 2u);  // only the true ones survive the mask
+  EXPECT_TRUE(tcomp.has_element(1));
+  EXPECT_TRUE(tcomp.has_element(2));
+}
+
+TEST(ApplyVector, BindSecondAsScalarApply) {
+  auto u = vec({{0, 1.0}, {1, 2.0}}, 2);
+  grb::Vector<double> w(2);
+  grb::apply(w, grb::BindSecond<grb::Plus<double>, double>{{}, 10.0}, u);
+  EXPECT_DOUBLE_EQ(*w.extract_element(0), 11.0);
+  EXPECT_DOUBLE_EQ(*w.extract_element(1), 12.0);
+}
+
+// --- Matrix apply. ----------------------------------------------------------
+
+grb::Matrix<double> mat3() {
+  grb::Matrix<double> m(3, 3);
+  m.set_element(0, 1, 0.5);
+  m.set_element(1, 2, 1.5);
+  m.set_element(2, 0, 2.5);
+  return m;
+}
+
+TEST(ApplyMatrix, UnaryOp) {
+  auto a = mat3();
+  grb::Matrix<double> c(3, 3);
+  grb::apply(c, grb::BindSecond<grb::Times<double>, double>{{}, 2.0}, a);
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(2, 0), 5.0);
+  EXPECT_EQ(c.nvals(), 3u);
+}
+
+TEST(ApplyMatrix, LightHeavySplitIdiom) {
+  // Fig. 2 lines 15-21: the A_L/A_H construction through boolean masks.
+  auto a = mat3();
+  const double delta = 1.0;
+  grb::Matrix<bool> ab(3, 3);
+  grb::Matrix<double> al(3, 3), ah(3, 3);
+  grb::apply(ab, grb::NoMask{}, grb::NoAccumulate{},
+             grb::LightEdgePredicate<double>{delta}, a);
+  grb::apply(al, ab, grb::NoAccumulate{}, grb::Identity<double>{}, a);
+  grb::apply(ab, grb::NoMask{}, grb::NoAccumulate{},
+             grb::GreaterThanThreshold<double>{delta}, a, grb::replace_desc);
+  grb::apply(ah, ab, grb::NoAccumulate{}, grb::Identity<double>{}, a);
+
+  EXPECT_EQ(al.nvals(), 1u);  // 0.5
+  EXPECT_TRUE(al.has_element(0, 1));
+  EXPECT_EQ(ah.nvals(), 2u);  // 1.5, 2.5
+  EXPECT_TRUE(ah.has_element(1, 2));
+  EXPECT_TRUE(ah.has_element(2, 0));
+  // Light/heavy partition the stored entries exactly.
+  EXPECT_EQ(al.nvals() + ah.nvals(), a.nvals());
+}
+
+TEST(ApplyMatrix, TransposeDescriptor) {
+  auto a = mat3();
+  grb::Matrix<double> c(3, 3);
+  grb::apply(c, grb::NoMask{}, grb::NoAccumulate{}, grb::Identity<double>{},
+             a, grb::Descriptor{.transpose_in0 = true});
+  EXPECT_TRUE(c.has_element(1, 0));
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 0), 0.5);
+}
+
+TEST(ApplyMatrix, MatrixMaskAndReplace) {
+  auto a = mat3();
+  grb::Matrix<double> c(3, 3);
+  c.set_element(2, 2, 42.0);
+  grb::Matrix<bool> mask(3, 3);
+  mask.set_element(0, 1, true);
+  grb::apply(c, mask, grb::NoAccumulate{}, grb::Identity<double>{}, a,
+             grb::replace_desc);
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 1), 0.5);
+}
+
+TEST(ApplyMatrix, AccumOnMatrix) {
+  auto a = mat3();
+  grb::Matrix<double> c(3, 3);
+  c.set_element(0, 1, 10.0);
+  grb::apply(c, grb::NoMask{}, grb::Min<double>{}, grb::Identity<double>{},
+             a);
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 1), 0.5);  // min(10, 0.5)
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 2), 1.5);
+}
+
+}  // namespace

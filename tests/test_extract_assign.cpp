@@ -1,0 +1,196 @@
+// Unit tests for extract / assign — sub-structure gather and scatter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graphblas/graphblas.hpp"
+
+namespace {
+
+using grb::Index;
+
+TEST(ExtractVector, GathersByIndexList) {
+  grb::Vector<double> u(6);
+  u.set_element(1, 10.0);
+  u.set_element(3, 30.0);
+  u.set_element(5, 50.0);
+  const std::vector<Index> idx{5, 0, 3};
+  grb::Vector<double> w(3);
+  grb::extract(w, u, idx);
+  EXPECT_DOUBLE_EQ(*w.extract_element(0), 50.0);
+  EXPECT_FALSE(w.has_element(1));  // u[0] absent
+  EXPECT_DOUBLE_EQ(*w.extract_element(2), 30.0);
+}
+
+TEST(ExtractVector, AllIndicesSentinel) {
+  grb::Vector<double> u(4);
+  u.set_element(2, 2.0);
+  const std::vector<Index> all{grb::all_indices};
+  grb::Vector<double> w(4);
+  grb::extract(w, u, all);
+  EXPECT_EQ(w, u);
+}
+
+TEST(ExtractVector, DuplicateIndicesAllowed) {
+  grb::Vector<double> u(3);
+  u.set_element(1, 7.0);
+  const std::vector<Index> idx{1, 1, 1};
+  grb::Vector<double> w(3);
+  grb::extract(w, u, idx);
+  EXPECT_EQ(w.nvals(), 3u);
+  for (Index i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(*w.extract_element(i), 7.0);
+}
+
+TEST(ExtractVector, BadIndexThrows) {
+  grb::Vector<double> u(3);
+  const std::vector<Index> idx{7};
+  grb::Vector<double> w(1);
+  EXPECT_THROW(grb::extract(w, u, idx), grb::IndexOutOfBounds);
+}
+
+TEST(ExtractMatrix, Submatrix) {
+  grb::Matrix<double> a(4, 4);
+  for (Index i = 0; i < 4; ++i)
+    for (Index j = 0; j < 4; ++j)
+      a.set_element(i, j, static_cast<double>(10 * i + j));
+  const std::vector<Index> rows{2, 0};
+  const std::vector<Index> cols{3, 1};
+  grb::Matrix<double> c(2, 2);
+  grb::extract(c, a, rows, cols);
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 0), 23.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 1), 21.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 1), 1.0);
+}
+
+TEST(ExtractMatrix, AllRowsSelectedColumns) {
+  grb::Matrix<double> a(2, 3);
+  a.set_element(0, 0, 1.0);
+  a.set_element(1, 2, 5.0);
+  const std::vector<Index> all{grb::all_indices};
+  const std::vector<Index> cols{2, 0};
+  grb::Matrix<double> c(2, 2);
+  grb::extract(c, a, all, cols);
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 1), 1.0);
+  EXPECT_EQ(c.nvals(), 2u);
+}
+
+TEST(ExtractColumn, IncomingEdgesView) {
+  // Vertex-centric "incoming edges of v" = column extraction (Sec. II-B).
+  grb::Matrix<double> a(3, 3);
+  a.set_element(0, 2, 1.5);
+  a.set_element(1, 2, 2.5);
+  grb::Vector<double> in_edges(3);
+  grb::extract_column(in_edges, grb::NoMask{}, grb::NoAccumulate{}, a, 2);
+  EXPECT_EQ(in_edges.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(*in_edges.extract_element(0), 1.5);
+  EXPECT_DOUBLE_EQ(*in_edges.extract_element(1), 2.5);
+}
+
+// --- assign. ----------------------------------------------------------------
+
+TEST(AssignVector, ScatterThroughIndexMap) {
+  grb::Vector<double> w(6);
+  w.set_element(0, 99.0);
+  grb::Vector<double> u(2);
+  u.set_element(0, 1.0);
+  u.set_element(1, 2.0);
+  const std::vector<Index> idx{4, 2};
+  grb::assign(w, grb::NoMask{}, grb::NoAccumulate{}, u, idx);
+  EXPECT_DOUBLE_EQ(*w.extract_element(4), 1.0);
+  EXPECT_DOUBLE_EQ(*w.extract_element(2), 2.0);
+  EXPECT_DOUBLE_EQ(*w.extract_element(0), 99.0);  // untouched region kept
+}
+
+TEST(AssignVector, EmptyInputPositionsDeleteTargets) {
+  // GrB_assign: positions selected by indices but absent in u are deleted.
+  grb::Vector<double> w(4);
+  w.set_element(1, 11.0);
+  w.set_element(2, 22.0);
+  grb::Vector<double> u(2);  // entirely empty
+  const std::vector<Index> idx{1, 3};
+  grb::assign(w, grb::NoMask{}, grb::NoAccumulate{}, u, idx);
+  EXPECT_FALSE(w.has_element(1));  // covered and empty -> deleted
+  EXPECT_DOUBLE_EQ(*w.extract_element(2), 22.0);
+}
+
+TEST(AssignVector, AccumKeepsAndCombines) {
+  grb::Vector<double> w(4);
+  w.set_element(1, 10.0);
+  grb::Vector<double> u(2);
+  u.set_element(0, 1.0);
+  u.set_element(1, 2.0);
+  const std::vector<Index> idx{1, 2};
+  grb::assign(w, grb::NoMask{}, grb::Plus<double>{}, u, idx);
+  EXPECT_DOUBLE_EQ(*w.extract_element(1), 11.0);
+  EXPECT_DOUBLE_EQ(*w.extract_element(2), 2.0);
+}
+
+TEST(AssignScalarVector, MaskedMembershipIdiom) {
+  // S<tB> = true: mark bucket members in the processed set.
+  grb::Vector<bool> s(5);
+  s.set_element(0, true);
+  grb::Vector<bool> tb(5);
+  tb.set_element(2, true);
+  tb.set_element(4, true);
+  grb::assign_scalar(s, tb, true);
+  EXPECT_TRUE(*s.extract_element(0));
+  EXPECT_TRUE(*s.extract_element(2));
+  EXPECT_TRUE(*s.extract_element(4));
+  EXPECT_EQ(s.nvals(), 3u);
+}
+
+TEST(AssignScalarVector, StructuralMask) {
+  grb::Vector<double> w(4);
+  grb::Vector<double> mask(4);
+  mask.set_element(1, 0.0);  // present but falsy
+  mask.set_element(2, 5.0);
+  grb::assign_scalar(w, mask, grb::NoAccumulate{}, 7.0,
+                     std::vector<Index>{grb::all_indices},
+                     grb::structure_mask_desc);
+  EXPECT_EQ(w.nvals(), 2u);  // structural: both positions written
+  EXPECT_DOUBLE_EQ(*w.extract_element(1), 7.0);
+}
+
+TEST(AssignScalarVector, ExplicitIndexList) {
+  grb::Vector<int> w(5);
+  grb::assign_scalar(w, grb::NoMask{}, grb::NoAccumulate{}, 3,
+                     std::vector<Index>{0, 2, 2, 4});
+  EXPECT_EQ(w.nvals(), 3u);  // duplicate collapses
+  EXPECT_EQ(*w.extract_element(2), 3);
+}
+
+TEST(AssignMatrix, SubmatrixScatter) {
+  grb::Matrix<double> c(4, 4);
+  c.set_element(0, 0, 99.0);
+  grb::Matrix<double> a(2, 2);
+  a.set_element(0, 0, 1.0);
+  a.set_element(1, 1, 2.0);
+  const std::vector<Index> rows{1, 3};
+  const std::vector<Index> cols{2, 0};
+  grb::assign(c, grb::NoMask{}, grb::NoAccumulate{}, a, rows, cols);
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(3, 0), 2.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 0), 99.0);
+}
+
+TEST(AssignScalarMatrix, RectangularRegion) {
+  grb::Matrix<double> c(3, 3);
+  grb::assign_scalar(c, grb::NoMask{}, grb::NoAccumulate{}, 5.0,
+                     std::vector<Index>{0, 1}, std::vector<Index>{1, 2});
+  EXPECT_EQ(c.nvals(), 4u);
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 2), 5.0);
+  EXPECT_FALSE(c.has_element(2, 2));
+}
+
+TEST(AssignVector, SizeMismatchThrows) {
+  grb::Vector<double> w(4);
+  grb::Vector<double> u(3);
+  const std::vector<Index> idx{0, 1};  // 2 targets for 3 elements
+  EXPECT_THROW(grb::assign(w, grb::NoMask{}, grb::NoAccumulate{}, u, idx),
+               grb::DimensionMismatch);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Unit tests for the synthetic graph generators: structural invariants per
+// family plus determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace {
+
+using dsg::EdgeList;
+using grb::Index;
+
+TEST(Rmat, VertexCountIsPowerOfTwoAndEdgesNearBudget) {
+  auto g = dsg::generate_rmat({.scale = 8, .edge_factor = 4, .seed = 1});
+  EXPECT_EQ(g.num_vertices(), 256u);
+  // Self-loop candidates are skipped, so <= budget.
+  EXPECT_LE(g.num_edges(), static_cast<std::size_t>(4 * 256));
+  EXPECT_GT(g.num_edges(), static_cast<std::size_t>(3 * 256));
+}
+
+TEST(Rmat, DeterministicPerSeed) {
+  auto a = dsg::generate_rmat({.scale = 6, .edge_factor = 4, .seed = 9});
+  auto b = dsg::generate_rmat({.scale = 6, .edge_factor = 4, .seed = 9});
+  auto c = dsg::generate_rmat({.scale = 6, .edge_factor = 4, .seed = 10});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Rmat, SkewedDegreesVsErdos) {
+  // RMAT should produce a higher max degree than a same-size uniform graph.
+  auto rmat = dsg::generate_rmat({.scale = 10, .edge_factor = 8, .seed = 3});
+  auto er = dsg::generate_erdos_renyi(1024, rmat.num_edges(), 3);
+  auto dr = dsg::out_degrees(rmat);
+  auto de = dsg::out_degrees(er);
+  EXPECT_GT(*std::max_element(dr.begin(), dr.end()),
+            *std::max_element(de.begin(), de.end()));
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  EXPECT_THROW(dsg::generate_rmat({.scale = 4, .a = 0.9, .b = 0.3, .c = 0.3}),
+               grb::InvalidValue);
+}
+
+TEST(ErdosRenyi, ExactEdgeCountNoDupsNoLoops) {
+  auto g = dsg::generate_erdos_renyi(100, 500, 7);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+  std::set<std::pair<Index, Index>> seen;
+  for (const auto& e : g.edges()) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_TRUE(seen.insert({e.src, e.dst}).second) << "duplicate edge";
+  }
+}
+
+TEST(ErdosRenyi, RejectsImpossibleEdgeCount) {
+  EXPECT_THROW(dsg::generate_erdos_renyi(3, 7, 1), grb::InvalidValue);
+}
+
+TEST(Grid2d, StructureOfSmallGrid) {
+  auto g = dsg::generate_grid2d(3, 2);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  // 3x2 grid: horizontal edges 2 per row * 2 rows = 4; vertical 3.
+  // Each stored in both directions: 14 directed edges.
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Grid2d, DiagonalsAddEdges) {
+  auto plain = dsg::generate_grid2d(4, 4, false);
+  auto diag = dsg::generate_grid2d(4, 4, true);
+  EXPECT_EQ(diag.num_edges(), plain.num_edges() + 2u * 9u);
+}
+
+TEST(Grid2d, DiameterScalesWithSide) {
+  auto g = dsg::generate_grid2d(16, 16);
+  auto levels = dsg::bfs_levels(g, 0);
+  Index ecc = 0;
+  for (auto l : levels) ecc = std::max(ecc, l);
+  EXPECT_EQ(ecc, 30u);  // Manhattan distance corner-to-corner
+}
+
+TEST(SmallWorld, DegreeAndSymmetry) {
+  auto g = dsg::generate_small_world(50, 3, 0.0, 5);
+  // beta=0: pure ring lattice, every vertex has exactly 2k undirected
+  // neighbours -> 2k out-edges after the paired insertion.
+  auto deg = dsg::out_degrees(g);
+  for (auto d : deg) EXPECT_EQ(d, 6u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(SmallWorld, RewiringChangesStructure) {
+  auto a = dsg::generate_small_world(100, 4, 0.0, 5);
+  auto b = dsg::generate_small_world(100, 4, 0.5, 5);
+  EXPECT_NE(a, b);
+}
+
+TEST(SmallWorld, ValidatesParameters) {
+  EXPECT_THROW(dsg::generate_small_world(10, 5, 0.1), grb::InvalidValue);
+  EXPECT_THROW(dsg::generate_small_world(10, 2, 1.5), grb::InvalidValue);
+  EXPECT_THROW(dsg::generate_small_world(2, 1, 0.1), grb::InvalidValue);
+}
+
+TEST(Path, LinearChain) {
+  auto g = dsg::generate_path(5);
+  EXPECT_EQ(g.num_edges(), 8u);  // 4 undirected = 8 directed
+  auto levels = dsg::bfs_levels(g, 0);
+  EXPECT_EQ(levels[4], 4u);
+}
+
+TEST(Cycle, ClosesTheLoop) {
+  auto g = dsg::generate_cycle(6);
+  EXPECT_EQ(g.num_edges(), 12u);
+  auto levels = dsg::bfs_levels(g, 0);
+  EXPECT_EQ(levels[3], 3u);  // halfway around
+  EXPECT_EQ(levels[5], 1u);  // backwards around the cycle
+}
+
+TEST(Star, HubAndSpokes) {
+  auto g = dsg::generate_star(10);
+  auto deg = dsg::out_degrees(g);
+  EXPECT_EQ(deg[0], 9u);
+  for (Index v = 1; v < 10; ++v) EXPECT_EQ(deg[v], 1u);
+}
+
+TEST(Complete, AllPairs) {
+  auto g = dsg::generate_complete(5);
+  EXPECT_EQ(g.num_edges(), 20u);  // n*(n-1)
+  auto levels = dsg::bfs_levels(g, 2);
+  for (Index v = 0; v < 5; ++v) {
+    EXPECT_EQ(levels[v], v == 2 ? 0u : 1u);
+  }
+}
+
+TEST(BinaryTree, ParentChildStructure) {
+  auto g = dsg::generate_binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 12u);  // 6 undirected edges
+  auto levels = dsg::bfs_levels(g, 0);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[6], 2u);
+}
+
+TEST(ConnectedRandom, AlwaysOneComponent) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto g = dsg::generate_connected_random(80, 40, seed);
+    auto comps = dsg::component_sizes(g);
+    ASSERT_EQ(comps.size(), 1u) << "seed " << seed;
+    EXPECT_EQ(comps[0], 80u);
+  }
+}
+
+TEST(Generators, InvalidSizesThrow) {
+  EXPECT_THROW(dsg::generate_grid2d(0, 5), grb::InvalidValue);
+  EXPECT_THROW(dsg::generate_cycle(2), grb::InvalidValue);
+  EXPECT_THROW(dsg::generate_star(1), grb::InvalidValue);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Unit tests for the Matrix Market and SNAP readers/writers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/matrix_market.hpp"
+#include "graph/snap_reader.hpp"
+
+namespace {
+
+using dsg::EdgeList;
+
+TEST(MatrixMarket, ReadsGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 2 1.5\n"
+      "3 1 2.5\n");
+  auto g = dsg::read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edges()[0].src, 0u);  // 1-based -> 0-based
+  EXPECT_EQ(g.edges()[0].dst, 1u);
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 1.5);
+}
+
+TEST(MatrixMarket, PatternGetsUnitWeights) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 2\n");
+  auto g = dsg::read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 1.0);
+}
+
+TEST(MatrixMarket, SymmetricExpandsBothTriangles) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 4.0\n"
+      "3 3 1.0\n");  // diagonal entry must not duplicate
+  auto g = dsg::read_matrix_market(in);
+  EXPECT_EQ(g.num_edges(), 3u);  // (1,0), (0,1), (2,2)
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::istringstream in("3 3 0\n");
+  EXPECT_THROW(dsg::read_matrix_market(in), grb::InvalidValue);
+}
+
+TEST(MatrixMarket, RejectsNonSquare) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 4 0\n");
+  EXPECT_THROW(dsg::read_matrix_market(in), grb::InvalidValue);
+}
+
+TEST(MatrixMarket, RejectsOutOfBoundsEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(dsg::read_matrix_market(in), grb::InvalidValue);
+}
+
+TEST(MatrixMarket, RejectsTruncatedFile) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 1.0\n");
+  EXPECT_THROW(dsg::read_matrix_market(in), grb::InvalidValue);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  EdgeList g(4);
+  g.add_edge(0, 1, 1.25);
+  g.add_edge(2, 3, 2.5);
+  g.add_edge(3, 0, 0.75);
+  std::ostringstream out;
+  dsg::write_matrix_market(out, g);
+  std::istringstream in(out.str());
+  auto back = dsg::read_matrix_market(in);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+// --- SNAP. -------------------------------------------------------------------
+
+TEST(Snap, ReadsCommentsAndEdges) {
+  std::istringstream in(
+      "# Directed graph\n"
+      "# FromNodeId ToNodeId\n"
+      "0 1\n"
+      "1 2\n"
+      "0 2\n");
+  auto result = dsg::read_snap(in);
+  EXPECT_EQ(result.graph.num_vertices(), 3u);
+  EXPECT_EQ(result.graph.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(result.graph.edges()[0].weight, 1.0);
+}
+
+TEST(Snap, CompactsSparseIds) {
+  std::istringstream in(
+      "1000 5\n"
+      "5 99\n");
+  auto result = dsg::read_snap(in);
+  EXPECT_EQ(result.graph.num_vertices(), 3u);
+  ASSERT_EQ(result.original_id.size(), 3u);
+  EXPECT_EQ(result.original_id[0], 1000u);
+  EXPECT_EQ(result.original_id[1], 5u);
+  EXPECT_EQ(result.original_id[2], 99u);
+  EXPECT_EQ(result.graph.edges()[0].src, 0u);
+  EXPECT_EQ(result.graph.edges()[0].dst, 1u);
+}
+
+TEST(Snap, OptionalWeightsParsed) {
+  std::istringstream in("0 1 2.5\n1 0\n");
+  auto result = dsg::read_snap(in);
+  EXPECT_DOUBLE_EQ(result.graph.edges()[0].weight, 2.5);
+  EXPECT_DOUBLE_EQ(result.graph.edges()[1].weight, 1.0);
+}
+
+TEST(Snap, RejectsMalformedLine) {
+  std::istringstream in("0\n");
+  EXPECT_THROW(dsg::read_snap(in), grb::InvalidValue);
+}
+
+TEST(Snap, RejectsNegativeIds) {
+  std::istringstream in("-1 2\n");
+  EXPECT_THROW(dsg::read_snap(in), grb::InvalidValue);
+}
+
+TEST(Snap, WriteReadRoundTrip) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  std::ostringstream out;
+  dsg::write_snap(out, g);
+  std::istringstream in(out.str());
+  auto back = dsg::read_snap(in);
+  EXPECT_EQ(back.graph.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(back.graph.edges()[1].weight, 2.0);
+}
+
+TEST(Snap, EmptyInputYieldsEmptyGraph) {
+  std::istringstream in("# only comments\n");
+  auto result = dsg::read_snap(in);
+  EXPECT_EQ(result.graph.num_vertices(), 0u);
+  EXPECT_EQ(result.graph.num_edges(), 0u);
+}
+
+}  // namespace

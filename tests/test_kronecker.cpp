@@ -1,0 +1,119 @@
+// Unit tests for grb::kronecker.
+#include <gtest/gtest.h>
+
+#include "graphblas/graphblas.hpp"
+#include "graphblas/operations/kronecker.hpp"
+
+namespace {
+
+using grb::Index;
+
+grb::Matrix<double> mat(Index r, Index c,
+                        std::initializer_list<std::tuple<Index, Index, double>>
+                            entries) {
+  grb::Matrix<double> m(r, c);
+  for (auto [i, j, v] : entries) m.set_element(i, j, v);
+  return m;
+}
+
+TEST(Kronecker, DimensionsAndCoordinates) {
+  auto a = mat(2, 2, {{0, 1, 2.0}, {1, 0, 3.0}});
+  auto b = mat(2, 2, {{0, 0, 5.0}, {1, 1, 7.0}});
+  grb::Matrix<double> c(4, 4);
+  grb::kronecker(c, grb::Times<double>{}, a, b);
+  EXPECT_EQ(c.nvals(), 4u);
+  // A[0][1]*B[0][0] lands at (0*2+0, 1*2+0) = (0, 2).
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 2), 10.0);
+  // A[0][1]*B[1][1] -> (1, 3).
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 3), 14.0);
+  // A[1][0]*B[0][0] -> (2, 0); A[1][0]*B[1][1] -> (3, 1).
+  EXPECT_DOUBLE_EQ(*c.extract_element(2, 0), 15.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(3, 1), 21.0);
+}
+
+TEST(Kronecker, NvalsIsProduct) {
+  auto a = mat(2, 3, {{0, 0, 1.0}, {0, 2, 1.0}, {1, 1, 1.0}});
+  auto b = mat(3, 2, {{0, 1, 1.0}, {2, 0, 1.0}});
+  grb::Matrix<double> c(6, 6);
+  grb::kronecker(c, grb::Times<double>{}, a, b);
+  EXPECT_EQ(c.nvals(), a.nvals() * b.nvals());
+  EXPECT_EQ(c.nrows(), 6u);
+  EXPECT_EQ(c.ncols(), 6u);
+}
+
+TEST(Kronecker, IdentityIsNeutralUpToDimensions) {
+  auto a = mat(2, 2, {{0, 1, 2.0}, {1, 0, 3.0}});
+  auto one = mat(1, 1, {{0, 0, 1.0}});
+  grb::Matrix<double> c(2, 2);
+  grb::kronecker(c, grb::Times<double>{}, a, one);
+  EXPECT_EQ(c, a);
+  grb::kronecker(c, grb::Times<double>{}, one, a);
+  EXPECT_EQ(c, a);
+}
+
+TEST(Kronecker, MatchesBruteForce) {
+  auto a = mat(3, 2, {{0, 0, 1.5}, {1, 1, 2.5}, {2, 0, 3.5}});
+  auto b = mat(2, 3, {{0, 2, 1.0}, {1, 0, 4.0}, {1, 1, 5.0}});
+  grb::Matrix<double> c(6, 6);
+  grb::kronecker(c, grb::Times<double>{}, a, b);
+  a.for_each([&](Index i, Index j, double av) {
+    b.for_each([&](Index k, Index l, double bv) {
+      auto got = c.extract_element(i * 2 + k, j * 3 + l);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_DOUBLE_EQ(*got, av * bv);
+    });
+  });
+}
+
+TEST(Kronecker, KroneckerPowerGrowsGraph500Style) {
+  // The RMAT/Graph500 connection: the k-th Kronecker power of a 2x2 seed
+  // has 4^k potential edges over 2^k vertices.
+  auto seed = mat(2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}});
+  grb::Matrix<double> p2(4, 4);
+  grb::kronecker(p2, grb::Times<double>{}, seed, seed);
+  EXPECT_EQ(p2.nvals(), 9u);  // 3^2
+  grb::Matrix<double> p3(8, 8);
+  grb::kronecker(p3, grb::Times<double>{}, p2, seed);
+  EXPECT_EQ(p3.nvals(), 27u);  // 3^3
+}
+
+TEST(Kronecker, MaskAndReplace) {
+  auto a = mat(2, 2, {{0, 0, 2.0}, {1, 1, 3.0}});
+  auto b = mat(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  grb::Matrix<bool> mask(4, 4);
+  mask.set_element(0, 0, true);
+  grb::Matrix<double> c(4, 4);
+  c.set_element(3, 0, 9.0);
+  grb::kronecker(c, mask, grb::NoAccumulate{}, grb::Times<double>{}, a, b,
+                 grb::replace_desc);
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 0), 2.0);
+}
+
+TEST(Kronecker, MinPlusSemiringOp) {
+  // Over (min,+) the Kronecker "product" adds weights — composite edge
+  // costs on product graphs.
+  auto a = mat(2, 2, {{0, 1, 2.0}});
+  auto b = mat(2, 2, {{1, 0, 3.0}});
+  grb::Matrix<double> c(4, 4);
+  grb::kronecker(c, grb::PlusSaturating<double>{}, a, b);
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 2), 5.0);
+}
+
+TEST(Kronecker, DimensionCheck) {
+  auto a = mat(2, 2, {{0, 0, 1.0}});
+  auto b = mat(2, 2, {{0, 0, 1.0}});
+  grb::Matrix<double> wrong(3, 4);
+  EXPECT_THROW(grb::kronecker(wrong, grb::Times<double>{}, a, b),
+               grb::DimensionMismatch);
+}
+
+TEST(Kronecker, EmptyOperand) {
+  auto a = mat(2, 2, {{0, 0, 1.0}});
+  grb::Matrix<double> empty(2, 2);
+  grb::Matrix<double> c(4, 4);
+  grb::kronecker(c, grb::Times<double>{}, a, empty);
+  EXPECT_EQ(c.nvals(), 0u);
+}
+
+}  // namespace

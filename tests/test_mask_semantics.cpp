@@ -1,0 +1,260 @@
+// Systematic property tests of the GraphBLAS write rule
+//     C<M, desc> accum= T
+// across the full flag cube {value/structural} x {plain/complement} x
+// {merge/replace} x {no-accum/accum}, checked against an independent
+// element-wise model of the standard semantics.  This is the machinery
+// every operation shares, so these parameterized sweeps protect all of
+// apply/ewise/vxm/mxm/reduce/select/extract/assign/transpose at once.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "graphblas/graphblas.hpp"
+
+namespace {
+
+using grb::Index;
+
+struct Flags {
+  bool structural;
+  bool complement;
+  bool replace;
+  bool accumulate;
+};
+
+std::string flags_name(const ::testing::TestParamInfo<Flags>& info) {
+  const Flags& f = info.param;
+  std::string s;
+  s += f.structural ? "Struct" : "Value";
+  s += f.complement ? "Comp" : "Plain";
+  s += f.replace ? "Replace" : "Merge";
+  s += f.accumulate ? "Accum" : "NoAccum";
+  return s;
+}
+
+constexpr Index kN = 16;
+
+/// Dense models: nullopt == structurally absent.
+using Model = std::vector<std::optional<double>>;
+
+Model old_output() {
+  Model w(kN);
+  for (Index i = 0; i < kN; i += 3) w[i] = 100.0 + static_cast<double>(i);
+  return w;
+}
+
+Model computed_result() {
+  Model t(kN);
+  for (Index i = 0; i < kN; i += 2) t[i] = static_cast<double>(i);
+  return t;
+}
+
+/// Mask with a mix of absent, stored-false and stored-true positions.
+std::vector<std::optional<bool>> mask_model() {
+  std::vector<std::optional<bool>> m(kN);
+  for (Index i = 0; i < kN; ++i) {
+    if (i % 4 == 1) continue;  // absent
+    m[i] = (i % 4 != 2);       // stored false at i%4==2, true elsewhere
+  }
+  return m;
+}
+
+grb::Vector<double> to_vector(const Model& model) {
+  grb::Vector<double> v(kN);
+  for (Index i = 0; i < kN; ++i) {
+    if (model[i]) v.set_element(i, *model[i]);
+  }
+  return v;
+}
+
+grb::Vector<bool> to_mask(const std::vector<std::optional<bool>>& model) {
+  grb::Vector<bool> v(kN);
+  for (Index i = 0; i < kN; ++i) {
+    if (model[i]) v.set_element(i, *model[i]);
+  }
+  return v;
+}
+
+/// The standard's write rule, evaluated independently per position.
+Model expected_write(const Model& old, const Model& t,
+                     const std::vector<std::optional<bool>>& mask,
+                     const Flags& f) {
+  Model out(kN);
+  for (Index i = 0; i < kN; ++i) {
+    bool m = f.structural ? mask[i].has_value()
+                          : (mask[i].has_value() && *mask[i]);
+    if (f.complement) m = !m;
+    // Z = accum ? (old ⊙ t) : t
+    std::optional<double> z;
+    if (f.accumulate) {
+      if (old[i] && t[i]) {
+        z = *old[i] + *t[i];
+      } else if (old[i]) {
+        z = old[i];
+      } else {
+        z = t[i];
+      }
+    } else {
+      z = t[i];
+    }
+    if (m) {
+      out[i] = z;
+    } else {
+      out[i] = f.replace ? std::nullopt : old[i];
+    }
+  }
+  return out;
+}
+
+void expect_matches(const grb::Vector<double>& got, const Model& want,
+                    const std::string& context) {
+  for (Index i = 0; i < kN; ++i) {
+    auto g = got.extract_element(i);
+    if (want[i]) {
+      ASSERT_TRUE(g.has_value()) << context << ": missing element " << i;
+      EXPECT_DOUBLE_EQ(*g, *want[i]) << context << " at " << i;
+    } else {
+      EXPECT_FALSE(g.has_value()) << context << ": spurious element " << i;
+    }
+  }
+}
+
+class MaskCube : public ::testing::TestWithParam<Flags> {};
+
+// apply with Identity is the purest window onto the write rule: T == input.
+TEST_P(MaskCube, ApplyFollowsTheStandardWriteRule) {
+  const Flags f = GetParam();
+  auto w = to_vector(old_output());
+  const auto u = to_vector(computed_result());
+  const auto mask = to_mask(mask_model());
+  const grb::Descriptor desc{.replace = f.replace,
+                             .mask_complement = f.complement,
+                             .mask_structure = f.structural};
+  if (f.accumulate) {
+    grb::apply(w, mask, grb::Plus<double>{}, grb::Identity<double>{}, u,
+               desc);
+  } else {
+    grb::apply(w, mask, grb::NoAccumulate{}, grb::Identity<double>{}, u,
+               desc);
+  }
+  expect_matches(w, expected_write(old_output(), computed_result(),
+                                   mask_model(), f),
+                 flags_name({GetParam(), 0}));
+}
+
+// The same cube through ewise_mult with Second (T = u ∩ u == u).
+TEST_P(MaskCube, EwiseMultSeesTheSameRule) {
+  const Flags f = GetParam();
+  auto w = to_vector(old_output());
+  const auto u = to_vector(computed_result());
+  const auto mask = to_mask(mask_model());
+  const grb::Descriptor desc{.replace = f.replace,
+                             .mask_complement = f.complement,
+                             .mask_structure = f.structural};
+  if (f.accumulate) {
+    grb::ewise_mult(w, mask, grb::Plus<double>{}, grb::Second<double>{}, u,
+                    u, desc);
+  } else {
+    grb::ewise_mult(w, mask, grb::NoAccumulate{}, grb::Second<double>{}, u,
+                    u, desc);
+  }
+  expect_matches(w, expected_write(old_output(), computed_result(),
+                                   mask_model(), f),
+                 flags_name({GetParam(), 0}));
+}
+
+// And through the matrix path, via a 1-column matrix apply.
+TEST_P(MaskCube, MatrixWritePhaseAgrees) {
+  const Flags f = GetParam();
+  grb::Matrix<double> w(kN, 1);
+  for (Index i = 0; i < kN; ++i) {
+    if (auto v = old_output()[i]) w.set_element(i, 0, *v);
+  }
+  grb::Matrix<double> u(kN, 1);
+  for (Index i = 0; i < kN; ++i) {
+    if (auto v = computed_result()[i]) u.set_element(i, 0, *v);
+  }
+  grb::Matrix<bool> mask(kN, 1);
+  for (Index i = 0; i < kN; ++i) {
+    if (auto v = mask_model()[i]) mask.set_element(i, 0, *v);
+  }
+  const grb::Descriptor desc{.replace = f.replace,
+                             .mask_complement = f.complement,
+                             .mask_structure = f.structural};
+  if (f.accumulate) {
+    grb::apply(w, mask, grb::Plus<double>{}, grb::Identity<double>{}, u,
+               desc);
+  } else {
+    grb::apply(w, mask, grb::NoAccumulate{}, grb::Identity<double>{}, u,
+               desc);
+  }
+  const auto want =
+      expected_write(old_output(), computed_result(), mask_model(), f);
+  for (Index i = 0; i < kN; ++i) {
+    auto g = w.extract_element(i, 0);
+    if (want[i]) {
+      ASSERT_TRUE(g.has_value()) << "row " << i;
+      EXPECT_DOUBLE_EQ(*g, *want[i]) << "row " << i;
+    } else {
+      EXPECT_FALSE(g.has_value()) << "row " << i;
+    }
+  }
+}
+
+std::vector<Flags> all_flag_combinations() {
+  std::vector<Flags> out;
+  for (bool structural : {false, true})
+    for (bool complement : {false, true})
+      for (bool replace : {false, true})
+        for (bool accumulate : {false, true}) {
+          out.push_back({structural, complement, replace, accumulate});
+        }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlagCombos, MaskCube,
+                         ::testing::ValuesIn(all_flag_combinations()),
+                         flags_name);
+
+// --- NoMask corner cases. ------------------------------------------------------
+
+TEST(NoMaskSemantics, NoMaskNoAccumReplacesOutputEntirely) {
+  auto w = to_vector(old_output());
+  const auto u = to_vector(computed_result());
+  grb::apply(w, grb::NoMask{}, grb::NoAccumulate{}, grb::Identity<double>{},
+             u);
+  EXPECT_EQ(w.nvals(), u.nvals());
+}
+
+TEST(NoMaskSemantics, ComplementOfNoMaskWritesNothing) {
+  auto w = to_vector(old_output());
+  const auto before = w;
+  const auto u = to_vector(computed_result());
+  grb::apply(w, grb::NoMask{}, grb::NoAccumulate{}, grb::Identity<double>{},
+             u, grb::complement_mask_desc);
+  EXPECT_EQ(w, before);  // nothing writable, merge keeps everything
+}
+
+TEST(NoMaskSemantics, ComplementOfNoMaskWithReplaceClears) {
+  auto w = to_vector(old_output());
+  const auto u = to_vector(computed_result());
+  grb::apply(w, grb::NoMask{}, grb::NoAccumulate{}, grb::Identity<double>{},
+             u,
+             grb::Descriptor{.replace = true, .mask_complement = true});
+  EXPECT_EQ(w.nvals(), 0u);
+}
+
+TEST(NoMaskSemantics, AccumWithoutMaskMergesUnion) {
+  auto w = to_vector(old_output());
+  const auto u = to_vector(computed_result());
+  grb::apply(w, grb::NoMask{}, grb::Plus<double>{}, grb::Identity<double>{},
+             u);
+  // i=0 is in both models: accum(100, 0) = 100.
+  EXPECT_DOUBLE_EQ(*w.extract_element(0), 100.0);
+  // i=3 only in old: kept.  i=2 only in new: inserted.
+  EXPECT_DOUBLE_EQ(*w.extract_element(3), 103.0);
+  EXPECT_DOUBLE_EQ(*w.extract_element(2), 2.0);
+}
+
+}  // namespace

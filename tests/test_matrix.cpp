@@ -1,0 +1,178 @@
+// Unit tests for grb::Matrix<T>: CSR construction, row access, element ops,
+// build with dup, transpose, tuples.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+
+namespace {
+
+using grb::Index;
+
+grb::Matrix<double> make_sample() {
+  //     0    1    2    3
+  // 0 [ .   1.0  2.0   . ]
+  // 1 [ .    .   3.0   . ]
+  // 2 [4.0   .    .   5.0]
+  // 3 [ .    .    .    . ]
+  const std::vector<Index> r{0, 0, 1, 2, 2};
+  const std::vector<Index> c{1, 2, 2, 0, 3};
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  return grb::Matrix<double>::build(4, 4, r, c, v);
+}
+
+TEST(Matrix, EmptyConstruction) {
+  grb::Matrix<double> m(3, 5);
+  EXPECT_EQ(m.nrows(), 3u);
+  EXPECT_EQ(m.ncols(), 5u);
+  EXPECT_EQ(m.nvals(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.row_indices(1).empty());
+}
+
+TEST(Matrix, BuildProducesSortedRows) {
+  auto m = make_sample();
+  EXPECT_EQ(m.nvals(), 5u);
+  auto row0 = m.row_indices(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0], 1u);
+  EXPECT_EQ(row0[1], 2u);
+  auto vals0 = m.row_values(0);
+  EXPECT_DOUBLE_EQ(vals0[0], 1.0);
+  EXPECT_DOUBLE_EQ(vals0[1], 2.0);
+  EXPECT_EQ(m.row_nvals(3), 0u);
+}
+
+TEST(Matrix, BuildUnsortedInput) {
+  const std::vector<Index> r{2, 0, 1, 0, 2};
+  const std::vector<Index> c{3, 2, 2, 1, 0};
+  const std::vector<double> v{5.0, 2.0, 3.0, 1.0, 4.0};
+  auto m = grb::Matrix<double>::build(4, 4, r, c, v);
+  EXPECT_EQ(m, make_sample());
+}
+
+TEST(Matrix, BuildCombinesDuplicatesWithDup) {
+  const std::vector<Index> r{1, 1, 1};
+  const std::vector<Index> c{2, 2, 2};
+  const std::vector<double> v{5.0, 3.0, 4.0};
+  auto m = grb::Matrix<double>::build(3, 3, r, c, v, grb::Min<double>{});
+  EXPECT_EQ(m.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(*m.extract_element(1, 2), 3.0);
+}
+
+TEST(Matrix, BuildRejectsOutOfBounds) {
+  const std::vector<Index> r{5};
+  const std::vector<Index> c{0};
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(grb::Matrix<double>::build(4, 4, r, c, v),
+               grb::IndexOutOfBounds);
+}
+
+TEST(Matrix, BuildRejectsLengthMismatch) {
+  const std::vector<Index> r{0, 1};
+  const std::vector<Index> c{0};
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(grb::Matrix<double>::build(4, 4, r, c, v), grb::InvalidValue);
+}
+
+TEST(Matrix, ExtractElement) {
+  auto m = make_sample();
+  EXPECT_DOUBLE_EQ(*m.extract_element(2, 3), 5.0);
+  EXPECT_FALSE(m.extract_element(3, 3).has_value());
+  EXPECT_TRUE(m.has_element(0, 1));
+  EXPECT_FALSE(m.has_element(1, 0));
+}
+
+TEST(Matrix, SetElementInsertsAndUpdates) {
+  auto m = make_sample();
+  m.set_element(3, 1, 7.0);
+  EXPECT_EQ(m.nvals(), 6u);
+  EXPECT_DOUBLE_EQ(*m.extract_element(3, 1), 7.0);
+  m.set_element(3, 1, 8.0);
+  EXPECT_EQ(m.nvals(), 6u);
+  EXPECT_DOUBLE_EQ(*m.extract_element(3, 1), 8.0);
+  // Insertion keeps later rows' spans coherent.
+  EXPECT_DOUBLE_EQ(*m.extract_element(2, 0), 4.0);
+}
+
+TEST(Matrix, RemoveElement) {
+  auto m = make_sample();
+  m.remove_element(0, 2);
+  EXPECT_EQ(m.nvals(), 4u);
+  EXPECT_FALSE(m.has_element(0, 2));
+  EXPECT_DOUBLE_EQ(*m.extract_element(2, 3), 5.0);
+  m.remove_element(0, 2);  // absent: no-op
+  EXPECT_EQ(m.nvals(), 4u);
+}
+
+TEST(Matrix, ExtractTuplesRoundTrips) {
+  auto m = make_sample();
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  m.extract_tuples(r, c, v);
+  auto m2 = grb::Matrix<double>::build(4, 4, r, c, v);
+  EXPECT_EQ(m, m2);
+}
+
+TEST(Matrix, ForEachRowMajor) {
+  auto m = make_sample();
+  std::vector<Index> rows;
+  m.for_each([&](Index r, Index, double) { rows.push_back(r); });
+  EXPECT_EQ(rows, (std::vector<Index>{0, 0, 1, 2, 2}));
+}
+
+TEST(Matrix, TransposedSwapsCoordinates) {
+  auto m = make_sample();
+  auto t = m.transposed();
+  EXPECT_EQ(t.nrows(), 4u);
+  EXPECT_EQ(t.nvals(), m.nvals());
+  m.for_each([&](Index r, Index c, double v) {
+    auto got = t.extract_element(c, r);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_DOUBLE_EQ(*got, v);
+  });
+}
+
+TEST(Matrix, DoubleTransposeIsIdentity) {
+  auto m = make_sample();
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Matrix, TransposeRectangular) {
+  const std::vector<Index> r{0, 1};
+  const std::vector<Index> c{4, 0};
+  const std::vector<double> v{1.0, 2.0};
+  auto m = grb::Matrix<double>::build(2, 5, r, c, v);
+  auto t = m.transposed();
+  EXPECT_EQ(t.nrows(), 5u);
+  EXPECT_EQ(t.ncols(), 2u);
+  EXPECT_DOUBLE_EQ(*t.extract_element(4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(*t.extract_element(0, 1), 2.0);
+}
+
+TEST(Matrix, ClearKeepsDimensions) {
+  auto m = make_sample();
+  m.clear();
+  EXPECT_EQ(m.nrows(), 4u);
+  EXPECT_EQ(m.nvals(), 0u);
+  EXPECT_TRUE(m.row_indices(2).empty());
+}
+
+TEST(Matrix, BoolMatrixWorks) {
+  grb::Matrix<bool> m(2, 2);
+  m.set_element(0, 1, true);
+  m.set_element(1, 0, false);
+  EXPECT_EQ(m.nvals(), 2u);
+  EXPECT_TRUE(*m.extract_element(0, 1));
+  EXPECT_FALSE(*m.extract_element(1, 0));
+}
+
+TEST(Matrix, RowAccessOutOfRangeThrows) {
+  auto m = make_sample();
+  EXPECT_THROW(m.row_indices(4), grb::IndexOutOfBounds);
+  EXPECT_THROW(m.row_values(4), grb::IndexOutOfBounds);
+  EXPECT_THROW(m.set_element(0, 9, 1.0), grb::IndexOutOfBounds);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Unit tests for monoids and semirings: identities, algebraic laws, and the
+// (min,+) semiring delta-stepping relies on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graphblas/monoid.hpp"
+#include "graphblas/semiring.hpp"
+
+namespace {
+
+TEST(Monoid, PlusIdentityIsZero) {
+  auto m = grb::plus_monoid<double>();
+  EXPECT_DOUBLE_EQ(m.identity(), 0.0);
+  EXPECT_DOUBLE_EQ(m(m.identity(), 5.5), 5.5);
+  EXPECT_DOUBLE_EQ(m(5.5, m.identity()), 5.5);
+}
+
+TEST(Monoid, TimesIdentityIsOne) {
+  auto m = grb::times_monoid<double>();
+  EXPECT_DOUBLE_EQ(m.identity(), 1.0);
+  EXPECT_DOUBLE_EQ(m(m.identity(), 5.5), 5.5);
+}
+
+TEST(Monoid, MinIdentityIsInfinity) {
+  auto m = grb::min_monoid<double>();
+  EXPECT_EQ(m.identity(), grb::infinity_value<double>());
+  EXPECT_DOUBLE_EQ(m(m.identity(), 5.5), 5.5);
+  EXPECT_DOUBLE_EQ(m(2.0, 5.5), 2.0);
+}
+
+TEST(Monoid, MinIdentityIntegral) {
+  auto m = grb::min_monoid<int>();
+  EXPECT_EQ(m.identity(), std::numeric_limits<int>::max());
+  EXPECT_EQ(m(m.identity(), 42), 42);
+}
+
+TEST(Monoid, MaxIdentityIsLowest) {
+  auto m = grb::max_monoid<double>();
+  EXPECT_EQ(m.identity(), std::numeric_limits<double>::lowest());
+  EXPECT_DOUBLE_EQ(m(m.identity(), -1e300), -1e300);
+}
+
+TEST(Monoid, LorIdentityIsFalse) {
+  auto m = grb::lor_monoid<bool>();
+  EXPECT_FALSE(m.identity());
+  EXPECT_TRUE(m(m.identity(), true));
+  EXPECT_FALSE(m(false, false));
+}
+
+TEST(Monoid, LandIdentityIsTrue) {
+  auto m = grb::land_monoid<bool>();
+  EXPECT_TRUE(m.identity());
+  EXPECT_TRUE(m(m.identity(), true));
+  EXPECT_FALSE(m(m.identity(), false));
+}
+
+TEST(Monoid, AssociativityHoldsOnSamples) {
+  auto m = grb::min_monoid<double>();
+  const std::vector<double> xs{3.0, 1.0, 2.0, 9.0, -4.0};
+  for (double a : xs)
+    for (double b : xs)
+      for (double c : xs) {
+        EXPECT_DOUBLE_EQ(m(m(a, b), c), m(a, m(b, c)));
+      }
+}
+
+// --- Semirings. -----------------------------------------------------------
+
+TEST(Semiring, PlusTimesMatchesArithmetic) {
+  auto sr = grb::plus_times_semiring<double>();
+  EXPECT_DOUBLE_EQ(sr.mult(3.0, 4.0), 12.0);
+  EXPECT_DOUBLE_EQ(sr.add(3.0, 4.0), 7.0);
+  EXPECT_DOUBLE_EQ(sr.zero(), 0.0);
+}
+
+TEST(Semiring, MinPlusIsShortestPathAlgebra) {
+  auto sr = grb::min_plus_semiring<double>();
+  // mult is +, add is min, zero is inf
+  EXPECT_DOUBLE_EQ(sr.mult(3.0, 4.0), 7.0);
+  EXPECT_DOUBLE_EQ(sr.add(3.0, 4.0), 3.0);
+  EXPECT_EQ(sr.zero(), grb::infinity_value<double>());
+  // annihilation: inf "multiplied" stays inf
+  EXPECT_EQ(sr.mult(sr.zero(), 5.0), grb::infinity_value<double>());
+}
+
+TEST(Semiring, MinPlusIntegralDoesNotOverflow) {
+  auto sr = grb::min_plus_semiring<std::int32_t>();
+  const auto inf = grb::infinity_value<std::int32_t>();
+  EXPECT_EQ(sr.mult(inf, 100), inf);  // would wrap without saturation
+  EXPECT_EQ(sr.add(inf, 7), 7);
+}
+
+TEST(Semiring, MaxPlusLongestPath) {
+  auto sr = grb::max_plus_semiring<double>();
+  EXPECT_DOUBLE_EQ(sr.mult(3.0, 4.0), 7.0);
+  EXPECT_DOUBLE_EQ(sr.add(3.0, 4.0), 4.0);
+}
+
+TEST(Semiring, MinMaxBottleneck) {
+  auto sr = grb::min_max_semiring<double>();
+  EXPECT_DOUBLE_EQ(sr.mult(3.0, 4.0), 4.0);  // worst edge on the path
+  EXPECT_DOUBLE_EQ(sr.add(3.0, 4.0), 3.0);   // best path
+}
+
+TEST(Semiring, BooleanReachability) {
+  auto sr = grb::lor_land_semiring<bool>();
+  EXPECT_TRUE(sr.mult(true, true));
+  EXPECT_FALSE(sr.mult(true, false));
+  EXPECT_TRUE(sr.add(false, true));
+  EXPECT_FALSE(sr.zero());
+}
+
+TEST(Semiring, MinFirstSelectsVectorOperand) {
+  auto sr = grb::min_first_semiring<double>();
+  EXPECT_DOUBLE_EQ(sr.mult(3.0, 99.0), 3.0);
+}
+
+TEST(Semiring, MinSecondSelectsMatrixOperand) {
+  auto sr = grb::min_second_semiring<double>();
+  EXPECT_DOUBLE_EQ(sr.mult(3.0, 99.0), 99.0);
+}
+
+TEST(Semiring, PlusFirstCountsWeighted) {
+  auto sr = grb::plus_first_semiring<double>();
+  EXPECT_DOUBLE_EQ(sr.mult(3.0, 99.0), 3.0);
+  EXPECT_DOUBLE_EQ(sr.add(3.0, 4.0), 7.0);
+}
+
+TEST(Semiring, DistributivityOnSamplesMinPlus) {
+  // a + min(b, c) == min(a+b, a+c): mult distributes over add.
+  auto sr = grb::min_plus_semiring<double>();
+  const std::vector<double> xs{0.0, 1.5, 3.0, 7.25};
+  for (double a : xs)
+    for (double b : xs)
+      for (double c : xs) {
+        EXPECT_DOUBLE_EQ(sr.mult(a, sr.add(b, c)),
+                         sr.add(sr.mult(a, b), sr.mult(a, c)));
+      }
+}
+
+}  // namespace

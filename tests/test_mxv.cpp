@@ -1,0 +1,179 @@
+// Unit tests for vxm / mxv over several semirings — including the exact
+// (min,+) relaxation pattern of delta-stepping and mask/transpose behaviour.
+#include <gtest/gtest.h>
+
+#include "graphblas/graphblas.hpp"
+
+namespace {
+
+using grb::Index;
+
+// A small weighted digraph as adjacency matrix (5 vertices):
+// 0->1 (2), 0->2 (5), 1->2 (1), 2->3 (2), 3->4 (3), 1->4 (9)
+grb::Matrix<double> graph5() {
+  const std::vector<Index> r{0, 0, 1, 2, 3, 1};
+  const std::vector<Index> c{1, 2, 2, 3, 4, 4};
+  const std::vector<double> v{2, 5, 1, 2, 3, 9};
+  return grb::Matrix<double>::build(5, 5, r, c, v);
+}
+
+TEST(Vxm, PlusTimesMatchesDenseReference) {
+  auto a = graph5();
+  grb::Vector<double> u(5);
+  u.set_element(0, 1.0);
+  u.set_element(1, 2.0);
+  grb::Vector<double> w(5);
+  grb::vxm(w, grb::plus_times_semiring<double>(), u, a);
+  // uT A: col1 = 1*2; col2 = 1*5 + 2*1; col4 = 2*9
+  EXPECT_DOUBLE_EQ(*w.extract_element(1), 2.0);
+  EXPECT_DOUBLE_EQ(*w.extract_element(2), 7.0);
+  EXPECT_DOUBLE_EQ(*w.extract_element(4), 18.0);
+  EXPECT_FALSE(w.has_element(0));
+  EXPECT_FALSE(w.has_element(3));
+}
+
+TEST(Vxm, MinPlusOneHopRelaxation) {
+  // tReq = A'(min.+)(t over frontier): one hop from the source.
+  auto a = graph5();
+  grb::Vector<double> t(5);
+  t.set_element(0, 0.0);
+  grb::Vector<double> treq(5);
+  grb::vxm(treq, grb::min_plus_semiring<double>(), t, a);
+  EXPECT_DOUBLE_EQ(*treq.extract_element(1), 2.0);
+  EXPECT_DOUBLE_EQ(*treq.extract_element(2), 5.0);
+  EXPECT_EQ(treq.nvals(), 2u);
+}
+
+TEST(Vxm, MinPlusCombinesParallelPaths) {
+  auto a = graph5();
+  grb::Vector<double> t(5);
+  t.set_element(0, 0.0);
+  t.set_element(1, 2.0);
+  grb::Vector<double> treq(5);
+  grb::vxm(treq, grb::min_plus_semiring<double>(), t, a);
+  // vertex 2 reachable as 0->2 (5) and 1->2 (2+1=3): min is 3.
+  EXPECT_DOUBLE_EQ(*treq.extract_element(2), 3.0);
+  EXPECT_DOUBLE_EQ(*treq.extract_element(4), 11.0);
+}
+
+TEST(Vxm, EmptyInputGivesEmptyOutput) {
+  auto a = graph5();
+  grb::Vector<double> u(5), w(5);
+  grb::vxm(w, grb::min_plus_semiring<double>(), u, a);
+  EXPECT_EQ(w.nvals(), 0u);
+}
+
+TEST(Vxm, MaskAndReplaceComposition) {
+  auto a = graph5();
+  grb::Vector<double> u(5);
+  u.set_element(0, 1.0);
+  grb::Vector<double> w(5);
+  w.set_element(3, 42.0);
+  grb::Vector<bool> mask(5);
+  mask.set_element(1, true);
+  grb::vxm(w, mask, grb::NoAccumulate{}, grb::plus_times_semiring<double>(),
+           u, a, grb::replace_desc);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(*w.extract_element(1), 2.0);
+}
+
+TEST(Vxm, AccumMin) {
+  auto a = graph5();
+  grb::Vector<double> u(5);
+  u.set_element(0, 0.0);
+  grb::Vector<double> w(5);
+  w.set_element(1, 1.0);  // better than the 2.0 coming from the product
+  w.set_element(2, 9.0);  // worse than the 5.0 coming from the product
+  grb::vxm(w, grb::NoMask{}, grb::Min<double>{},
+           grb::min_plus_semiring<double>(), u, a);
+  EXPECT_DOUBLE_EQ(*w.extract_element(1), 1.0);
+  EXPECT_DOUBLE_EQ(*w.extract_element(2), 5.0);
+}
+
+TEST(Vxm, TransposeDescriptorReversesEdges) {
+  auto a = graph5();
+  grb::Vector<double> u(5);
+  u.set_element(1, 1.0);
+  grb::Vector<double> w(5);
+  grb::vxm(w, grb::NoMask{}, grb::NoAccumulate{},
+           grb::plus_times_semiring<double>(), u, a,
+           grb::Descriptor{.transpose_in1 = true});
+  // uT AT = (A u)T: row 0 has A[0][1]=2.
+  EXPECT_DOUBLE_EQ(*w.extract_element(0), 2.0);
+}
+
+TEST(Vxm, DimensionChecks) {
+  auto a = graph5();
+  grb::Vector<double> u(4), w(5);
+  EXPECT_THROW(grb::vxm(w, grb::min_plus_semiring<double>(), u, a),
+               grb::DimensionMismatch);
+  grb::Vector<double> u5(5), w4(4);
+  EXPECT_THROW(grb::vxm(w4, grb::min_plus_semiring<double>(), u5, a),
+               grb::DimensionMismatch);
+}
+
+// --- mxv. -------------------------------------------------------------------
+
+TEST(Mxv, PlusTimesPull) {
+  auto a = graph5();
+  grb::Vector<double> u(5);
+  u.set_element(2, 1.0);
+  u.set_element(4, 2.0);
+  grb::Vector<double> w(5);
+  grb::mxv(w, grb::plus_times_semiring<double>(), a, u);
+  // row0: A[0][2]*1 = 5; row1: A[1][2]*1 + A[1][4]*2 = 1+18 = 19;
+  // row3: A[3][4]*2 = 6
+  EXPECT_DOUBLE_EQ(*w.extract_element(0), 5.0);
+  EXPECT_DOUBLE_EQ(*w.extract_element(1), 19.0);
+  EXPECT_DOUBLE_EQ(*w.extract_element(3), 6.0);
+  EXPECT_FALSE(w.has_element(2));
+}
+
+TEST(Mxv, AgreesWithVxmOnTranspose) {
+  // A u == (uT AT)T: mxv must equal vxm against the transposed matrix.
+  auto a = graph5();
+  auto at = a.transposed();
+  grb::Vector<double> u(5);
+  u.set_element(2, 1.5);
+  u.set_element(3, 0.5);
+  grb::Vector<double> w1(5), w2(5);
+  grb::mxv(w1, grb::min_plus_semiring<double>(), a, u);
+  grb::vxm(w2, grb::min_plus_semiring<double>(), u, at);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(Mxv, TransposeDescriptorUsesPushKernel) {
+  auto a = graph5();
+  grb::Vector<double> u(5);
+  u.set_element(0, 0.0);
+  grb::Vector<double> w1(5), w2(5);
+  grb::mxv(w1, grb::NoMask{}, grb::NoAccumulate{},
+           grb::min_plus_semiring<double>(), a, u,
+           grb::Descriptor{.transpose_in0 = true});
+  grb::vxm(w2, grb::min_plus_semiring<double>(), u, a);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(Mxv, BooleanSemiringIsBfsStep) {
+  auto a = graph5();
+  grb::Vector<bool> frontier(5);
+  frontier.set_element(0, true);
+  grb::Vector<bool> next(5);
+  grb::vxm(next, grb::lor_land_semiring<bool>(), frontier, a);
+  EXPECT_TRUE(next.has_element(1));
+  EXPECT_TRUE(next.has_element(2));
+  EXPECT_EQ(next.nvals(), 2u);
+}
+
+TEST(Mxv, IntegralMinPlusSaturates) {
+  // Integral weights with "infinity" inputs must not wrap around.
+  grb::Matrix<std::int64_t> a(2, 2);
+  a.set_element(0, 1, 5);
+  grb::Vector<std::int64_t> u(2);
+  u.set_element(0, grb::infinity_value<std::int64_t>());
+  grb::Vector<std::int64_t> w(2);
+  grb::vxm(w, grb::min_plus_semiring<std::int64_t>(), u, a);
+  EXPECT_EQ(*w.extract_element(1), grb::infinity_value<std::int64_t>());
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Integration tests: the full benchmark-suite graphs run through every
+// implementation and must agree, with plausible instrumentation — the same
+// configuration (unit weights, Δ=1, symmetric graphs) as the paper's
+// evaluation.
+#include <gtest/gtest.h>
+
+#include "bench_support/suite.hpp"
+#include "graph/stats.hpp"
+#include "sssp/delta_stepping_buckets.hpp"
+#include "sssp/delta_stepping_fused.hpp"
+#include "sssp/delta_stepping_graphblas.hpp"
+#include "sssp/delta_stepping_openmp.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/validate.hpp"
+
+namespace {
+
+using grb::Index;
+
+TEST(Suite, IsSortedByAscendingNodeCount) {
+  auto suite = dsg::benchmark_suite();
+  ASSERT_GE(suite.size(), 5u);
+  Index prev = 0;
+  for (const auto& entry : suite) {
+    auto g = entry.make();
+    EXPECT_GE(g.num_vertices(), prev) << entry.name;
+    prev = g.num_vertices();
+  }
+}
+
+TEST(Suite, GraphsAreSymmetricSimpleUnitWeighted) {
+  // The paper: "input data are symmetric and undirected graphs with unit
+  // edge weights".
+  for (const auto& entry : dsg::quick_suite(5)) {
+    auto g = entry.make();
+    EXPECT_TRUE(g.is_symmetric()) << entry.name;
+    for (const auto& e : g.edges()) {
+      EXPECT_NE(e.src, e.dst) << entry.name << ": self loop";
+      EXPECT_DOUBLE_EQ(e.weight, 1.0) << entry.name;
+    }
+  }
+}
+
+TEST(Suite, QuickSuiteIsPrefix) {
+  auto full = dsg::benchmark_suite();
+  auto quick = dsg::quick_suite(3);
+  ASSERT_EQ(quick.size(), 3u);
+  for (std::size_t k = 0; k < quick.size(); ++k) {
+    EXPECT_EQ(quick[k].name, full[k].name);
+  }
+}
+
+TEST(Suite, WeightedSuiteHasRealWeights) {
+  auto weighted = dsg::weighted_suite(0.5, 2.5);
+  auto g = weighted.front().make();
+  bool any_non_unit = false;
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.weight, 0.5);
+    EXPECT_LT(e.weight, 2.5);
+    if (e.weight != 1.0) any_non_unit = true;
+  }
+  EXPECT_TRUE(any_non_unit);
+}
+
+class SuiteParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuiteParity, AllImplementationsAgreeOnSuiteGraph) {
+  auto suite = dsg::quick_suite(4);  // keep runtime bounded
+  const auto& entry = suite[GetParam()];
+  auto graph = entry.make();
+  auto a = graph.to_matrix();
+
+  auto ref = dsg::dijkstra(a, 0);
+  dsg::DeltaSteppingOptions opt;  // delta = 1, the paper's setting
+  dsg::OpenMpOptions omp;
+  omp.num_threads = 4;
+
+  auto r_gb = dsg::delta_stepping_graphblas(a, 0, opt);
+  auto r_fused = dsg::delta_stepping_fused(a, 0, opt);
+  auto r_omp = dsg::delta_stepping_openmp(a, 0, omp);
+  auto r_buckets = dsg::delta_stepping_buckets(a, 0, opt);
+
+  for (const auto* r : {&r_gb, &r_fused, &r_omp, &r_buckets}) {
+    auto cmp = dsg::compare_distances(ref.dist, r->dist, 1e-9);
+    EXPECT_TRUE(cmp.ok) << entry.name << ": " << cmp.message;
+  }
+  auto val = dsg::validate_sssp(a, 0, r_gb.dist);
+  EXPECT_TRUE(val.ok) << entry.name << ": " << val.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, SuiteParity,
+                         ::testing::Values(0u, 1u, 2u, 3u),
+                         [](const auto& info) {
+                           // gtest parameter names must be [A-Za-z0-9_].
+                           std::string name = dsg::quick_suite(4)[info.param].name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(SuiteParity, PhaseCountsAgreeAcrossAlgebraicVariants) {
+  // The GraphBLAS and fused implementations run the same abstract
+  // algorithm, so bucket/phase counts must match exactly.
+  auto suite = dsg::quick_suite(3);
+  for (const auto& entry : suite) {
+    auto a = entry.make().to_matrix();
+    dsg::DeltaSteppingOptions opt;
+    auto r_gb = dsg::delta_stepping_graphblas(a, 0, opt);
+    auto r_fused = dsg::delta_stepping_fused(a, 0, opt);
+    EXPECT_EQ(r_gb.stats.outer_iterations, r_fused.stats.outer_iterations)
+        << entry.name;
+    EXPECT_EQ(r_gb.stats.light_phases, r_fused.stats.light_phases)
+        << entry.name;
+  }
+}
+
+TEST(SuiteParity, UnitWeightDeltaOneBucketsEqualBfsDepth) {
+  // With unit weights and Δ=1, bucket i holds exactly the BFS level-i
+  // frontier, so the number of processed buckets equals ecc(source)+1.
+  auto suite = dsg::quick_suite(3);
+  for (const auto& entry : suite) {
+    auto g = entry.make();
+    auto levels = dsg::bfs_levels(g, 0);
+    Index ecc = 0;
+    for (auto l : levels) {
+      if (l != std::numeric_limits<Index>::max()) ecc = std::max(ecc, l);
+    }
+    dsg::DeltaSteppingOptions opt;
+    auto r = dsg::delta_stepping_fused(g.to_matrix(), 0, opt);
+    EXPECT_EQ(r.stats.outer_iterations, ecc + 1) << entry.name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Unit tests for the grb::transpose operation (masked/accumulated variant
+// over Matrix::transposed()).
+#include <gtest/gtest.h>
+
+#include "graphblas/graphblas.hpp"
+
+namespace {
+
+using grb::Index;
+
+grb::Matrix<double> sample() {
+  grb::Matrix<double> m(3, 2);
+  m.set_element(0, 1, 1.0);
+  m.set_element(1, 0, 2.0);
+  m.set_element(2, 1, 3.0);
+  return m;
+}
+
+TEST(Transpose, BasicSwap) {
+  auto a = sample();
+  grb::Matrix<double> c(2, 3);
+  grb::transpose(c, a);
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 2), 3.0);
+  EXPECT_EQ(c.nvals(), 3u);
+}
+
+TEST(Transpose, TransposeInDescriptorCancelsToMaskedCopy) {
+  auto a = sample();
+  grb::Matrix<double> c(3, 2);
+  grb::transpose(c, grb::NoMask{}, grb::NoAccumulate{}, a,
+                 grb::Descriptor{.transpose_in0 = true});
+  EXPECT_EQ(c, a);
+}
+
+TEST(Transpose, MaskSelectsEntries) {
+  auto a = sample();
+  grb::Matrix<bool> mask(2, 3);
+  mask.set_element(1, 0, true);
+  grb::Matrix<double> c(2, 3);
+  grb::transpose(c, mask, grb::NoAccumulate{}, a, grb::replace_desc);
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 0), 1.0);
+}
+
+TEST(Transpose, AccumMergesWithExisting) {
+  auto a = sample();
+  grb::Matrix<double> c(2, 3);
+  c.set_element(1, 0, 10.0);
+  grb::transpose(c, grb::NoMask{}, grb::Plus<double>{}, a);
+  EXPECT_DOUBLE_EQ(*c.extract_element(1, 0), 11.0);
+  EXPECT_DOUBLE_EQ(*c.extract_element(0, 1), 2.0);
+}
+
+TEST(Transpose, DimensionCheck) {
+  auto a = sample();  // 3x2
+  grb::Matrix<double> wrong(3, 2);
+  EXPECT_THROW(grb::transpose(wrong, a), grb::DimensionMismatch);
+}
+
+TEST(Transpose, SymmetricMatrixIsFixedPoint) {
+  grb::Matrix<double> a(3, 3);
+  a.set_element(0, 1, 5.0);
+  a.set_element(1, 0, 5.0);
+  a.set_element(2, 2, 1.0);
+  grb::Matrix<double> c(3, 3);
+  grb::transpose(c, a);
+  EXPECT_EQ(c, a);
+}
+
+}  // namespace

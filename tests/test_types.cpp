@@ -1,0 +1,88 @@
+// Unit tests for graphblas/types.hpp: infinity model, saturating add,
+// error taxonomy, storage mapping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "graphblas/types.hpp"
+
+namespace {
+
+TEST(InfinityValue, FloatingTypesUseIeeeInfinity) {
+  EXPECT_EQ(grb::infinity_value<double>(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(grb::infinity_value<float>(),
+            std::numeric_limits<float>::infinity());
+}
+
+TEST(InfinityValue, IntegralTypesSaturateAtMax) {
+  EXPECT_EQ(grb::infinity_value<std::int32_t>(),
+            std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(grb::infinity_value<std::uint64_t>(),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(SaturatingAdd, FloatingBehavesAsPlainPlus) {
+  EXPECT_DOUBLE_EQ(grb::saturating_add(1.5, 2.5), 4.0);
+  const double inf = grb::infinity_value<double>();
+  EXPECT_EQ(grb::saturating_add(inf, 3.0), inf);
+  EXPECT_EQ(grb::saturating_add(3.0, inf), inf);
+}
+
+TEST(SaturatingAdd, IntegralInfinityAbsorbs) {
+  const auto inf = grb::infinity_value<std::int32_t>();
+  EXPECT_EQ(grb::saturating_add(inf, 5), inf);
+  EXPECT_EQ(grb::saturating_add(5, inf), inf);
+  EXPECT_EQ(grb::saturating_add(inf, inf), inf);
+}
+
+TEST(SaturatingAdd, IntegralNearMaxClampsInsteadOfWrapping) {
+  const auto big = std::numeric_limits<std::int32_t>::max() - 1;
+  EXPECT_EQ(grb::saturating_add(big, 100),
+            std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(SaturatingAdd, UnsignedClamps) {
+  const auto big = std::numeric_limits<std::uint32_t>::max() - 2;
+  EXPECT_EQ(grb::saturating_add<std::uint32_t>(big, 100),
+            std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(grb::saturating_add<std::uint32_t>(3, 4), 7u);
+}
+
+TEST(SaturatingAdd, SmallIntegersAddNormally) {
+  EXPECT_EQ(grb::saturating_add(3, 4), 7);
+  EXPECT_EQ(grb::saturating_add(-3, 4), 1);
+}
+
+TEST(StorageOf, BoolMapsToUnsignedChar) {
+  static_assert(std::is_same_v<grb::storage_of_t<bool>, unsigned char>);
+  static_assert(std::is_same_v<grb::storage_of_t<double>, double>);
+  static_assert(std::is_same_v<grb::storage_of_t<std::int64_t>, std::int64_t>);
+}
+
+TEST(Errors, HierarchyRootsAtError) {
+  EXPECT_THROW(throw grb::DimensionMismatch("x"), grb::Error);
+  EXPECT_THROW(throw grb::IndexOutOfBounds("x"), grb::Error);
+  EXPECT_THROW(throw grb::NoValue("x"), grb::Error);
+  EXPECT_THROW(throw grb::InvalidValue("x"), grb::Error);
+  EXPECT_THROW(throw grb::AliasError("x"), grb::Error);
+}
+
+TEST(Errors, MessagesCarryContext) {
+  try {
+    grb::detail::check_size_match(3, 5, "testsite");
+    FAIL() << "expected DimensionMismatch";
+  } catch (const grb::DimensionMismatch& e) {
+    EXPECT_NE(std::string(e.what()).find("testsite"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("5"), std::string::npos);
+  }
+}
+
+TEST(Errors, CheckIndexBoundary) {
+  EXPECT_NO_THROW(grb::detail::check_index(4, 5, "site"));
+  EXPECT_THROW(grb::detail::check_index(5, 5, "site"), grb::IndexOutOfBounds);
+}
+
+}  // namespace

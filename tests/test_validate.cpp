@@ -1,0 +1,114 @@
+// Unit tests for the SSSP validators — they must catch every class of
+// corruption we can inject.
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/validate.hpp"
+
+namespace {
+
+using dsg::EdgeList;
+using dsg::kInfDist;
+using grb::Index;
+
+grb::Matrix<double> triangle() {
+  EdgeList g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 5.0);
+  // vertex 3 disconnected
+  return g.to_matrix();
+}
+
+std::vector<double> good_dist() { return {0.0, 1.0, 3.0, kInfDist}; }
+
+TEST(ValidateSssp, AcceptsCorrectSolution) {
+  auto report = dsg::validate_sssp(triangle(), 0, good_dist());
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_TRUE(report.message.empty());
+}
+
+TEST(ValidateSssp, RejectsWrongSize) {
+  std::vector<double> d{0.0, 1.0};
+  EXPECT_FALSE(dsg::validate_sssp(triangle(), 0, d).ok);
+}
+
+TEST(ValidateSssp, RejectsNonZeroSource) {
+  auto d = good_dist();
+  d[0] = 0.5;
+  auto report = dsg::validate_sssp(triangle(), 0, d);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("source"), std::string::npos);
+}
+
+TEST(ValidateSssp, RejectsOverestimate) {
+  auto d = good_dist();
+  d[2] = 4.0;  // worse than 1+2: triangle inequality violated... but also
+               // no tight predecessor — either failure is acceptable.
+  EXPECT_FALSE(dsg::validate_sssp(triangle(), 0, d).ok);
+}
+
+TEST(ValidateSssp, RejectsUnderestimate) {
+  auto d = good_dist();
+  d[2] = 0.5;  // impossible: no tight predecessor (and edges relax fine)
+  auto report = dsg::validate_sssp(triangle(), 0, d);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("predecessor"), std::string::npos);
+}
+
+TEST(ValidateSssp, RejectsInfForReachable) {
+  auto d = good_dist();
+  d[2] = kInfDist;
+  auto report = dsg::validate_sssp(triangle(), 0, d);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("reachable"), std::string::npos);
+}
+
+TEST(ValidateSssp, RejectsFiniteForUnreachable) {
+  auto d = good_dist();
+  d[3] = 7.0;
+  auto report = dsg::validate_sssp(triangle(), 0, d);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("unreachable"), std::string::npos);
+}
+
+TEST(ValidateSssp, ToleranceAbsorbsRounding) {
+  auto d = good_dist();
+  d[2] = 3.0 + 1e-12;
+  EXPECT_TRUE(dsg::validate_sssp(triangle(), 0, d, 1e-9).ok);
+  EXPECT_FALSE(dsg::validate_sssp(triangle(), 0, d, 1e-15).ok);
+}
+
+TEST(ValidateSssp, EndToEndAgainstDijkstra) {
+  auto a = triangle();
+  auto r = dsg::dijkstra(a, 0);
+  EXPECT_TRUE(dsg::validate_sssp(a, 0, r.dist).ok);
+}
+
+// --- compare_distances. -------------------------------------------------------
+
+TEST(CompareDistances, AcceptsEqual) {
+  EXPECT_TRUE(dsg::compare_distances({1.0, kInfDist}, {1.0, kInfDist}).ok);
+}
+
+TEST(CompareDistances, AcceptsWithinTolerance) {
+  EXPECT_TRUE(dsg::compare_distances({1.0}, {1.0 + 1e-12}, 1e-9).ok);
+}
+
+TEST(CompareDistances, RejectsBeyondTolerance) {
+  auto r = dsg::compare_distances({1.0}, {1.1}, 1e-9);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("dist[0]"), std::string::npos);
+}
+
+TEST(CompareDistances, RejectsInfMismatchBothWays) {
+  EXPECT_FALSE(dsg::compare_distances({kInfDist}, {5.0}).ok);
+  EXPECT_FALSE(dsg::compare_distances({5.0}, {kInfDist}).ok);
+}
+
+TEST(CompareDistances, RejectsSizeMismatch) {
+  EXPECT_FALSE(dsg::compare_distances({1.0}, {1.0, 2.0}).ok);
+}
+
+}  // namespace

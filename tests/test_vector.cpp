@@ -1,0 +1,175 @@
+// Unit tests for grb::Vector<T>: construction, element access, build,
+// tuples, resize, bool storage, equality.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graphblas/vector.hpp"
+
+namespace {
+
+using grb::Index;
+
+TEST(Vector, DefaultIsEmptyZeroDim) {
+  grb::Vector<double> v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.nvals(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Vector, SizedConstructionHasNoStoredElements) {
+  grb::Vector<double> v(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.nvals(), 0u);
+  EXPECT_FALSE(v.has_element(3));
+}
+
+TEST(Vector, FullStoresEverything) {
+  auto v = grb::Vector<double>::full(5, 7.5);
+  EXPECT_EQ(v.nvals(), 5u);
+  for (Index i = 0; i < 5; ++i) {
+    ASSERT_TRUE(v.has_element(i));
+    EXPECT_DOUBLE_EQ(*v.extract_element(i), 7.5);
+  }
+}
+
+TEST(Vector, SetGetRemove) {
+  grb::Vector<double> v(8);
+  v.set_element(3, 1.5);
+  v.set_element(6, 2.5);
+  v.set_element(0, 0.5);
+  EXPECT_EQ(v.nvals(), 3u);
+  EXPECT_DOUBLE_EQ(*v.extract_element(3), 1.5);
+  EXPECT_DOUBLE_EQ(*v.extract_element(0), 0.5);
+  EXPECT_FALSE(v.extract_element(1).has_value());
+
+  v.set_element(3, 9.0);  // overwrite keeps nvals
+  EXPECT_EQ(v.nvals(), 3u);
+  EXPECT_DOUBLE_EQ(*v.extract_element(3), 9.0);
+
+  v.remove_element(3);
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_FALSE(v.has_element(3));
+  v.remove_element(3);  // removing absent is a no-op
+  EXPECT_EQ(v.nvals(), 2u);
+}
+
+TEST(Vector, IndicesStaySorted) {
+  grb::Vector<int> v(100);
+  for (Index i : {50, 10, 90, 30, 70}) v.set_element(i, static_cast<int>(i));
+  auto idx = v.indices();
+  for (std::size_t k = 1; k < idx.size(); ++k) EXPECT_LT(idx[k - 1], idx[k]);
+}
+
+TEST(Vector, SetElementOutOfRangeThrows) {
+  grb::Vector<double> v(4);
+  EXPECT_THROW(v.set_element(4, 1.0), grb::IndexOutOfBounds);
+}
+
+TEST(Vector, BuildSortsAndCombinesDuplicates) {
+  const std::vector<Index> idx{5, 2, 5, 0};
+  const std::vector<double> val{1.0, 2.0, 3.0, 4.0};
+  // Default dup is Second: last value for index 5 wins.
+  auto v = grb::Vector<double>::build(8, idx, val);
+  EXPECT_EQ(v.nvals(), 3u);
+  EXPECT_DOUBLE_EQ(*v.extract_element(5), 3.0);
+  EXPECT_DOUBLE_EQ(*v.extract_element(2), 2.0);
+  EXPECT_DOUBLE_EQ(*v.extract_element(0), 4.0);
+}
+
+TEST(Vector, BuildWithMinDup) {
+  const std::vector<Index> idx{1, 1, 1};
+  const std::vector<double> val{3.0, 1.0, 2.0};
+  auto v = grb::Vector<double>::build(4, idx, val, grb::Min<double>{});
+  EXPECT_DOUBLE_EQ(*v.extract_element(1), 1.0);
+}
+
+TEST(Vector, BuildRejectsBadInput) {
+  const std::vector<Index> idx{9};
+  const std::vector<double> val{1.0};
+  EXPECT_THROW(grb::Vector<double>::build(4, idx, val),
+               grb::IndexOutOfBounds);
+  const std::vector<Index> idx2{1, 2};
+  EXPECT_THROW(grb::Vector<double>::build(4, idx2, val), grb::InvalidValue);
+}
+
+TEST(Vector, ExtractTuplesRoundTrips) {
+  grb::Vector<double> v(6);
+  v.set_element(1, 1.5);
+  v.set_element(4, 4.5);
+  std::vector<Index> idx;
+  std::vector<double> val;
+  v.extract_tuples(idx, val);
+  auto w = grb::Vector<double>::build(6, idx, val);
+  EXPECT_EQ(v, w);
+}
+
+TEST(Vector, AtOrDefaultsWhenAbsent) {
+  grb::Vector<double> v(4);
+  v.set_element(2, 3.0);
+  EXPECT_DOUBLE_EQ(v.at_or(2, -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(v.at_or(1, -1.0), -1.0);
+}
+
+TEST(Vector, ToDenseFills) {
+  grb::Vector<double> v(4);
+  v.set_element(1, 2.0);
+  auto dense = v.to_dense(-5.0);
+  EXPECT_EQ(dense, (std::vector<double>{-5.0, 2.0, -5.0, -5.0}));
+}
+
+TEST(Vector, ClearKeepsDimension) {
+  grb::Vector<double> v(4);
+  v.set_element(1, 2.0);
+  v.clear();
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.nvals(), 0u);
+}
+
+TEST(Vector, ResizeDropsTail) {
+  grb::Vector<double> v(10);
+  v.set_element(2, 1.0);
+  v.set_element(7, 2.0);
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.nvals(), 1u);
+  EXPECT_TRUE(v.has_element(2));
+  v.resize(20);
+  EXPECT_EQ(v.size(), 20u);
+  EXPECT_EQ(v.nvals(), 1u);
+}
+
+TEST(Vector, ForEachVisitsInOrder) {
+  grb::Vector<int> v(10);
+  v.set_element(7, 70);
+  v.set_element(2, 20);
+  std::vector<std::pair<Index, int>> seen;
+  v.for_each([&](Index i, int x) { seen.emplace_back(i, x); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<Index, int>{2, 20}));
+  EXPECT_EQ(seen[1], (std::pair<Index, int>{7, 70}));
+}
+
+TEST(Vector, BoolVectorWorksDespiteVectorBool) {
+  grb::Vector<bool> v(5);
+  v.set_element(0, true);
+  v.set_element(3, false);
+  EXPECT_EQ(v.nvals(), 2u);  // false is *stored*, storage != value
+  EXPECT_TRUE(*v.extract_element(0));
+  EXPECT_FALSE(*v.extract_element(3));
+  auto dense = v.to_dense(false);
+  EXPECT_TRUE(dense[0]);
+  EXPECT_FALSE(dense[1]);
+}
+
+TEST(Vector, EqualityIsStructuralAndValue) {
+  grb::Vector<double> a(4), b(4), c(5);
+  a.set_element(1, 2.0);
+  b.set_element(1, 2.0);
+  EXPECT_EQ(a, b);
+  b.set_element(2, 3.0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);  // different dimension
+}
+
+}  // namespace
