@@ -1,0 +1,31 @@
+# Resolves GoogleTest with an offline-first strategy and guarantees the
+# GTest::gtest_main target exists afterwards:
+#   1. a system install (find_package),
+#   2. the distro source tree (/usr/src/googletest, Debian's googletest pkg),
+#   3. FetchContent, for networked builds.
+include_guard(GLOBAL)
+
+function(dsg_provide_googletest)
+  find_package(GTest QUIET)
+  if(GTest_FOUND)
+    return()
+  endif()
+  if(EXISTS /usr/src/googletest/CMakeLists.txt)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    add_subdirectory(/usr/src/googletest
+                     ${CMAKE_BINARY_DIR}/_deps/googletest-build
+                     EXCLUDE_FROM_ALL)
+    if(NOT TARGET GTest::gtest_main)
+      add_library(GTest::gtest_main ALIAS gtest_main)
+      add_library(GTest::gtest ALIAS gtest)
+    endif()
+    return()
+  endif()
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  )
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endfunction()

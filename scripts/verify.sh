@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything, run the full CTest suite.
+# Usage: scripts/verify.sh [build-dir] [extra cmake args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S . "$@"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -26,7 +26,7 @@ TEST(TscTimer, TicksAdvanceOnX86) {
   if (dsg::read_tsc() == 0) GTEST_SKIP() << "no TSC on this arch";
   dsg::TscTimer timer;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
   EXPECT_GT(timer.ticks(), 0u);
 }
 

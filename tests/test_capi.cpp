@@ -8,9 +8,7 @@
 #include "capi/graphblas.h"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
-#include "sssp/delta_stepping_capi.hpp"
-#include "sssp/dijkstra.hpp"
-#include "sssp/validate.hpp"
+#include "test_support.hpp"
 
 namespace {
 
@@ -225,6 +223,13 @@ TEST(CapiReduce, SumWithMonoidIdentity) {
 }
 
 // --- The Fig. 2 transcription, end to end. --------------------------------------
+
+TEST(CapiDeltaStepping, SolvesTheHandComputedDiamond) {
+  auto r = dsg::delta_stepping_capi(dsg::test::diamond_graph().to_matrix(), 0,
+                                    {});
+  dsg::test::expect_distances(r.dist, dsg::test::diamond_distances_from_0(),
+                              "capi diamond");
+}
 
 TEST(CapiDeltaStepping, MatchesDijkstraAcrossGraphsAndDeltas) {
   for (std::uint64_t seed : {3u, 5u}) {

@@ -1,0 +1,172 @@
+// Dedicated suite for grb::Descriptor (descriptor.hpp): flag defaults, the
+// with_* builder chain, the predefined descriptor constants, and a few
+// end-to-end checks that the replace / mask-complement / mask-structure
+// flags actually steer the shared write phase.
+#include <gtest/gtest.h>
+
+#include "graphblas/graphblas.hpp"
+
+namespace {
+
+using grb::Descriptor;
+using grb::Index;
+
+TEST(Descriptor, DefaultsAreAllClear) {
+  constexpr Descriptor d{};
+  EXPECT_FALSE(d.replace);
+  EXPECT_FALSE(d.mask_complement);
+  EXPECT_FALSE(d.mask_structure);
+  EXPECT_FALSE(d.transpose_in0);
+  EXPECT_FALSE(d.transpose_in1);
+}
+
+TEST(Descriptor, BuildersSetOneFlagAndPreserveTheRest) {
+  constexpr Descriptor d{};
+  constexpr auto r = d.with_replace();
+  static_assert(r.replace && !r.mask_complement && !r.mask_structure &&
+                !r.transpose_in0 && !r.transpose_in1);
+
+  constexpr auto c = d.with_mask_complement();
+  static_assert(c.mask_complement && !c.replace);
+
+  constexpr auto s = d.with_mask_structure();
+  static_assert(s.mask_structure && !s.replace);
+
+  constexpr auto t0 = d.with_transpose_in0();
+  static_assert(t0.transpose_in0 && !t0.transpose_in1);
+
+  constexpr auto t1 = d.with_transpose_in1();
+  static_assert(t1.transpose_in1 && !t1.transpose_in0);
+}
+
+TEST(Descriptor, BuildersAreNonMutatingAndChainable) {
+  const Descriptor base{};
+  const auto built =
+      base.with_replace().with_mask_complement().with_mask_structure();
+  EXPECT_FALSE(base.replace);  // builders copy, never mutate
+  EXPECT_TRUE(built.replace);
+  EXPECT_TRUE(built.mask_complement);
+  EXPECT_TRUE(built.mask_structure);
+  // Explicit false clears a previously set flag.
+  const auto cleared = built.with_replace(false);
+  EXPECT_FALSE(cleared.replace);
+  EXPECT_TRUE(cleared.mask_complement);
+}
+
+TEST(Descriptor, PredefinedConstantsMatchTheirNames) {
+  static_assert(!grb::default_desc.replace &&
+                !grb::default_desc.mask_complement &&
+                !grb::default_desc.mask_structure);
+  static_assert(grb::replace_desc.replace &&
+                !grb::replace_desc.mask_complement);
+  static_assert(grb::complement_mask_desc.mask_complement &&
+                !grb::complement_mask_desc.replace);
+  static_assert(grb::structure_mask_desc.mask_structure &&
+                !grb::structure_mask_desc.replace);
+}
+
+// --- Behavioral checks: the flags must drive the shared write phase. -------
+
+grb::Vector<double> dense_vec(Index n, double base) {
+  grb::Vector<double> v(n);
+  for (Index i = 0; i < n; ++i) v.set_element(i, base + static_cast<double>(i));
+  return v;
+}
+
+TEST(DescriptorBehavior, ReplaceModeDropsUnwrittenPositions) {
+  constexpr Index n = 8;
+  auto w = dense_vec(n, 100.0);  // all 8 positions stored
+  grb::Vector<double> u(n);
+  u.set_element(2, 2.0);
+  u.set_element(5, 5.0);
+
+  // Mask admits only the positions u writes.
+  grb::Vector<bool> mask(n);
+  mask.set_element(2, true);
+  mask.set_element(5, true);
+
+  // Merge mode keeps the 6 masked-off positions of w.
+  auto merged = w;
+  grb::apply(merged, mask, grb::NoAccumulate{}, grb::Identity<double>{}, u,
+             grb::default_desc);
+  EXPECT_EQ(merged.nvals(), n);
+
+  // The paper's clear_desc: masked-off positions are deleted.
+  grb::apply(w, mask, grb::NoAccumulate{}, grb::Identity<double>{}, u,
+             grb::replace_desc);
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(*w.extract_element(2), 2.0);
+  EXPECT_DOUBLE_EQ(*w.extract_element(5), 5.0);
+}
+
+TEST(DescriptorBehavior, ComplementFlipsWhichPositionsAreWritable) {
+  constexpr Index n = 6;
+  grb::Vector<double> w(n);
+  const auto u = dense_vec(n, 0.0);
+  grb::Vector<bool> mask(n);
+  mask.set_element(1, true);
+  mask.set_element(4, true);
+
+  grb::apply(w, mask, grb::NoAccumulate{}, grb::Identity<double>{}, u,
+             grb::complement_mask_desc);
+  EXPECT_EQ(w.nvals(), n - 2);
+  EXPECT_FALSE(w.extract_element(1).has_value());
+  EXPECT_FALSE(w.extract_element(4).has_value());
+  EXPECT_DOUBLE_EQ(*w.extract_element(0), 0.0);
+}
+
+TEST(DescriptorBehavior, StructuralMaskIgnoresStoredFalse) {
+  constexpr Index n = 4;
+  const auto u = dense_vec(n, 0.0);
+  grb::Vector<bool> mask(n);
+  mask.set_element(0, true);
+  mask.set_element(2, false);  // stored but falsy
+
+  // Value mask: only index 0 is writable.
+  grb::Vector<double> by_value(n);
+  grb::apply(by_value, mask, grb::NoAccumulate{}, grb::Identity<double>{}, u,
+             grb::default_desc);
+  EXPECT_EQ(by_value.nvals(), 1u);
+
+  // Structural mask: presence alone matters, so index 2 joins in.
+  grb::Vector<double> by_structure(n);
+  grb::apply(by_structure, mask, grb::NoAccumulate{}, grb::Identity<double>{},
+             u, grb::structure_mask_desc);
+  EXPECT_EQ(by_structure.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(*by_structure.extract_element(2), 2.0);
+}
+
+TEST(DescriptorBehavior, StructuralComplementExcludesAllStoredPositions) {
+  constexpr Index n = 4;
+  const auto u = dense_vec(n, 0.0);
+  grb::Vector<bool> mask(n);
+  mask.set_element(0, true);
+  mask.set_element(2, false);
+
+  grb::Vector<double> w(n);
+  const grb::Descriptor desc =
+      grb::Descriptor{}.with_mask_structure().with_mask_complement();
+  grb::apply(w, mask, grb::NoAccumulate{}, grb::Identity<double>{}, u, desc);
+  EXPECT_EQ(w.nvals(), 2u);  // only the absent positions 1 and 3
+  EXPECT_FALSE(w.extract_element(0).has_value());
+  EXPECT_FALSE(w.extract_element(2).has_value());
+  EXPECT_TRUE(w.extract_element(1).has_value());
+  EXPECT_TRUE(w.extract_element(3).has_value());
+}
+
+TEST(DescriptorBehavior, TransposeIn0RoutesThroughMxvOnTheTranspose) {
+  // a = [[., 7], [., .]]; a^T row 1 has 7 at column 0.
+  grb::Matrix<double> a(2, 2);
+  a.set_element(0, 1, 7.0);
+  grb::Vector<double> x(2);
+  x.set_element(0, 3.0);
+
+  grb::Vector<double> y(2);
+  grb::mxv(y, grb::NoMask{}, grb::NoAccumulate{},
+           grb::min_plus_semiring<double>(), a, x,
+           grb::Descriptor{}.with_transpose_in0());
+  EXPECT_FALSE(y.extract_element(0).has_value());
+  EXPECT_DOUBLE_EQ(*y.extract_element(1), 10.0);
+}
+
+}  // namespace

@@ -2,13 +2,62 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "graph/matrix_market.hpp"
 #include "graph/snap_reader.hpp"
+#include "test_support.hpp"
 
 namespace {
 
 using dsg::EdgeList;
+
+std::string data_path(const char* name) {
+  return std::string(DSG_TEST_DATA_DIR) + "/" + name;
+}
+
+// --- File-path entry points, against the checked-in sample graphs. -----------
+
+TEST(MatrixMarket, ReadsDiamondSampleFile) {
+  auto g = dsg::read_matrix_market_file(data_path("diamond.mtx"));
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  auto r = dsg::dijkstra(g.to_matrix(), 0);
+  dsg::test::expect_distances(r.dist, dsg::test::diamond_distances_from_0(),
+                              "diamond.mtx");
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(dsg::read_matrix_market_file(data_path("no_such_file.mtx")),
+               grb::InvalidValue);
+}
+
+TEST(Snap, ReadsDiamondSampleFile) {
+  auto result = dsg::read_snap_file(data_path("diamond.snap"));
+  EXPECT_EQ(result.graph.num_vertices(), 5u);
+  EXPECT_EQ(result.graph.num_edges(), 10u);
+  auto r = dsg::dijkstra(result.graph.to_matrix(), 0);
+  dsg::test::expect_distances(r.dist, dsg::test::diamond_distances_from_0(),
+                              "diamond.snap");
+}
+
+TEST(Snap, MissingFileThrows) {
+  EXPECT_THROW(dsg::read_snap_file(data_path("no_such_file.snap")),
+               grb::InvalidValue);
+}
+
+TEST(SampleFiles, MtxAndSnapEncodeTheSameGraph) {
+  auto mtx = dsg::read_matrix_market_file(data_path("diamond.mtx"));
+  auto snap = dsg::read_snap_file(data_path("diamond.snap")).graph;
+  mtx.normalize();
+  snap.normalize();
+  ASSERT_EQ(mtx.num_edges(), snap.num_edges());
+  for (std::size_t k = 0; k < mtx.num_edges(); ++k) {
+    EXPECT_EQ(mtx.edges()[k].src, snap.edges()[k].src);
+    EXPECT_EQ(mtx.edges()[k].dst, snap.edges()[k].dst);
+    EXPECT_DOUBLE_EQ(mtx.edges()[k].weight, snap.edges()[k].weight);
+  }
+}
 
 TEST(MatrixMarket, ReadsGeneralReal) {
   std::istringstream in(

@@ -4,29 +4,15 @@
 #include "graph/edge_list.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
-#include "sssp/delta_stepping_fused.hpp"
-#include "sssp/dijkstra.hpp"
 #include "sssp/paths.hpp"
+#include "test_support.hpp"
 
 namespace {
 
 using dsg::EdgeList;
 using grb::Index;
 
-grb::Matrix<double> diamond() {
-  EdgeList g(5);
-  g.add_edge(0, 1, 10.0);
-  g.add_edge(0, 3, 5.0);
-  g.add_edge(1, 2, 1.0);
-  g.add_edge(1, 3, 2.0);
-  g.add_edge(2, 4, 4.0);
-  g.add_edge(3, 1, 3.0);
-  g.add_edge(3, 2, 9.0);
-  g.add_edge(3, 4, 2.0);
-  g.add_edge(4, 0, 7.0);
-  g.add_edge(4, 2, 6.0);
-  return g.to_matrix();
-}
+grb::Matrix<double> diamond() { return dsg::test::diamond_graph().to_matrix(); }
 
 TEST(RecoverParents, TreeEdgesAreTight) {
   auto a = diamond();

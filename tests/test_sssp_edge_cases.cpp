@@ -5,12 +5,7 @@
 #include "graph/edge_list.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
-#include "sssp/delta_stepping_buckets.hpp"
-#include "sssp/delta_stepping_fused.hpp"
-#include "sssp/delta_stepping_graphblas.hpp"
-#include "sssp/delta_stepping_openmp.hpp"
-#include "sssp/dijkstra.hpp"
-#include "sssp/validate.hpp"
+#include "test_support.hpp"
 
 namespace {
 
@@ -127,17 +122,13 @@ TEST(EdgeCases, HugeDeltaSingleBucket) {
 }
 
 TEST(EdgeCases, DeltaEqualToWeightBoundary) {
-  // w == delta goes to the light set (<=); verify boundary handling.
+  // w == delta goes to the light set (<=); verify boundary handling across
+  // every variant via the shared parity table.
   EdgeList g(3);
   g.add_edge(0, 1, 2.0);
   g.add_edge(1, 2, 2.0);
-  dsg::DeltaSteppingOptions opt;
-  opt.delta = 2.0;
-  for (auto r : {dsg::delta_stepping_graphblas(g.to_matrix(), 0, opt),
-                 dsg::delta_stepping_fused(g.to_matrix(), 0, opt),
-                 dsg::delta_stepping_buckets(g.to_matrix(), 0, opt)}) {
-    EXPECT_DOUBLE_EQ(r.dist[2], 4.0);
-  }
+  DSG_CHECK_IMPL_PARITY(dsg::test::delta_stepping_impls(), g.to_matrix(), 0,
+                        2.0);
 }
 
 TEST(EdgeCases, DistanceExactlyOnBucketBoundary) {
@@ -165,12 +156,8 @@ TEST(EdgeCases, VeryLargeWeights) {
 TEST(EdgeCases, DenseCompleteGraph) {
   auto g = dsg::generate_complete(30);
   dsg::assign_uniform_weights(g, 0.5, 2.0, 3);
-  auto a = g.to_matrix();
-  auto ref = dsg::dijkstra(a, 0);
-  dsg::DeltaSteppingOptions opt;
-  opt.delta = 0.7;
-  auto r = dsg::delta_stepping_fused(a, 0, opt);
-  EXPECT_TRUE(dsg::compare_distances(ref.dist, r.dist).ok);
+  DSG_CHECK_IMPL_PARITY(dsg::test::delta_stepping_impls(), g.to_matrix(), 0,
+                        0.7);
 }
 
 TEST(EdgeCases, StarGraphSingleHub) {

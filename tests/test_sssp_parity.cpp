@@ -6,12 +6,7 @@
 
 #include "bench_support/suite.hpp"
 #include "graph/stats.hpp"
-#include "sssp/delta_stepping_buckets.hpp"
-#include "sssp/delta_stepping_fused.hpp"
-#include "sssp/delta_stepping_graphblas.hpp"
-#include "sssp/delta_stepping_openmp.hpp"
-#include "sssp/dijkstra.hpp"
-#include "sssp/validate.hpp"
+#include "test_support.hpp"
 
 namespace {
 
@@ -67,25 +62,10 @@ class SuiteParity : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(SuiteParity, AllImplementationsAgreeOnSuiteGraph) {
   auto suite = dsg::quick_suite(4);  // keep runtime bounded
   const auto& entry = suite[GetParam()];
-  auto graph = entry.make();
-  auto a = graph.to_matrix();
-
-  auto ref = dsg::dijkstra(a, 0);
-  dsg::DeltaSteppingOptions opt;  // delta = 1, the paper's setting
-  dsg::OpenMpOptions omp;
-  omp.num_threads = 4;
-
-  auto r_gb = dsg::delta_stepping_graphblas(a, 0, opt);
-  auto r_fused = dsg::delta_stepping_fused(a, 0, opt);
-  auto r_omp = dsg::delta_stepping_openmp(a, 0, omp);
-  auto r_buckets = dsg::delta_stepping_buckets(a, 0, opt);
-
-  for (const auto* r : {&r_gb, &r_fused, &r_omp, &r_buckets}) {
-    auto cmp = dsg::compare_distances(ref.dist, r->dist, 1e-9);
-    EXPECT_TRUE(cmp.ok) << entry.name << ": " << cmp.message;
-  }
-  auto val = dsg::validate_sssp(a, 0, r_gb.dist);
-  EXPECT_TRUE(val.ok) << entry.name << ": " << val.message;
+  SCOPED_TRACE(entry.name);
+  // delta = 1 is the paper's setting for the unit-weight suite graphs.
+  DSG_CHECK_IMPL_PARITY(dsg::test::delta_stepping_impls(),
+                        entry.make().to_matrix(), 0, 1.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Graphs, SuiteParity,

@@ -10,12 +10,7 @@
 #include "graph/generators.hpp"
 #include "graph/stats.hpp"
 #include "graph/weights.hpp"
-#include "sssp/delta_stepping_buckets.hpp"
-#include "sssp/delta_stepping_fused.hpp"
-#include "sssp/delta_stepping_graphblas.hpp"
-#include "sssp/delta_stepping_openmp.hpp"
-#include "sssp/dijkstra.hpp"
-#include "sssp/validate.hpp"
+#include "test_support.hpp"
 
 namespace {
 
@@ -85,33 +80,13 @@ TEST_P(SsspProperty, AllVariantsMatchDijkstraAndValidate) {
   auto graph = make_graph(c);
   auto a = graph.to_matrix();
   const Index n = a.nrows();
-  // A couple of sources spread across the id range.
+  // A couple of sources spread across the id range; the shared table runs
+  // every delta-stepping variant against the Dijkstra + structural oracle
+  // (the macro validates the Dijkstra reference itself first).
   for (Index source : {Index{0}, n / 2, n - 1}) {
-    auto ref = dsg::dijkstra(a, source);
-    auto val = dsg::validate_sssp(a, source, ref.dist);
-    ASSERT_TRUE(val.ok) << "dijkstra invalid: " << val.message;
-
-    dsg::DeltaSteppingOptions opt;
-    opt.delta = c.delta;
-    dsg::OpenMpOptions omp;
-    omp.delta = c.delta;
-    omp.num_threads = 3;
-
-    const std::pair<const char*, dsg::SsspResult> results[] = {
-        {"graphblas", dsg::delta_stepping_graphblas(a, source, opt)},
-        {"graphblas_select",
-         dsg::delta_stepping_graphblas_select(a, source, opt)},
-        {"fused", dsg::delta_stepping_fused(a, source, opt)},
-        {"openmp", dsg::delta_stepping_openmp(a, source, omp)},
-        {"buckets", dsg::delta_stepping_buckets(a, source, opt)},
-    };
-    for (const auto& [name, r] : results) {
-      auto cmp = dsg::compare_distances(ref.dist, r.dist, 1e-9);
-      EXPECT_TRUE(cmp.ok) << name << " (source " << source
-                          << "): " << cmp.message;
-      auto v = dsg::validate_sssp(a, source, r.dist);
-      EXPECT_TRUE(v.ok) << name << ": " << v.message;
-    }
+    SCOPED_TRACE("source " + std::to_string(source));
+    DSG_CHECK_IMPL_PARITY(dsg::test::delta_stepping_impls(), a, source,
+                          c.delta);
   }
 }
 
@@ -140,17 +115,9 @@ TEST_P(DeltaSweep, DistancesIndependentOfDelta) {
   auto g = dsg::generate_connected_random(120, 240, 99);
   dsg::assign_uniform_weights(g, 0.1, 6.0, 100);
   g.normalize();
-  auto a = g.to_matrix();
-  auto ref = dsg::dijkstra(a, 0);
-
-  dsg::DeltaSteppingOptions opt;
-  opt.delta = GetParam();
-  for (auto r : {dsg::delta_stepping_graphblas(a, 0, opt),
-                 dsg::delta_stepping_fused(a, 0, opt),
-                 dsg::delta_stepping_buckets(a, 0, opt)}) {
-    auto cmp = dsg::compare_distances(ref.dist, r.dist, 1e-9);
-    EXPECT_TRUE(cmp.ok) << "delta=" << GetParam() << ": " << cmp.message;
-  }
+  SCOPED_TRACE("delta=" + std::to_string(GetParam()));
+  DSG_CHECK_IMPL_PARITY(dsg::test::delta_stepping_impls(), g.to_matrix(), 0,
+                        GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Widths, DeltaSweep,

@@ -1,139 +1,46 @@
-// Hand-computed SSSP instances exercised against every implementation.
+// Hand-computed SSSP instances exercised against every implementation,
+// via the shared fixture layer in test_support.hpp.
 #include <gtest/gtest.h>
 
 #include "graph/edge_list.hpp"
-#include "sssp/bellman_ford.hpp"
-#include "sssp/delta_stepping_buckets.hpp"
-#include "sssp/delta_stepping_capi.hpp"
-#include "sssp/delta_stepping_fused.hpp"
-#include "sssp/delta_stepping_graphblas.hpp"
-#include "sssp/delta_stepping_openmp.hpp"
-#include "sssp/dijkstra.hpp"
 #include "sssp/paths.hpp"
+#include "test_support.hpp"
 
 namespace {
 
 using dsg::EdgeList;
 using dsg::kInfDist;
+using dsg::test::Impl;
 using grb::Index;
-
-/// Every SSSP entry point under a common signature for table-driven tests.
-using SsspFn = dsg::SsspResult (*)(const grb::Matrix<double>&, Index, double);
-
-dsg::SsspResult run_gb(const grb::Matrix<double>& a, Index s, double d) {
-  dsg::DeltaSteppingOptions o;
-  o.delta = d;
-  return dsg::delta_stepping_graphblas(a, s, o);
-}
-dsg::SsspResult run_gb_select(const grb::Matrix<double>& a, Index s,
-                              double d) {
-  dsg::DeltaSteppingOptions o;
-  o.delta = d;
-  return dsg::delta_stepping_graphblas_select(a, s, o);
-}
-dsg::SsspResult run_fused(const grb::Matrix<double>& a, Index s, double d) {
-  dsg::DeltaSteppingOptions o;
-  o.delta = d;
-  return dsg::delta_stepping_fused(a, s, o);
-}
-dsg::SsspResult run_omp(const grb::Matrix<double>& a, Index s, double d) {
-  dsg::OpenMpOptions o;
-  o.delta = d;
-  o.num_threads = 2;
-  return dsg::delta_stepping_openmp(a, s, o);
-}
-dsg::SsspResult run_buckets(const grb::Matrix<double>& a, Index s, double d) {
-  dsg::DeltaSteppingOptions o;
-  o.delta = d;
-  return dsg::delta_stepping_buckets(a, s, o);
-}
-dsg::SsspResult run_capi(const grb::Matrix<double>& a, Index s, double d) {
-  dsg::DeltaSteppingOptions o;
-  o.delta = d;
-  return dsg::delta_stepping_capi(a, s, o);
-}
-dsg::SsspResult run_dijkstra(const grb::Matrix<double>& a, Index s, double) {
-  return dsg::dijkstra(a, s);
-}
-dsg::SsspResult run_bf(const grb::Matrix<double>& a, Index s, double) {
-  return dsg::bellman_ford(a, s);
-}
-dsg::SsspResult run_bf_rounds(const grb::Matrix<double>& a, Index s, double) {
-  return dsg::bellman_ford_rounds(a, s);
-}
-
-struct Impl {
-  const char* name;
-  SsspFn fn;
-};
-
-const Impl kImpls[] = {
-    {"graphblas", run_gb},     {"graphblas_select", run_gb_select},
-    {"fused", run_fused},      {"openmp", run_omp},
-    {"buckets", run_buckets},  {"capi", run_capi},
-    {"dijkstra", run_dijkstra},
-    {"bellman_ford", run_bf},  {"bellman_ford_rounds", run_bf_rounds},
-};
 
 class AllImpls : public ::testing::TestWithParam<Impl> {};
 
-INSTANTIATE_TEST_SUITE_P(Sssp, AllImpls, ::testing::ValuesIn(kImpls),
+INSTANTIATE_TEST_SUITE_P(Sssp, AllImpls,
+                         ::testing::ValuesIn(dsg::test::all_sssp_impls()),
                          [](const auto& info) { return info.param.name; });
 
-// The classic CLRS-style weighted digraph.
-grb::Matrix<double> diamond() {
-  EdgeList g(5);
-  g.add_edge(0, 1, 10.0);
-  g.add_edge(0, 3, 5.0);
-  g.add_edge(1, 2, 1.0);
-  g.add_edge(1, 3, 2.0);
-  g.add_edge(2, 4, 4.0);
-  g.add_edge(3, 1, 3.0);
-  g.add_edge(3, 2, 9.0);
-  g.add_edge(3, 4, 2.0);
-  g.add_edge(4, 0, 7.0);
-  g.add_edge(4, 2, 6.0);
-  return g.to_matrix();
-}
-
 TEST_P(AllImpls, DiamondDigraph) {
-  auto r = GetParam().fn(diamond(), 0, 3.0);
-  const std::vector<double> want{0.0, 8.0, 9.0, 5.0, 7.0};
-  for (Index v = 0; v < 5; ++v) {
-    EXPECT_DOUBLE_EQ(r.dist[v], want[v]) << "vertex " << v;
-  }
+  auto r = GetParam().fn(dsg::test::diamond_graph().to_matrix(), 0, 3.0);
+  dsg::test::expect_distances(r.dist, dsg::test::diamond_distances_from_0(),
+                              GetParam().name);
 }
 
 TEST_P(AllImpls, DiamondFromOtherSource) {
-  auto r = GetParam().fn(diamond(), 3, 2.0);
-  EXPECT_DOUBLE_EQ(r.dist[3], 0.0);
-  EXPECT_DOUBLE_EQ(r.dist[1], 3.0);
-  EXPECT_DOUBLE_EQ(r.dist[2], 4.0);
-  EXPECT_DOUBLE_EQ(r.dist[4], 2.0);
-  EXPECT_DOUBLE_EQ(r.dist[0], 9.0);
+  auto r = GetParam().fn(dsg::test::diamond_graph().to_matrix(), 3, 2.0);
+  dsg::test::expect_distances(r.dist, {9.0, 3.0, 4.0, 0.0, 2.0},
+                              GetParam().name);
 }
 
 TEST_P(AllImpls, UnweightedPathGraphCountsHops) {
-  EdgeList g(6);
-  for (Index v = 0; v + 1 < 6; ++v) {
-    g.add_edge(v, v + 1, 1.0);
-    g.add_edge(v + 1, v, 1.0);
-  }
-  auto r = GetParam().fn(g.to_matrix(), 0, 1.0);
-  for (Index v = 0; v < 6; ++v) {
-    EXPECT_DOUBLE_EQ(r.dist[v], static_cast<double>(v));
-  }
+  auto r = GetParam().fn(dsg::test::path_graph(6).to_matrix(), 0, 1.0);
+  dsg::test::expect_distances(r.dist, dsg::test::path_distances_from_0(6),
+                              GetParam().name);
 }
 
 TEST_P(AllImpls, DisconnectedComponentStaysInfinite) {
-  EdgeList g(4);
-  g.add_edge(0, 1, 1.0);
-  g.add_edge(2, 3, 1.0);  // unreachable island
-  auto r = GetParam().fn(g.to_matrix(), 0, 1.0);
-  EXPECT_DOUBLE_EQ(r.dist[0], 0.0);
-  EXPECT_DOUBLE_EQ(r.dist[1], 1.0);
-  EXPECT_EQ(r.dist[2], kInfDist);
-  EXPECT_EQ(r.dist[3], kInfDist);
+  auto r = GetParam().fn(dsg::test::two_islands_graph().to_matrix(), 0, 1.0);
+  dsg::test::expect_distances(
+      r.dist, dsg::test::two_islands_distances_from_0(), GetParam().name);
 }
 
 TEST_P(AllImpls, ShorterLongRouteBeatsDirectEdge) {
@@ -165,28 +72,24 @@ TEST_P(AllImpls, TwoVertexBothDirections) {
 TEST_P(AllImpls, ZigzagRequiresReintroduction) {
   // Classic delta-stepping stress: improving a vertex within the same
   // bucket multiple times (light edge chains inside one bucket).
-  EdgeList g(5);
-  g.add_edge(0, 1, 0.3);
-  g.add_edge(1, 2, 0.3);
-  g.add_edge(2, 3, 0.3);
-  g.add_edge(3, 4, 0.05);
-  g.add_edge(0, 4, 1.0);  // direct but slightly worse: 1.0 > 0.95
-  auto r = GetParam().fn(g.to_matrix(), 0, 1.0);
-  EXPECT_NEAR(r.dist[4], 0.95, 1e-12);
+  auto r = GetParam().fn(dsg::test::zigzag_graph().to_matrix(), 0, 1.0);
+  dsg::test::expect_distances(r.dist, dsg::test::zigzag_distances_from_0(),
+                              GetParam().name);
 }
 
 // --- Baseline-specific checks. ----------------------------------------------
 
 TEST(Dijkstra, ParentsFormShortestPathTree) {
   std::vector<Index> parent;
-  auto r = dsg::dijkstra_with_parents(diamond(), 0, parent);
+  auto r = dsg::dijkstra_with_parents(dsg::test::diamond_graph().to_matrix(),
+                                      0, parent);
   EXPECT_EQ(parent[0], dsg::kNoParent);
   EXPECT_EQ(parent[3], 0u);
   EXPECT_EQ(parent[1], 3u);  // 0->3->1 = 8 beats 0->1 = 10
   EXPECT_EQ(parent[2], 1u);
   EXPECT_EQ(parent[4], 3u);
   // Tree edges are tight.
-  auto a = diamond();
+  auto a = dsg::test::diamond_graph().to_matrix();
   for (Index v = 1; v < 5; ++v) {
     auto w = a.extract_element(parent[v], v);
     ASSERT_TRUE(w.has_value());

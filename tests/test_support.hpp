@@ -1,0 +1,242 @@
+// test_support.hpp — shared fixture layer for the SSSP test suites.
+//
+// Provides three things so the SSSP variants are exercised uniformly:
+//   1. tiny hand-computed graphs with their known distance vectors,
+//   2. an oracle checker against hand-computed distances,
+//   3. a table of every SSSP entry point under one signature, plus the
+//      DSG_CHECK_IMPL_PARITY table-driven parity macro (structural
+//      validate_sssp + Dijkstra agreement for each implementation).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/delta_stepping_buckets.hpp"
+#include "sssp/delta_stepping_capi.hpp"
+#include "sssp/delta_stepping_fused.hpp"
+#include "sssp/delta_stepping_graphblas.hpp"
+#include "sssp/delta_stepping_openmp.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/validate.hpp"
+
+namespace dsg::test {
+
+using grb::Index;
+
+// ---------------------------------------------------------------------------
+// 1. Hand-computed instances.  Each returns the graph; the matching
+//    *_distances() function returns the worked-by-hand oracle from the
+//    conventional source (documented per graph).
+// ---------------------------------------------------------------------------
+
+/// The classic CLRS-style weighted digraph on 5 vertices.
+inline EdgeList diamond_graph() {
+  EdgeList g(5);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(0, 3, 5.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(1, 3, 2.0);
+  g.add_edge(2, 4, 4.0);
+  g.add_edge(3, 1, 3.0);
+  g.add_edge(3, 2, 9.0);
+  g.add_edge(3, 4, 2.0);
+  g.add_edge(4, 0, 7.0);
+  g.add_edge(4, 2, 6.0);
+  return g;
+}
+
+/// Shortest paths in diamond_graph() from source 0:
+///   0; 0->3->1 = 8; 0->3->1->2 = 9; 0->3 = 5; 0->3->4 = 7.
+inline std::vector<double> diamond_distances_from_0() {
+  return {0.0, 8.0, 9.0, 5.0, 7.0};
+}
+
+/// Undirected unit-weight path 0-1-...-(n-1): dist from 0 is the hop count.
+inline EdgeList path_graph(Index n) {
+  EdgeList g(n);
+  for (Index v = 0; v + 1 < n; ++v) {
+    g.add_edge(v, v + 1, 1.0);
+    g.add_edge(v + 1, v, 1.0);
+  }
+  return g;
+}
+
+inline std::vector<double> path_distances_from_0(Index n) {
+  std::vector<double> d(n);
+  for (Index v = 0; v < n; ++v) d[v] = static_cast<double>(v);
+  return d;
+}
+
+/// Two disconnected unit-weight edges: {0-1} and the island {2-3}.
+inline EdgeList two_islands_graph() {
+  EdgeList g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  return g;
+}
+
+inline std::vector<double> two_islands_distances_from_0() {
+  return {0.0, 1.0, kInfDist, kInfDist};
+}
+
+/// Light-edge chain inside one bucket beating a direct heavier edge:
+/// 0 -> 4 direct costs 1.0; 0->1->2->3->4 costs 0.95.  Stresses bucket
+/// re-introduction (the delta-stepping corner the paper's Fig. 2 loops on).
+inline EdgeList zigzag_graph() {
+  EdgeList g(5);
+  g.add_edge(0, 1, 0.3);
+  g.add_edge(1, 2, 0.3);
+  g.add_edge(2, 3, 0.3);
+  g.add_edge(3, 4, 0.05);
+  g.add_edge(0, 4, 1.0);
+  return g;
+}
+
+inline std::vector<double> zigzag_distances_from_0() {
+  return {0.0, 0.3, 0.6, 0.9, 0.95};
+}
+
+// ---------------------------------------------------------------------------
+// 2. Oracle checkers.
+// ---------------------------------------------------------------------------
+
+/// Element-wise check of a distance vector against a hand-computed oracle.
+inline void expect_distances(const std::vector<double>& got,
+                             const std::vector<double>& want,
+                             const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (Index v = 0; v < want.size(); ++v) {
+    if (want[v] == kInfDist) {
+      EXPECT_EQ(got[v], kInfDist) << context << ": vertex " << v;
+    } else {
+      EXPECT_NEAR(got[v], want[v], 1e-12) << context << ": vertex " << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. The implementation table: every SSSP entry point under one signature.
+// ---------------------------------------------------------------------------
+
+using SsspFn = SsspResult (*)(const grb::Matrix<double>&, Index, double);
+
+struct Impl {
+  const char* name;
+  SsspFn fn;
+};
+
+namespace detail {
+
+inline SsspResult run_graphblas(const grb::Matrix<double>& a, Index s,
+                                double d) {
+  DeltaSteppingOptions o;
+  o.delta = d;
+  return delta_stepping_graphblas(a, s, o);
+}
+inline SsspResult run_graphblas_select(const grb::Matrix<double>& a, Index s,
+                                       double d) {
+  DeltaSteppingOptions o;
+  o.delta = d;
+  return delta_stepping_graphblas_select(a, s, o);
+}
+inline SsspResult run_fused(const grb::Matrix<double>& a, Index s, double d) {
+  DeltaSteppingOptions o;
+  o.delta = d;
+  return delta_stepping_fused(a, s, o);
+}
+inline SsspResult run_openmp(const grb::Matrix<double>& a, Index s, double d) {
+  OpenMpOptions o;
+  o.delta = d;
+  o.num_threads = 2;
+  return delta_stepping_openmp(a, s, o);
+}
+inline SsspResult run_openmp_mt(const grb::Matrix<double>& a, Index s,
+                                double d) {
+  OpenMpOptions o;
+  o.delta = d;
+  o.num_threads = 4;
+  return delta_stepping_openmp(a, s, o);
+}
+inline SsspResult run_buckets(const grb::Matrix<double>& a, Index s,
+                              double d) {
+  DeltaSteppingOptions o;
+  o.delta = d;
+  return delta_stepping_buckets(a, s, o);
+}
+inline SsspResult run_capi(const grb::Matrix<double>& a, Index s, double d) {
+  DeltaSteppingOptions o;
+  o.delta = d;
+  return delta_stepping_capi(a, s, o);
+}
+inline SsspResult run_dijkstra(const grb::Matrix<double>& a, Index s, double) {
+  return dijkstra(a, s);
+}
+inline SsspResult run_bellman_ford(const grb::Matrix<double>& a, Index s,
+                                   double) {
+  return bellman_ford(a, s);
+}
+inline SsspResult run_bellman_ford_rounds(const grb::Matrix<double>& a,
+                                          Index s, double) {
+  return bellman_ford_rounds(a, s);
+}
+
+}  // namespace detail
+
+/// The delta-stepping variants (paper Fig. 2 and its optimizations), with
+/// the OpenMP one at two thread counts so parallel bugs that need >2
+/// threads still have a chance to surface.  Non-negative weights required;
+/// delta is honored.
+inline const std::vector<Impl>& delta_stepping_impls() {
+  static const std::vector<Impl> impls = {
+      {"graphblas", detail::run_graphblas},
+      {"graphblas_select", detail::run_graphblas_select},
+      {"fused", detail::run_fused},
+      {"openmp", detail::run_openmp},
+      {"openmp_4t", detail::run_openmp_mt},
+      {"buckets", detail::run_buckets},
+      {"capi", detail::run_capi},
+  };
+  return impls;
+}
+
+/// Everything, baselines included (delta ignored by the baselines).
+inline const std::vector<Impl>& all_sssp_impls() {
+  static const std::vector<Impl> impls = [] {
+    std::vector<Impl> v = delta_stepping_impls();
+    v.push_back({"dijkstra", detail::run_dijkstra});
+    v.push_back({"bellman_ford", detail::run_bellman_ford});
+    v.push_back({"bellman_ford_rounds", detail::run_bellman_ford_rounds});
+    return v;
+  }();
+  return impls;
+}
+
+}  // namespace dsg::test
+
+/// Table-driven cross-implementation parity: runs every implementation in
+/// `impls` on (matrix, source, delta) and checks each result against the
+/// structural SSSP invariants and against a single shared Dijkstra
+/// reference (itself validated first).
+#define DSG_CHECK_IMPL_PARITY(impls, matrix, source, delta)                  \
+  do {                                                                       \
+    const auto& dsg_parity_a = (matrix);                                     \
+    const auto dsg_parity_ref = ::dsg::dijkstra(dsg_parity_a, (source));     \
+    const auto dsg_ref_val =                                                 \
+        ::dsg::validate_sssp(dsg_parity_a, (source), dsg_parity_ref.dist);   \
+    ASSERT_TRUE(dsg_ref_val.ok) << "dijkstra invalid: "                      \
+                                << dsg_ref_val.message;                      \
+    for (const auto& dsg_impl : (impls)) {                                   \
+      SCOPED_TRACE(std::string("impl=") + dsg_impl.name);                    \
+      const auto dsg_r = dsg_impl.fn(dsg_parity_a, (source), (delta));       \
+      const auto dsg_cmp =                                                   \
+          ::dsg::compare_distances(dsg_parity_ref.dist, dsg_r.dist, 1e-9);   \
+      EXPECT_TRUE(dsg_cmp.ok) << dsg_cmp.message;                            \
+      const auto dsg_val =                                                   \
+          ::dsg::validate_sssp(dsg_parity_a, (source), dsg_r.dist);          \
+      EXPECT_TRUE(dsg_val.ok) << dsg_val.message;                            \
+    }                                                                        \
+  } while (0)
