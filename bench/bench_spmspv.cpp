@@ -1,0 +1,131 @@
+// SPMSPV — microbenchmark for the workspace-reusing sparse-frontier vxm
+// (the delta-stepping light-phase kernel when the frontier holds a handful
+// of vertices and n is large).
+//
+// Two configurations of the same kernel:
+//   cold:   a fresh grb::Context per call — every call pays the O(n)
+//           workspace (re)initialization, which is what the pre-workspace
+//           engine paid on *every* vxm;
+//   reused: one Context across calls — steady-state cost is O(frontier
+//           out-degree) thanks to the sparse accumulator reset.
+//
+// The PR acceptance gate is reused >= 5x faster than cold at frontier << n.
+// Exit status: 0 when the largest-n ratio clears the gate (checked only at
+// the full default size so CI smoke runs with --n smaller stay meaningful).
+//
+// Flags: --n N (default 1<<20), --deg D (default 8), --csv.
+#include <chrono>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_support/reporter.hpp"
+#include "graphblas/graphblas.hpp"
+
+namespace {
+
+using dsg::format_double;
+using dsg::format_ms;
+using grb::Index;
+
+grb::Matrix<double> random_graph(Index n, int deg, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> pick(0, n - 1);
+  std::uniform_real_distribution<double> wd(0.5, 2.0);
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  r.reserve(static_cast<std::size_t>(n) * deg);
+  c.reserve(r.capacity());
+  v.reserve(r.capacity());
+  for (Index i = 0; i < n; ++i) {
+    for (int k = 0; k < deg; ++k) {
+      r.push_back(i);
+      c.push_back(pick(rng));
+      v.push_back(wd(rng));
+    }
+  }
+  return grb::Matrix<double>::build(n, n, r, c, v, grb::Min<double>{});
+}
+
+template <typename F>
+double best_ms_per_call(F&& call, int reps, int calls_per_rep) {
+  call();  // warm (first-touch pages, workspace growth)
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int k = 0; k < calls_per_rep; ++k) call();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count() /
+                      calls_per_rep;
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsg;
+  CliArgs args(argc, argv);
+  const auto n = static_cast<Index>(args.get_int("n", 1 << 20));
+  const int deg = static_cast<int>(args.get_int("deg", 8));
+  const auto sr = grb::min_plus_semiring<double>();
+
+  auto a = random_graph(n, deg, 42);
+
+  TableReporter table("SPMSPV: sparse-frontier vxm, workspace reuse vs "
+                      "per-call reset (n=" +
+                      std::to_string(n) + ", deg=" + std::to_string(deg) +
+                      ")");
+  table.set_header(
+      {"frontier", "cold_ms", "reused_ms", "speedup", "ratio_vs_gate"});
+
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<Index> pick(0, n - 1);
+  double gate_speedup = 0.0;
+
+  for (Index frontier : {Index{4}, Index{16}, Index{64}, Index{256}}) {
+    grb::Vector<double> u(n);
+    for (Index k = 0; k < frontier; ++k) {
+      u.set_element(pick(rng), 0.25 * static_cast<double>(k));
+    }
+    grb::Vector<double> w(n);
+
+    const int calls = n >= (Index{1} << 18) ? 50 : 200;
+    const double cold = best_ms_per_call(
+        [&] {
+          grb::Context fresh;
+          grb::vxm(fresh, w, sr, u, a, grb::replace_desc);
+        },
+        3, calls);
+
+    grb::Context ctx;
+    const double reused = best_ms_per_call(
+        [&] { grb::vxm(ctx, w, sr, u, a, grb::replace_desc); }, 3, calls);
+
+    const double speedup = cold / reused;
+    if (frontier == 16) gate_speedup = speedup;
+    table.add_row({std::to_string(frontier), format_ms(cold),
+                   format_ms(reused), format_double(speedup, 2) + "x",
+                   format_double(speedup / 5.0, 2)});
+  }
+
+  table.add_footer("gate: frontier=16 must be >= 5x; measured " +
+                   format_double(gate_speedup, 2) + "x");
+  if (args.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  // Only enforce the gate at the default scale: tiny --n smoke runs have
+  // n comparable to the frontier, where reuse cannot dominate.
+  if (n >= (Index{1} << 20) && gate_speedup < 5.0) {
+    std::cerr << "FAILED: workspace reuse speedup " << gate_speedup
+              << "x below the 5x acceptance gate\n";
+    return 1;
+  }
+  return 0;
+}

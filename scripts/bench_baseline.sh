@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Perf baseline: builds the bench binaries in Release mode, runs them on the
+# generated RMAT / Erdos-Renyi / grid suite, and emits BENCH_sssp.json at
+# the repo root — the checked-in perf trajectory for the SSSP hot path.
+#
+# Usage: scripts/bench_baseline.sh [build-dir] [--quick]
+#   build-dir  defaults to build-bench (kept separate from the dev build)
+#   --quick    CI smoke mode: fewer graphs, smaller spmspv instance
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build-bench"
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+# Tests are excluded: the perf build only needs the bench binaries (and the
+# GCC-12 -Wrestrict false positive in one -O3 test TU stays out of the way).
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DDSG_BUILD_TESTS=OFF -DDSG_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target bench_fig3_fusion bench_delta_sweep bench_spmspv
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+if [[ "$QUICK" -eq 1 ]]; then
+  FIG3_ARGS=(--graphs 3)
+  SWEEP_ARGS=(--graphs 2 --deltas "0.5,1,2")
+  SPMSPV_ARGS=(--n 65536 --deg 4)
+else
+  FIG3_ARGS=(--graphs 6)
+  SWEEP_ARGS=(--graphs 3)
+  SPMSPV_ARGS=()
+fi
+
+"$BUILD_DIR/bench/bench_fig3_fusion" "${FIG3_ARGS[@]}" --csv \
+  > "$OUT_DIR/fig3.csv"
+"$BUILD_DIR/bench/bench_delta_sweep" "${SWEEP_ARGS[@]}" --csv \
+  > "$OUT_DIR/sweep.csv"
+"$BUILD_DIR/bench/bench_spmspv" "${SPMSPV_ARGS[@]}" --csv \
+  > "$OUT_DIR/spmspv.csv"
+
+python3 - "$OUT_DIR" "$QUICK" <<'PY'
+import csv, json, platform, os, subprocess, sys
+
+out_dir, quick = sys.argv[1], sys.argv[2] == "1"
+
+def read_table(path):
+    rows, header = [], None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            cells = next(csv.reader([line]))
+            if header is None:
+                header = cells
+            else:
+                rows.append(dict(zip(header, cells)))
+    return rows
+
+def git_head():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"], text=True).strip()
+    except Exception:
+        return "unknown"
+
+doc = {
+    "schema": "dsg-bench-sssp-v1",
+    "quick": quick,
+    "commit": git_head(),
+    "host": {
+        "machine": platform.machine(),
+        "nproc": os.cpu_count(),
+    },
+    "fig3_fusion": read_table(os.path.join(out_dir, "fig3.csv")),
+    "delta_sweep": read_table(os.path.join(out_dir, "sweep.csv")),
+    "spmspv": read_table(os.path.join(out_dir, "spmspv.csv")),
+}
+with open("BENCH_sssp.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_sssp.json")
+PY

@@ -137,20 +137,25 @@ GrB_Semiring_opaque kMinFirstFp64{
 GrB_Semiring_opaque kLorLandBool{lor_fn, land_fn, 0.0};
 
 /// Runs a masked vector operation dispatching on the optional mask/accum.
+/// The C API has no context parameter, so operations run on the
+/// thread-local grb::default_context(): a process using the C binding gets
+/// cross-call workspace reuse (sparse accumulator reset, staging-buffer
+/// recycling) with no API change, matching the listing in the paper.
 template <typename Kernel>
 GrB_Info run_vector_op(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                        GrB_Descriptor desc, Kernel&& kernel) {
   if (!w) return GrB_NULL_POINTER;
   return guarded([&] {
+    grb::Context& ctx = grb::default_context();
     const grb::Descriptor d = resolve_desc(desc);
     if (mask && accum) {
-      kernel(w->impl, mask->impl, CBinary{accum->fn}, d);
+      kernel(ctx, w->impl, mask->impl, CBinary{accum->fn}, d);
     } else if (mask) {
-      kernel(w->impl, mask->impl, grb::NoAccumulate{}, d);
+      kernel(ctx, w->impl, mask->impl, grb::NoAccumulate{}, d);
     } else if (accum) {
-      kernel(w->impl, grb::NoMask{}, CBinary{accum->fn}, d);
+      kernel(ctx, w->impl, grb::NoMask{}, CBinary{accum->fn}, d);
     } else {
-      kernel(w->impl, grb::NoMask{}, grb::NoAccumulate{}, d);
+      kernel(ctx, w->impl, grb::NoMask{}, grb::NoAccumulate{}, d);
     }
   });
 }
@@ -438,9 +443,10 @@ GrB_Info GrB_Vector_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                           GrB_UnaryOp op, GrB_Vector u, GrB_Descriptor desc) {
   if (!op || !u) return GrB_NULL_POINTER;
   return run_vector_op(w, mask, accum, desc,
-                       [&](auto& out, const auto& m, const auto& acc,
-                           const grb::Descriptor& d) {
-                         grb::apply(out, m, acc, CUnary{op->fn}, u->impl, d);
+                       [&](grb::Context& ctx, auto& out, const auto& m,
+                           const auto& acc, const grb::Descriptor& d) {
+                         grb::apply(ctx, out, m, acc, CUnary{op->fn}, u->impl,
+                                    d);
                        });
 }
 
@@ -460,9 +466,9 @@ GrB_Info GrB_eWiseAdd(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
   if (!op || !u || !v) return GrB_NULL_POINTER;
   return run_vector_op(
       w, mask, accum, desc,
-      [&](auto& out, const auto& m, const auto& acc,
+      [&](grb::Context& ctx, auto& out, const auto& m, const auto& acc,
           const grb::Descriptor& d) {
-        grb::ewise_add(out, m, acc, CBinary{op->fn}, u->impl, v->impl, d);
+        grb::ewise_add(ctx, out, m, acc, CBinary{op->fn}, u->impl, v->impl, d);
       });
 }
 
@@ -472,9 +478,10 @@ GrB_Info GrB_eWiseMult(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
   if (!op || !u || !v) return GrB_NULL_POINTER;
   return run_vector_op(
       w, mask, accum, desc,
-      [&](auto& out, const auto& m, const auto& acc,
+      [&](grb::Context& ctx, auto& out, const auto& m, const auto& acc,
           const grb::Descriptor& d) {
-        grb::ewise_mult(out, m, acc, CBinary{op->fn}, u->impl, v->impl, d);
+        grb::ewise_mult(ctx, out, m, acc, CBinary{op->fn}, u->impl, v->impl,
+                        d);
       });
 }
 
@@ -483,9 +490,9 @@ GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                  GrB_Descriptor desc) {
   if (!op || !u || !a) return GrB_NULL_POINTER;
   return run_vector_op(w, mask, accum, desc,
-                       [&](auto& out, const auto& m, const auto& acc,
-                           const grb::Descriptor& d) {
-                         grb::vxm(out, m, acc, CSemiring{op}, u->impl,
+                       [&](grb::Context& ctx, auto& out, const auto& m,
+                           const auto& acc, const grb::Descriptor& d) {
+                         grb::vxm(ctx, out, m, acc, CSemiring{op}, u->impl,
                                   a->impl, d);
                        });
 }
@@ -495,9 +502,9 @@ GrB_Info GrB_mxv(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                  GrB_Descriptor desc) {
   if (!op || !u || !a) return GrB_NULL_POINTER;
   return run_vector_op(w, mask, accum, desc,
-                       [&](auto& out, const auto& m, const auto& acc,
-                           const grb::Descriptor& d) {
-                         grb::mxv(out, m, acc, CSemiring{op}, a->impl,
+                       [&](grb::Context& ctx, auto& out, const auto& m,
+                           const auto& acc, const grb::Descriptor& d) {
+                         grb::mxv(ctx, out, m, acc, CSemiring{op}, a->impl,
                                   u->impl, d);
                        });
 }

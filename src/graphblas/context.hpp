@@ -1,0 +1,171 @@
+// context.hpp — grb::Context, the reusable operation-workspace engine.
+//
+// Every push-style kernel in the substrate needs the same trio of scratch
+// structures: a dense scatter accumulator, the touched-index list that makes
+// it sparsely resettable, and result staging buffers for the write phase.
+// Allocating and zero-filling those per call costs O(n) even when the input
+// holds a handful of entries — which is exactly the delta-stepping hot path
+// (light-phase frontiers of a few vertices on graphs of millions).  A
+// Context owns these buffers and survives across calls, so steady-state
+// operations cost O(work), not O(n):
+//
+//   - ScatterAccumulator::reset clears only the entries touched by the
+//     previous call (O(previous output), not O(n));
+//   - extraction switches between sparse (sort the touched list) and dense
+//     (sweep the bitmap in index order) modes based on output density;
+//   - the write phase swaps its staging buffers with the output vector's
+//     storage, so capacity ping-pongs between them instead of being
+//     reallocated.
+//
+// Operations take a Context& as their first argument; the legacy signatures
+// forward to a thread-local default_context(), so existing callers (and the
+// C API, which has no context parameter) get workspace reuse transparently.
+// A Context is NOT thread-safe: use one per thread, or the per-thread
+// default.  The OpenMP vxm kernel partitions its per-thread accumulators
+// internally from a single caller-owned Context.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <typeindex>
+#include <utility>
+#include <vector>
+
+#include "graphblas/types.hpp"
+
+namespace grb {
+
+namespace detail {
+
+/// Dense scatter accumulator with sparse reset.  `occupied` doubles as the
+/// structure of the result; `touched` records which entries must be cleared
+/// before the next use, making reset O(|touched|) instead of O(n).
+/// `value` is never bulk-initialized: `occupied` guards first touch, so
+/// stale values behind a zero bit are unreachable.
+template <typename Z>
+struct ScatterAccumulator {
+  std::vector<storage_of_t<Z>> value;
+  std::vector<unsigned char> occupied;
+  std::vector<Index> touched;  // indices with occupied==1, unsorted
+
+  /// Prepares the accumulator for a product of dimension n.  Steady state
+  /// (same n as the previous call) is a sparse clear of the touched set;
+  /// only a dimension change pays the full O(n) (re)initialization.
+  void reset(Index n) {
+    if (occupied.size() != static_cast<std::size_t>(n)) {
+      value.resize(n);
+      occupied.assign(n, 0);
+      touched.clear();
+    } else {
+      for (Index j : touched) occupied[j] = 0;
+      touched.clear();
+    }
+  }
+
+  template <typename SR>
+  void scatter(Index j, const Z& x, const SR& sr) {
+    if (!occupied[j]) {
+      occupied[j] = 1;
+      value[j] = x;
+      touched.push_back(j);
+    } else {
+      value[j] = sr.add(static_cast<Z>(value[j]), x);
+    }
+  }
+
+  /// Emits (index, value) pairs in ascending index order into `out_ind` /
+  /// `out_val`, choosing between sorting the touched list (sparse outputs)
+  /// and sweeping the bitmap (dense outputs).  The bitmap sweep is O(n) but
+  /// branch-predictable and sort-free; it wins once the output holds more
+  /// than about an eighth of all positions.  The touched list is preserved
+  /// either way so the next reset stays sparse.
+  void extract_sorted(Index n, std::vector<Index>& out_ind,
+                      std::vector<storage_of_t<Z>>& out_val) {
+    out_ind.reserve(out_ind.size() + touched.size());
+    out_val.reserve(out_val.size() + touched.size());
+    if (touched.size() >= static_cast<std::size_t>(n / 8)) {
+      for (Index j = 0; j < n; ++j) {
+        if (occupied[j]) {
+          out_ind.push_back(j);
+          out_val.push_back(value[j]);
+        }
+      }
+    } else {
+      std::sort(touched.begin(), touched.end());
+      for (Index j : touched) {
+        out_ind.push_back(j);
+        out_val.push_back(value[j]);
+      }
+    }
+  }
+};
+
+/// Staging buffers for the masked write phase (see mask.hpp).  Keyed by the
+/// output's storage type; distinct from the kernel accumulator slots so the
+/// two never alias within one operation.
+template <typename S>
+struct WriteScratch {
+  std::vector<Index> ind;
+  std::vector<S> val;
+};
+
+/// Per-thread accumulators plus merge staging for the OpenMP push kernel.
+/// Each thread scatters into its own accumulator; threads then merge
+/// disjoint index ranges of all accumulators into `merged`, collecting each
+/// range's indices (sorted per range) in `range_ind`.  Concatenating ranges
+/// in order yields a fully sorted result without a global sort.
+template <typename Z>
+struct ThreadScatterPool {
+  std::vector<ScatterAccumulator<Z>> local;
+  ScatterAccumulator<Z> merged;
+  std::vector<std::vector<Index>> range_ind;
+};
+
+}  // namespace detail
+
+/// Reusable operation workspace: a heterogeneous registry of scratch
+/// structures, created on first use and reused for the lifetime of the
+/// Context.  Lookup is a linear scan over a handful of type slots —
+/// negligible next to any kernel, and the returned references are stable
+/// (slots hold pointers, not inline objects).
+class Context {
+ public:
+  /// Returns the Context-owned instance of T, default-constructing it on
+  /// first request.  T identifies the workspace role as well as the element
+  /// type (e.g. ScatterAccumulator<double> vs WriteScratch<double>).
+  template <typename T>
+  T& get() {
+    const std::type_index key(typeid(T));
+    for (auto& slot : slots_) {
+      if (slot.first == key) return *static_cast<T*>(slot.second.get());
+    }
+    auto owned = std::make_shared<T>();
+    T& ref = *owned;
+    slots_.emplace_back(key, std::move(owned));
+    return ref;
+  }
+
+  /// Releases every workspace buffer (memory pressure relief); the Context
+  /// remains usable and will re-grow on demand.
+  void release() { slots_.clear(); }
+
+  /// Input nvals at/above which vxm switches to the OpenMP per-thread
+  /// accumulator kernel (when built with DSG_HAVE_OPENMP).  Below it, the
+  /// serial kernel's lack of merge overhead wins.  Tests lower this to
+  /// exercise the parallel path on small inputs.
+  Index vxm_parallel_threshold = 4096;
+
+ private:
+  std::vector<std::pair<std::type_index, std::shared_ptr<void>>> slots_;
+};
+
+/// The thread-local Context used by operations when the caller does not
+/// pass one explicitly.  Gives signature-stable callers (tests, the C API)
+/// cross-call workspace reuse for free; long-lived pipelines that want
+/// deterministic buffer ownership create their own Context.
+inline Context& default_context() {
+  thread_local Context ctx;
+  return ctx;
+}
+
+}  // namespace grb

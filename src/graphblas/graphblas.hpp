@@ -4,10 +4,12 @@
 //   - grb::Vector<T>, grb::Matrix<T>         (sparse containers)
 //   - operators / monoids / semirings        (ops.hpp, monoid.hpp, semiring.hpp)
 //   - grb::Descriptor, grb::NoMask, grb::NoAccumulate
+//   - grb::Context / grb::default_context()  (reusable operation workspaces)
 //   - operations: apply, ewise_add, ewise_mult, vxm, mxv, mxm, reduce,
 //                 select, extract, assign, transpose
 #pragma once
 
+#include "graphblas/context.hpp"
 #include "graphblas/descriptor.hpp"
 #include "graphblas/mask.hpp"
 #include "graphblas/matrix.hpp"

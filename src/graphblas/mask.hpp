@@ -16,6 +16,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "graphblas/context.hpp"
 #include "graphblas/descriptor.hpp"
 #include "graphblas/matrix.hpp"
 #include "graphblas/types.hpp"
@@ -38,21 +39,27 @@ template <typename Accum>
 inline constexpr bool is_no_accum_v =
     std::is_same_v<std::decay_t<Accum>, NoAccumulate>;
 
-/// Point query against a vector mask under descriptor flags.
+/// Point query against a vector mask under descriptor flags.  A mask with
+/// every position stored (e.g. the dense boolean filters of delta-stepping)
+/// is probed by direct indexing instead of binary search.
 template <typename MaskT>
 class VectorMaskProbe {
  public:
   VectorMaskProbe(const Vector<MaskT>& mask, const Descriptor& desc)
       : mask_(&mask),
         complement_(desc.mask_complement),
-        structural_(desc.mask_structure) {}
+        structural_(desc.mask_structure),
+        dense_(mask.nvals() == mask.size()) {}
 
   bool operator()(Index i) const {
     bool t;
-    auto v = mask_->extract_element(i);
-    if (structural_) {
-      t = v.has_value();
+    if (dense_) {
+      t = structural_ ||
+          mask_->values()[i] != storage_of_t<MaskT>(MaskT(0));
+    } else if (structural_) {
+      t = mask_->has_element(i);
     } else {
+      auto v = mask_->extract_element(i);
       t = v.has_value() && *v != MaskT(0);
     }
     return complement_ ? !t : t;
@@ -62,6 +69,7 @@ class VectorMaskProbe {
   const Vector<MaskT>* mask_;
   bool complement_;
   bool structural_;
+  bool dense_;  // all positions stored: probe by subscript
 };
 
 /// Point query against a matrix mask under descriptor flags.
@@ -90,17 +98,60 @@ class MatrixMaskProbe {
   bool structural_;
 };
 
+struct AlwaysTrueProbe {
+  constexpr bool operator()(Index) const { return true; }
+  constexpr bool operator()(Index, Index) const { return true; }
+};
+struct AlwaysFalseProbe {
+  constexpr bool operator()(Index) const { return false; }
+  constexpr bool operator()(Index, Index) const { return false; }
+};
+
+/// Resolves (mask, desc) to a concrete probe type and invokes `f` with it.
+/// Operations use this to build the probe *once* and share it between the
+/// kernel (mask push-down: skip non-writable positions while computing) and
+/// the write phase — positions the probe rejects either keep the old output
+/// value or are deleted under replace, so their computed values are never
+/// observable and the kernel may skip them outright.
+template <typename Mask, typename F>
+decltype(auto) with_vector_probe(const Mask& mask, const Descriptor& desc,
+                                 Index out_size, F&& f) {
+  if constexpr (is_no_mask_v<Mask>) {
+    (void)mask;
+    (void)out_size;
+    if (desc.mask_complement) {
+      // Complement of "no mask" (all true) is all false: nothing writable.
+      return f(AlwaysFalseProbe{});
+    }
+    return f(AlwaysTrueProbe{});
+  } else {
+    check_size_match(mask.size(), out_size, "mask size vs output size");
+    return f(VectorMaskProbe<typename Mask::value_type>(mask, desc));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Vector write phase.
 // ---------------------------------------------------------------------------
 
 /// Performs `w<probe> accum= z` with replace semantics.  `probe(i)` decides
-/// writability per index; pass nullptr-like AlwaysTrue for no mask.
+/// writability per index; pass AlwaysTrueProbe for no mask.  The merge is
+/// staged in ctx-owned buffers that are swapped with w's storage at the
+/// end, so steady-state calls recycle capacity instead of reallocating.
+///
+/// `z_prefiltered` asserts that every entry of z already passed the probe
+/// (true when the producing kernel pushed the mask down); the merge then
+/// probes only positions present solely in w, instead of re-probing the
+/// whole union.
 template <typename W, typename Z, typename Probe, typename Accum>
-void masked_write_vector(Vector<W>& w, const Vector<Z>& z, const Probe& probe,
-                         const Accum& accum, bool replace) {
-  std::vector<Index> out_ind;
-  std::vector<storage_of_t<W>> out_val;
+void masked_write_vector(Context& ctx, Vector<W>& w, const Vector<Z>& z,
+                         const Probe& probe, const Accum& accum, bool replace,
+                         bool z_prefiltered = false) {
+  auto& scratch = ctx.get<WriteScratch<storage_of_t<W>>>();
+  auto& out_ind = scratch.ind;
+  auto& out_val = scratch.val;
+  out_ind.clear();
+  out_val.clear();
   out_ind.reserve(w.nvals() + z.nvals());
   out_val.reserve(w.nvals() + z.nvals());
 
@@ -121,7 +172,7 @@ void masked_write_vector(Vector<W>& w, const Vector<Z>& z, const Probe& probe,
       in_z = true;
     }
 
-    if (probe(i)) {
+    if ((in_z && z_prefiltered) || probe(i)) {
       // Mask true: write Z-after-accum.
       if constexpr (is_no_accum_v<Accum>) {
         if (in_z) {
@@ -151,34 +202,46 @@ void masked_write_vector(Vector<W>& w, const Vector<Z>& z, const Probe& probe,
     if (in_w) ++a;
     if (in_z) ++b;
   }
-  w.adopt(std::move(out_ind), std::move(out_val));
+  w.swap_storage(out_ind, out_val);
 }
 
-struct AlwaysTrueProbe {
-  constexpr bool operator()(Index) const { return true; }
-  constexpr bool operator()(Index, Index) const { return true; }
-};
-struct AlwaysFalseProbe {
-  constexpr bool operator()(Index) const { return false; }
-  constexpr bool operator()(Index, Index) const { return false; }
-};
+/// Rvalue overload: when there is no mask and no accumulator, every
+/// position is writable and takes z's entry (or absence), so the merge is
+/// the identity map — steal z's storage instead of copying it.  This is
+/// the shape of most calls on the delta-stepping hot path (unmasked
+/// replace-mode vxm / eWiseAdd / apply).
+template <typename W, typename Z, typename Probe, typename Accum>
+void masked_write_vector(Context& ctx, Vector<W>& w, Vector<Z>&& z,
+                         const Probe& probe, const Accum& accum, bool replace,
+                         bool z_prefiltered = false) {
+  if constexpr (std::is_same_v<W, Z> &&
+                std::is_same_v<Probe, AlwaysTrueProbe> &&
+                is_no_accum_v<Accum>) {
+    (void)ctx;
+    (void)probe;
+    (void)replace;
+    (void)z_prefiltered;
+    w = std::move(z);
+  } else {
+    masked_write_vector(ctx, w, z, probe, accum, replace, z_prefiltered);
+  }
+}
 
 /// Dispatches on mask type and invokes masked_write_vector.
 template <typename W, typename Z, typename Mask, typename Accum>
+void write_vector_result(Context& ctx, Vector<W>& w, const Vector<Z>& z,
+                         const Mask& mask, const Accum& accum,
+                         const Descriptor& desc) {
+  with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+    masked_write_vector(ctx, w, z, probe, accum, desc.replace);
+  });
+}
+
+/// Legacy entry point for operations that have no Context parameter.
+template <typename W, typename Z, typename Mask, typename Accum>
 void write_vector_result(Vector<W>& w, const Vector<Z>& z, const Mask& mask,
                          const Accum& accum, const Descriptor& desc) {
-  if constexpr (is_no_mask_v<Mask>) {
-    if (desc.mask_complement) {
-      // Complement of "no mask" (all true) is all false: nothing writable.
-      masked_write_vector(w, z, AlwaysFalseProbe{}, accum, desc.replace);
-    } else {
-      masked_write_vector(w, z, AlwaysTrueProbe{}, accum, desc.replace);
-    }
-  } else {
-    check_size_match(mask.size(), w.size(), "mask size vs output size");
-    VectorMaskProbe<typename Mask::value_type> probe(mask, desc);
-    masked_write_vector(w, z, probe, accum, desc.replace);
-  }
+  write_vector_result(default_context(), w, z, mask, accum, desc);
 }
 
 // ---------------------------------------------------------------------------
@@ -261,6 +324,22 @@ void write_matrix_result(Matrix<W>& w, const Matrix<Z>& z, const Mask& mask,
     MatrixMaskProbe<typename Mask::value_type> probe(mask, desc);
     masked_write_matrix(w, z, probe, accum, desc.replace);
   }
+}
+
+/// Rvalue overload: unmasked non-accumulating writes are C := Z, so z's
+/// CSR arrays move straight into the output (the A_L/A_H filter setup of
+/// delta-stepping is four such applies over the whole matrix).
+template <typename W, typename Z, typename Mask, typename Accum>
+void write_matrix_result(Matrix<W>& w, Matrix<Z>&& z, const Mask& mask,
+                         const Accum& accum, const Descriptor& desc) {
+  if constexpr (std::is_same_v<W, Z> && is_no_mask_v<Mask> &&
+                is_no_accum_v<Accum>) {
+    if (!desc.mask_complement) {
+      w = std::move(z);
+      return;
+    }
+  }
+  write_matrix_result(w, z, mask, accum, desc);
 }
 
 }  // namespace detail

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <span>
@@ -32,6 +34,54 @@ class Matrix {
   /// Empty matrix of logical dimensions nrows x ncols.
   Matrix(Index nrows, Index ncols)
       : nrows_(nrows), ncols_(ncols), row_ptr_(nrows + 1, 0) {}
+
+  // Copies share the transpose snapshot (it matches the copied data and
+  // each object invalidates only its own cache on mutation); moves
+  // transfer it.  Spelled out because the atomic cache slot is neither
+  // copyable nor movable by default.
+  Matrix(const Matrix& o)
+      : nrows_(o.nrows_),
+        ncols_(o.ncols_),
+        row_ptr_(o.row_ptr_),
+        col_ind_(o.col_ind_),
+        val_(o.val_) {
+    transpose_cache_.store(o.transpose_cache_.load(std::memory_order_acquire),
+                           std::memory_order_release);
+  }
+  Matrix(Matrix&& o) noexcept
+      : nrows_(o.nrows_),
+        ncols_(o.ncols_),
+        row_ptr_(std::move(o.row_ptr_)),
+        col_ind_(std::move(o.col_ind_)),
+        val_(std::move(o.val_)) {
+    transpose_cache_.store(o.transpose_cache_.exchange(nullptr),
+                           std::memory_order_release);
+  }
+  Matrix& operator=(const Matrix& o) {
+    if (this != &o) {
+      nrows_ = o.nrows_;
+      ncols_ = o.ncols_;
+      row_ptr_ = o.row_ptr_;
+      col_ind_ = o.col_ind_;
+      val_ = o.val_;
+      transpose_cache_.store(
+          o.transpose_cache_.load(std::memory_order_acquire),
+          std::memory_order_release);
+    }
+    return *this;
+  }
+  Matrix& operator=(Matrix&& o) noexcept {
+    if (this != &o) {
+      nrows_ = o.nrows_;
+      ncols_ = o.ncols_;
+      row_ptr_ = std::move(o.row_ptr_);
+      col_ind_ = std::move(o.col_ind_);
+      val_ = std::move(o.val_);
+      transpose_cache_.store(o.transpose_cache_.exchange(nullptr),
+                             std::memory_order_release);
+    }
+    return *this;
+  }
 
   /// Builds from COO triples; duplicates combined with `dup`
   /// (GrB_Matrix_build).  Triples need not be sorted.
@@ -84,6 +134,7 @@ class Matrix {
 
   /// Removes all stored elements (GrB_Matrix_clear).
   void clear() {
+    invalidate_transpose();
     std::fill(row_ptr_.begin(), row_ptr_.end(), Index{0});
     col_ind_.clear();
     val_.clear();
@@ -129,6 +180,7 @@ class Matrix {
   void set_element(Index r, Index c, const T& x) {
     detail::check_index(r, nrows_, "Matrix::set_element row");
     detail::check_index(c, ncols_, "Matrix::set_element col");
+    invalidate_transpose();
     const Index lo = row_ptr_[r], hi = row_ptr_[r + 1];
     auto it = std::lower_bound(col_ind_.begin() + lo, col_ind_.begin() + hi, c);
     auto pos = static_cast<std::size_t>(it - col_ind_.begin());
@@ -145,6 +197,7 @@ class Matrix {
   void remove_element(Index r, Index c) {
     detail::check_index(r, nrows_, "Matrix::remove_element row");
     detail::check_index(c, ncols_, "Matrix::remove_element col");
+    invalidate_transpose();
     const Index lo = row_ptr_[r], hi = row_ptr_[r + 1];
     auto it = std::lower_bound(col_ind_.begin() + lo, col_ind_.begin() + hi, c);
     if (it == col_ind_.begin() + hi || *it != c) return;
@@ -201,6 +254,30 @@ class Matrix {
     return t;
   }
 
+  /// The transpose, built once and cached until this matrix is mutated
+  /// (set_element / remove_element / clear / adopt invalidate it).  This is
+  /// what operations with a transpose descriptor use: the paper's algorithms
+  /// pass A_L / A_H unchanged through thousands of calls, and rebuilding an
+  /// O(nnz + n) transpose per call dwarfed the actual kernel work.  The
+  /// lazy fill is an atomic first-writer-wins install, so concurrent
+  /// read-only use of a shared matrix stays safe (as it was before
+  /// caching); racing a *mutation* against readers is UB, as for any
+  /// container.  Losers of the install race briefly build a duplicate
+  /// transpose and discard it.
+  const Matrix& transpose_cached() const {
+    auto cached = transpose_cache_.load(std::memory_order_acquire);
+    if (!cached) {
+      auto built = std::make_shared<const Matrix>(transposed());
+      if (transpose_cache_.compare_exchange_strong(
+              cached, built, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        cached = std::move(built);
+      }
+      // On failure `cached` was reloaded with the winning pointer.
+    }
+    return *cached;
+  }
+
   friend bool operator==(const Matrix& a, const Matrix& b) {
     return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ &&
            a.row_ptr_ == b.row_ptr_ && a.col_ind_ == b.col_ind_ &&
@@ -210,6 +287,7 @@ class Matrix {
   // --- Internal bulk access for kernel implementations. ---------------------
   void adopt(std::vector<Index>&& row_ptr, std::vector<Index>&& col_ind,
              std::vector<storage_type>&& values) {
+    invalidate_transpose();
     row_ptr_ = std::move(row_ptr);
     col_ind_ = std::move(col_ind);
     val_ = std::move(values);
@@ -219,11 +297,18 @@ class Matrix {
   std::span<const storage_type> raw_values() const { return val_; }
 
  private:
+  void invalidate_transpose() {
+    transpose_cache_.store(nullptr, std::memory_order_release);
+  }
+
   Index nrows_ = 0;
   Index ncols_ = 0;
   std::vector<Index> row_ptr_;  // size nrows_+1
   std::vector<Index> col_ind_;     // ascending within each row
   std::vector<storage_type> val_;  // parallel to col_ind_
+  // Derived state, excluded from operator== (it never disagrees with the
+  // CSR arrays while valid).
+  mutable std::atomic<std::shared_ptr<const Matrix>> transpose_cache_;
 };
 
 template <typename T>

@@ -17,34 +17,66 @@
 
 namespace grb {
 
-/// w<mask> accum= op(u)
+/// w<mask> accum= op(u), using `ctx`'s workspaces.
 ///
 /// Applies `op` to every stored element of `u`; absent elements stay absent.
-/// Mask/accum/descriptor behave per the standard write rule (see mask.hpp).
+/// Mask/accum/descriptor behave per the standard write rule (see mask.hpp);
+/// the mask probe is pushed down so `op` never runs at non-writable
+/// positions.
+template <typename W, typename Mask, typename Accum, typename UnaryOp,
+          typename U>
+void apply(Context& ctx, Vector<W>& w, const Mask& mask, const Accum& accum,
+           UnaryOp op, const Vector<U>& u,
+           const Descriptor& desc = default_desc) {
+  detail::check_size_match(w.size(), u.size(), "apply: w vs u");
+
+  using Z = decltype(op(std::declval<U>()));
+  detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+    Vector<Z> z(u.size());
+    auto& zi = z.mutable_indices();
+    auto& zv = z.mutable_values();
+    if constexpr (std::is_same_v<std::decay_t<decltype(probe)>,
+                                 detail::AlwaysTrueProbe>) {
+      // Unmasked fast path: bulk-copy the structure, transform the values.
+      zi.assign(u.indices().begin(), u.indices().end());
+      zv.reserve(u.nvals());
+      for (const auto& x : u.values()) {
+        zv.push_back(static_cast<storage_of_t<Z>>(op(static_cast<U>(x))));
+      }
+    } else {
+      zi.reserve(u.nvals());
+      zv.reserve(u.nvals());
+      u.for_each([&](Index i, const U& x) {
+        if (!probe(i)) return;  // mask push-down
+        zi.push_back(i);
+        zv.push_back(static_cast<storage_of_t<Z>>(op(x)));
+      });
+    }
+    detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                desc.replace,
+                                /*z_prefiltered=*/true);
+  });
+}
+
+/// Legacy signature: runs on the thread-local default context.
 template <typename W, typename Mask, typename Accum, typename UnaryOp,
           typename U>
 void apply(Vector<W>& w, const Mask& mask, const Accum& accum, UnaryOp op,
            const Vector<U>& u, const Descriptor& desc = default_desc) {
-  detail::check_size_match(w.size(), u.size(), "apply: w vs u");
-
-  using Z = decltype(op(std::declval<U>()));
-  Vector<Z> z(u.size());
-  std::vector<Index> zi(u.indices().begin(), u.indices().end());
-  std::vector<storage_of_t<Z>> zv;
-  zv.reserve(u.nvals());
-  for (const auto& x : u.values()) {
-    zv.push_back(static_cast<storage_of_t<Z>>(op(static_cast<U>(x))));
-  }
-  z.adopt(std::move(zi), std::move(zv));
-
-  detail::write_vector_result(w, z, mask, accum, desc);
+  apply(default_context(), w, mask, accum, op, u, desc);
 }
 
-/// Unmasked, non-accumulating convenience overload.
+/// Unmasked, non-accumulating convenience overloads.
+template <typename W, typename UnaryOp, typename U>
+void apply(Context& ctx, Vector<W>& w, UnaryOp op, const Vector<U>& u,
+           const Descriptor& desc = default_desc) {
+  apply(ctx, w, NoMask{}, NoAccumulate{}, op, u, desc);
+}
+
 template <typename W, typename UnaryOp, typename U>
 void apply(Vector<W>& w, UnaryOp op, const Vector<U>& u,
            const Descriptor& desc = default_desc) {
-  apply(w, NoMask{}, NoAccumulate{}, op, u, desc);
+  apply(default_context(), w, NoMask{}, NoAccumulate{}, op, u, desc);
 }
 
 /// C<Mask> accum= op(A)     (with optional transpose of A via desc)
@@ -52,12 +84,7 @@ template <typename C, typename Mask, typename Accum, typename UnaryOp,
           typename A>
 void apply(Matrix<C>& c, const Mask& mask, const Accum& accum, UnaryOp op,
            const Matrix<A>& a, const Descriptor& desc = default_desc) {
-  const Matrix<A>* src = &a;
-  Matrix<A> at;
-  if (desc.transpose_in0) {
-    at = a.transposed();
-    src = &at;
-  }
+  const Matrix<A>* src = desc.transpose_in0 ? &a.transpose_cached() : &a;
   detail::check_size_match(c.nrows(), src->nrows(), "apply: C rows vs A rows");
   detail::check_size_match(c.ncols(), src->ncols(), "apply: C cols vs A cols");
 
@@ -72,7 +99,7 @@ void apply(Matrix<C>& c, const Mask& mask, const Accum& accum, UnaryOp op,
   }
   z.adopt(std::move(zptr), std::move(zind), std::move(zval));
 
-  detail::write_matrix_result(c, z, mask, accum, desc);
+  detail::write_matrix_result(c, std::move(z), mask, accum, desc);
 }
 
 /// Unmasked, non-accumulating convenience overload (matrix).

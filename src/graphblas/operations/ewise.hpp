@@ -23,92 +23,141 @@
 
 namespace grb {
 
-/// w<mask> accum= u (+op) v  — union (eWiseAdd) on vectors.
+/// w<mask> accum= u (+op) v  — union (eWiseAdd) on vectors, using `ctx`'s
+/// workspaces.  The mask probe is pushed down into the merge: positions the
+/// mask makes non-writable are never combined or staged.
+template <typename W, typename Mask, typename Accum, typename BinaryOp,
+          typename U, typename V>
+void ewise_add(Context& ctx, Vector<W>& w, const Mask& mask,
+               const Accum& accum, BinaryOp op, const Vector<U>& u,
+               const Vector<V>& v, const Descriptor& desc = default_desc) {
+  detail::check_size_match(u.size(), v.size(), "ewise_add: u vs v");
+  detail::check_size_match(w.size(), u.size(), "ewise_add: w vs u");
+
+  using Z = std::common_type_t<decltype(op(std::declval<U>(), std::declval<V>())), U, V>;
+  detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+    Vector<Z> z(u.size());
+    auto& zi = z.mutable_indices();
+    auto& zv = z.mutable_values();
+    zi.reserve(u.nvals() + v.nvals());
+    zv.reserve(u.nvals() + v.nvals());
+
+    auto ui = u.indices();
+    auto uv = u.values();
+    auto vi = v.indices();
+    auto vv = v.values();
+    std::size_t a = 0, b = 0;
+    while (a < ui.size() || b < vi.size()) {
+      if (a < ui.size() && (b >= vi.size() || ui[a] < vi[b])) {
+        if (probe(ui[a])) {
+          zi.push_back(ui[a]);
+          zv.push_back(static_cast<Z>(uv[a]));  // lone operand passes through
+        }
+        ++a;
+      } else if (b < vi.size() && (a >= ui.size() || vi[b] < ui[a])) {
+        if (probe(vi[b])) {
+          zi.push_back(vi[b]);
+          zv.push_back(static_cast<Z>(vv[b]));
+        }
+        ++b;
+      } else {
+        if (probe(ui[a])) {
+          zi.push_back(ui[a]);
+          zv.push_back(static_cast<Z>(op(uv[a], vv[b])));
+        }
+        ++a;
+        ++b;
+      }
+    }
+    detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                desc.replace,
+                                /*z_prefiltered=*/true);
+  });
+}
+
+/// Legacy signature: runs on the thread-local default context.
 template <typename W, typename Mask, typename Accum, typename BinaryOp,
           typename U, typename V>
 void ewise_add(Vector<W>& w, const Mask& mask, const Accum& accum,
                BinaryOp op, const Vector<U>& u, const Vector<V>& v,
                const Descriptor& desc = default_desc) {
-  detail::check_size_match(u.size(), v.size(), "ewise_add: u vs v");
-  detail::check_size_match(w.size(), u.size(), "ewise_add: w vs u");
-
-  using Z = std::common_type_t<decltype(op(std::declval<U>(), std::declval<V>())), U, V>;
-  Vector<Z> z(u.size());
-  auto& zi = z.mutable_indices();
-  auto& zv = z.mutable_values();
-  zi.reserve(u.nvals() + v.nvals());
-  zv.reserve(u.nvals() + v.nvals());
-
-  auto ui = u.indices();
-  auto uv = u.values();
-  auto vi = v.indices();
-  auto vv = v.values();
-  std::size_t a = 0, b = 0;
-  while (a < ui.size() || b < vi.size()) {
-    if (a < ui.size() && (b >= vi.size() || ui[a] < vi[b])) {
-      zi.push_back(ui[a]);
-      zv.push_back(static_cast<Z>(uv[a]));  // lone operand passes through
-      ++a;
-    } else if (b < vi.size() && (a >= ui.size() || vi[b] < ui[a])) {
-      zi.push_back(vi[b]);
-      zv.push_back(static_cast<Z>(vv[b]));
-      ++b;
-    } else {
-      zi.push_back(ui[a]);
-      zv.push_back(static_cast<Z>(op(uv[a], vv[b])));
-      ++a;
-      ++b;
-    }
-  }
-  detail::write_vector_result(w, z, mask, accum, desc);
+  ewise_add(default_context(), w, mask, accum, op, u, v, desc);
 }
 
-/// Unmasked, non-accumulating convenience overload.
+/// Unmasked, non-accumulating convenience overloads.
+template <typename W, typename BinaryOp, typename U, typename V>
+void ewise_add(Context& ctx, Vector<W>& w, BinaryOp op, const Vector<U>& u,
+               const Vector<V>& v, const Descriptor& desc = default_desc) {
+  ewise_add(ctx, w, NoMask{}, NoAccumulate{}, op, u, v, desc);
+}
+
 template <typename W, typename BinaryOp, typename U, typename V>
 void ewise_add(Vector<W>& w, BinaryOp op, const Vector<U>& u,
                const Vector<V>& v, const Descriptor& desc = default_desc) {
-  ewise_add(w, NoMask{}, NoAccumulate{}, op, u, v, desc);
+  ewise_add(default_context(), w, NoMask{}, NoAccumulate{}, op, u, v, desc);
 }
 
-/// w<mask> accum= u (.op) v  — intersection (eWiseMult) on vectors.
+/// w<mask> accum= u (.op) v  — intersection (eWiseMult) on vectors, using
+/// `ctx`'s workspaces, with the mask pushed down into the merge.
+template <typename W, typename Mask, typename Accum, typename BinaryOp,
+          typename U, typename V>
+void ewise_mult(Context& ctx, Vector<W>& w, const Mask& mask,
+                const Accum& accum, BinaryOp op, const Vector<U>& u,
+                const Vector<V>& v, const Descriptor& desc = default_desc) {
+  detail::check_size_match(u.size(), v.size(), "ewise_mult: u vs v");
+  detail::check_size_match(w.size(), u.size(), "ewise_mult: w vs u");
+
+  using Z = decltype(op(std::declval<U>(), std::declval<V>()));
+  detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+    Vector<Z> z(u.size());
+    auto& zi = z.mutable_indices();
+    auto& zv = z.mutable_values();
+
+    auto ui = u.indices();
+    auto uv = u.values();
+    auto vi = v.indices();
+    auto vv = v.values();
+    std::size_t a = 0, b = 0;
+    while (a < ui.size() && b < vi.size()) {
+      if (ui[a] < vi[b]) {
+        ++a;
+      } else if (vi[b] < ui[a]) {
+        ++b;
+      } else {
+        if (probe(ui[a])) {
+          zi.push_back(ui[a]);
+          zv.push_back(op(uv[a], vv[b]));
+        }
+        ++a;
+        ++b;
+      }
+    }
+    detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                desc.replace,
+                                /*z_prefiltered=*/true);
+  });
+}
+
+/// Legacy signature: runs on the thread-local default context.
 template <typename W, typename Mask, typename Accum, typename BinaryOp,
           typename U, typename V>
 void ewise_mult(Vector<W>& w, const Mask& mask, const Accum& accum,
                 BinaryOp op, const Vector<U>& u, const Vector<V>& v,
                 const Descriptor& desc = default_desc) {
-  detail::check_size_match(u.size(), v.size(), "ewise_mult: u vs v");
-  detail::check_size_match(w.size(), u.size(), "ewise_mult: w vs u");
-
-  using Z = decltype(op(std::declval<U>(), std::declval<V>()));
-  Vector<Z> z(u.size());
-  auto& zi = z.mutable_indices();
-  auto& zv = z.mutable_values();
-
-  auto ui = u.indices();
-  auto uv = u.values();
-  auto vi = v.indices();
-  auto vv = v.values();
-  std::size_t a = 0, b = 0;
-  while (a < ui.size() && b < vi.size()) {
-    if (ui[a] < vi[b]) {
-      ++a;
-    } else if (vi[b] < ui[a]) {
-      ++b;
-    } else {
-      zi.push_back(ui[a]);
-      zv.push_back(op(uv[a], vv[b]));
-      ++a;
-      ++b;
-    }
-  }
-  detail::write_vector_result(w, z, mask, accum, desc);
+  ewise_mult(default_context(), w, mask, accum, op, u, v, desc);
 }
 
-/// Unmasked, non-accumulating convenience overload.
+/// Unmasked, non-accumulating convenience overloads.
+template <typename W, typename BinaryOp, typename U, typename V>
+void ewise_mult(Context& ctx, Vector<W>& w, BinaryOp op, const Vector<U>& u,
+                const Vector<V>& v, const Descriptor& desc = default_desc) {
+  ewise_mult(ctx, w, NoMask{}, NoAccumulate{}, op, u, v, desc);
+}
+
 template <typename W, typename BinaryOp, typename U, typename V>
 void ewise_mult(Vector<W>& w, BinaryOp op, const Vector<U>& u,
                 const Vector<V>& v, const Descriptor& desc = default_desc) {
-  ewise_mult(w, NoMask{}, NoAccumulate{}, op, u, v, desc);
+  ewise_mult(default_context(), w, NoMask{}, NoAccumulate{}, op, u, v, desc);
 }
 
 // ---------------------------------------------------------------------------
@@ -169,18 +218,8 @@ template <typename C, typename Mask, typename Accum, typename BinaryOp,
 void ewise_add(Matrix<C>& c, const Mask& mask, const Accum& accum,
                BinaryOp op, const Matrix<A>& a, const Matrix<B>& b,
                const Descriptor& desc = default_desc) {
-  const Matrix<A>* pa = &a;
-  Matrix<A> at;
-  if (desc.transpose_in0) {
-    at = a.transposed();
-    pa = &at;
-  }
-  const Matrix<B>* pb = &b;
-  Matrix<B> bt;
-  if (desc.transpose_in1) {
-    bt = b.transposed();
-    pb = &bt;
-  }
+  const Matrix<A>* pa = desc.transpose_in0 ? &a.transpose_cached() : &a;
+  const Matrix<B>* pb = desc.transpose_in1 ? &b.transpose_cached() : &b;
   detail::check_size_match(pa->nrows(), pb->nrows(), "ewise_add: A vs B rows");
   detail::check_size_match(pa->ncols(), pb->ncols(), "ewise_add: A vs B cols");
   detail::check_size_match(c.nrows(), pa->nrows(), "ewise_add: C vs A rows");
@@ -188,7 +227,7 @@ void ewise_add(Matrix<C>& c, const Mask& mask, const Accum& accum,
 
   using Z = std::common_type_t<decltype(op(std::declval<A>(), std::declval<B>())), A, B>;
   auto z = detail::ewise_matrix_kernel<true, Z>(op, *pa, *pb);
-  detail::write_matrix_result(c, z, mask, accum, desc);
+  detail::write_matrix_result(c, std::move(z), mask, accum, desc);
 }
 
 /// Unmasked convenience overload (matrix eWiseAdd).
@@ -205,18 +244,8 @@ template <typename C, typename Mask, typename Accum, typename BinaryOp,
 void ewise_mult(Matrix<C>& c, const Mask& mask, const Accum& accum,
                 BinaryOp op, const Matrix<A>& a, const Matrix<B>& b,
                 const Descriptor& desc = default_desc) {
-  const Matrix<A>* pa = &a;
-  Matrix<A> at;
-  if (desc.transpose_in0) {
-    at = a.transposed();
-    pa = &at;
-  }
-  const Matrix<B>* pb = &b;
-  Matrix<B> bt;
-  if (desc.transpose_in1) {
-    bt = b.transposed();
-    pb = &bt;
-  }
+  const Matrix<A>* pa = desc.transpose_in0 ? &a.transpose_cached() : &a;
+  const Matrix<B>* pb = desc.transpose_in1 ? &b.transpose_cached() : &b;
   detail::check_size_match(pa->nrows(), pb->nrows(), "ewise_mult: A vs B rows");
   detail::check_size_match(pa->ncols(), pb->ncols(), "ewise_mult: A vs B cols");
   detail::check_size_match(c.nrows(), pa->nrows(), "ewise_mult: C vs A rows");
@@ -224,7 +253,7 @@ void ewise_mult(Matrix<C>& c, const Mask& mask, const Accum& accum,
 
   using Z = decltype(op(std::declval<A>(), std::declval<B>()));
   auto z = detail::ewise_matrix_kernel<false, Z>(op, *pa, *pb);
-  detail::write_matrix_result(c, z, mask, accum, desc);
+  detail::write_matrix_result(c, std::move(z), mask, accum, desc);
 }
 
 /// Unmasked convenience overload (matrix eWiseMult).

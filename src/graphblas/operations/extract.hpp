@@ -64,12 +64,7 @@ void extract(Matrix<C>& c, const Mask& mask, const Accum& accum,
              const Matrix<A>& a, std::span<const Index> row_indices,
              std::span<const Index> col_indices,
              const Descriptor& desc = default_desc) {
-  const Matrix<A>* pa = &a;
-  Matrix<A> at;
-  if (desc.transpose_in0) {
-    at = a.transposed();
-    pa = &at;
-  }
+  const Matrix<A>* pa = desc.transpose_in0 ? &a.transpose_cached() : &a;
   auto ri = detail::resolve_indices(row_indices, pa->nrows());
   auto ci = detail::resolve_indices(col_indices, pa->ncols());
   detail::check_size_match(c.nrows(), static_cast<Index>(ri.size()),
@@ -126,12 +121,7 @@ template <typename W, typename Mask, typename Accum, typename A>
 void extract_column(Vector<W>& w, const Mask& mask, const Accum& accum,
                     const Matrix<A>& a, Index col,
                     const Descriptor& desc = default_desc) {
-  const Matrix<A>* pa = &a;
-  Matrix<A> at;
-  if (desc.transpose_in0) {
-    at = a.transposed();
-    pa = &at;
-  }
+  const Matrix<A>* pa = desc.transpose_in0 ? &a.transpose_cached() : &a;
   detail::check_index(col, pa->ncols(), "extract_column: col");
   detail::check_size_match(w.size(), pa->nrows(), "extract_column: w vs rows");
 

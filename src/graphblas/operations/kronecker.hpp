@@ -23,18 +23,8 @@ template <typename C, typename Mask, typename Accum, typename BinaryOp,
 void kronecker(Matrix<C>& c, const Mask& mask, const Accum& accum,
                BinaryOp op, const Matrix<A>& a, const Matrix<B>& b,
                const Descriptor& desc = default_desc) {
-  const Matrix<A>* pa = &a;
-  Matrix<A> at;
-  if (desc.transpose_in0) {
-    at = a.transposed();
-    pa = &at;
-  }
-  const Matrix<B>* pb = &b;
-  Matrix<B> bt;
-  if (desc.transpose_in1) {
-    bt = b.transposed();
-    pb = &bt;
-  }
+  const Matrix<A>* pa = desc.transpose_in0 ? &a.transpose_cached() : &a;
+  const Matrix<B>* pb = desc.transpose_in1 ? &b.transpose_cached() : &b;
   const Index crows = pa->nrows() * pb->nrows();
   const Index ccols = pa->ncols() * pb->ncols();
   detail::check_size_match(c.nrows(), crows, "kronecker: C rows");
@@ -68,7 +58,7 @@ void kronecker(Matrix<C>& c, const Mask& mask, const Accum& accum,
     }
   }
   z.adopt(std::move(zptr), std::move(zind), std::move(zval));
-  detail::write_matrix_result(c, z, mask, accum, desc);
+  detail::write_matrix_result(c, std::move(z), mask, accum, desc);
 }
 
 /// Unmasked, non-accumulating convenience overload.

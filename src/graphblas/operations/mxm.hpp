@@ -21,13 +21,16 @@ namespace grb {
 namespace detail {
 
 template <typename Z, typename SR, typename A, typename B>
-Matrix<Z> mxm_kernel(const SR& sr, const Matrix<A>& a, const Matrix<B>& b) {
+Matrix<Z> mxm_kernel(Context& ctx, const SR& sr, const Matrix<A>& a,
+                     const Matrix<B>& b) {
   Matrix<Z> z(a.nrows(), b.ncols());
   std::vector<Index> zptr(a.nrows() + 1, 0);
   std::vector<Index> zind;
   std::vector<storage_of_t<Z>> zval;
 
-  ScatterAccumulator<Z> acc;
+  // Gustavson row-by-row with the Context accumulator: the per-row reset is
+  // sparse (O(row fill), not O(ncols)), so total cost is O(flops + nnz(C)).
+  auto& acc = ctx.get<ScatterAccumulator<Z>>();
   for (Index r = 0; r < a.nrows(); ++r) {
     acc.reset(b.ncols());
     auto acols = a.row_indices(r);
@@ -43,11 +46,7 @@ Matrix<Z> mxm_kernel(const SR& sr, const Matrix<A>& a, const Matrix<B>& b) {
                     sr);
       }
     }
-    std::sort(acc.touched.begin(), acc.touched.end());
-    for (Index j : acc.touched) {
-      zind.push_back(j);
-      zval.push_back(acc.value[j]);
-    }
+    acc.extract_sorted(b.ncols(), zind, zval);
     zptr[r + 1] = static_cast<Index>(zind.size());
   }
   z.adopt(std::move(zptr), std::move(zind), std::move(zval));
@@ -56,38 +55,44 @@ Matrix<Z> mxm_kernel(const SR& sr, const Matrix<A>& a, const Matrix<B>& b) {
 
 }  // namespace detail
 
-/// C<Mask> accum= A (op) B  (GrB_mxm), with optional input transposes.
+/// C<Mask> accum= A (op) B  (GrB_mxm) using `ctx`'s workspaces, with
+/// optional input transposes.
 template <typename C, typename Mask, typename Accum, typename SR, typename A,
           typename B>
-void mxm(Matrix<C>& c, const Mask& mask, const Accum& accum, const SR& sr,
-         const Matrix<A>& a, const Matrix<B>& b,
+void mxm(Context& ctx, Matrix<C>& c, const Mask& mask, const Accum& accum,
+         const SR& sr, const Matrix<A>& a, const Matrix<B>& b,
          const Descriptor& desc = default_desc) {
-  const Matrix<A>* pa = &a;
-  Matrix<A> at;
-  if (desc.transpose_in0) {
-    at = a.transposed();
-    pa = &at;
-  }
-  const Matrix<B>* pb = &b;
-  Matrix<B> bt;
-  if (desc.transpose_in1) {
-    bt = b.transposed();
-    pb = &bt;
-  }
+  const Matrix<A>* pa = desc.transpose_in0 ? &a.transpose_cached() : &a;
+  const Matrix<B>* pb = desc.transpose_in1 ? &b.transpose_cached() : &b;
   detail::check_size_match(pa->ncols(), pb->nrows(), "mxm: A cols vs B rows");
   detail::check_size_match(c.nrows(), pa->nrows(), "mxm: C rows vs A rows");
   detail::check_size_match(c.ncols(), pb->ncols(), "mxm: C cols vs B cols");
 
   using Z = typename SR::value_type;
-  auto z = detail::mxm_kernel<Z>(sr, *pa, *pb);
-  detail::write_matrix_result(c, z, mask, accum, desc);
+  auto z = detail::mxm_kernel<Z>(ctx, sr, *pa, *pb);
+  detail::write_matrix_result(c, std::move(z), mask, accum, desc);
 }
 
-/// Unmasked, non-accumulating convenience overload.
+/// Legacy signature: runs on the thread-local default context.
+template <typename C, typename Mask, typename Accum, typename SR, typename A,
+          typename B>
+void mxm(Matrix<C>& c, const Mask& mask, const Accum& accum, const SR& sr,
+         const Matrix<A>& a, const Matrix<B>& b,
+         const Descriptor& desc = default_desc) {
+  mxm(default_context(), c, mask, accum, sr, a, b, desc);
+}
+
+/// Unmasked, non-accumulating convenience overloads.
+template <typename C, typename SR, typename A, typename B>
+void mxm(Context& ctx, Matrix<C>& c, const SR& sr, const Matrix<A>& a,
+         const Matrix<B>& b, const Descriptor& desc = default_desc) {
+  mxm(ctx, c, NoMask{}, NoAccumulate{}, sr, a, b, desc);
+}
+
 template <typename C, typename SR, typename A, typename B>
 void mxm(Matrix<C>& c, const SR& sr, const Matrix<A>& a, const Matrix<B>& b,
          const Descriptor& desc = default_desc) {
-  mxm(c, NoMask{}, NoAccumulate{}, sr, a, b, desc);
+  mxm(default_context(), c, NoMask{}, NoAccumulate{}, sr, a, b, desc);
 }
 
 }  // namespace grb

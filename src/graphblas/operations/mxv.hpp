@@ -8,11 +8,16 @@
 // Kernel shape: for each stored u[i], scatter semiring.mult(u[i], A[i][j])
 // into a dense accumulator indexed by j, combining with semiring.add.  This
 // is the push-style SpMSpV that SuiteSparse uses for row-major vxm; its cost
-// is proportional to the sum of the out-degrees of the frontier.
+// is proportional to the sum of the out-degrees of the frontier.  The
+// accumulator lives in the grb::Context workspace (sparse reset, see
+// context.hpp), the mask probe is pushed down into the scatter loop so
+// non-writable columns are never computed, and frontiers above the
+// Context's threshold run the OpenMP per-thread-accumulator kernel.
 #pragma once
 
 #include <vector>
 
+#include "graphblas/context.hpp"
 #include "graphblas/descriptor.hpp"
 #include "graphblas/mask.hpp"
 #include "graphblas/matrix.hpp"
@@ -20,69 +25,181 @@
 #include "graphblas/types.hpp"
 #include "graphblas/vector.hpp"
 
+#if defined(DSG_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
 namespace grb {
 
 namespace detail {
 
-/// Dense scatter accumulator reused across products.  `occupied` doubles as
-/// the structure of the result.
-template <typename Z>
-struct ScatterAccumulator {
-  std::vector<storage_of_t<Z>> value;
-  std::vector<unsigned char> occupied;
-  std::vector<Index> touched;  // indices with occupied==1, unsorted
+#if defined(DSG_HAVE_OPENMP)
 
-  void reset(Index n) {
-    value.assign(n, Z{});
-    occupied.assign(n, 0);
-    touched.clear();
+/// Parallel push kernel: u's entries are split into degree-balanced
+/// contiguous chunks, each thread scatters its chunk into a private
+/// accumulator, then threads merge disjoint column ranges of all private
+/// accumulators into one result.  Merging chunk s = 0..nt-1 in order feeds
+/// each column its contributions in the same ascending-row sequence as the
+/// serial kernel, but associated per chunk — bit-identical to serial for
+/// exactly-associative adds (min/max/or/and, the delta-stepping case), and
+/// within rounding of it for floating-point sums.  Semiring ops must not
+/// throw (an exception would escape the parallel region and terminate).
+template <typename Z, typename SR, typename U, typename A, typename Probe>
+Vector<Z> vxm_kernel_parallel(Context& ctx, const SR& sr, const Vector<U>& u,
+                              const Matrix<A>& a, const Probe& probe) {
+  const Index n = a.ncols();
+  auto ui = u.indices();
+  auto uv = u.values();
+  const std::size_t nu = ui.size();
+
+  const int want = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, omp_get_max_threads())),
+      std::max<std::size_t>(1, nu)));
+
+  auto& pool = ctx.get<ThreadScatterPool<Z>>();
+  auto& merged = pool.merged;
+  merged.reset(n);
+
+  // num_threads is only an upper bound (dynamic teams, thread limits,
+  // nesting can all shrink it), so the chunking is derived from the team
+  // size actually delivered, inside the region: chunk t covers u entries
+  // [cuts[t], cuts[t+1]), cut so chunks carry roughly equal out-degree
+  // sums (entry-count chunks starve on power-law graphs).
+  std::vector<std::size_t> cuts;
+  int team = 1;
+
+#pragma omp parallel num_threads(want)
+  {
+#pragma omp single
+    {
+      team = omp_get_num_threads();
+      const auto nt = static_cast<std::size_t>(team);
+      cuts.assign(nt + 1, 0);
+      std::uint64_t total = 0;
+      for (std::size_t k = 0; k < nu; ++k) total += a.row_nvals(ui[k]);
+      std::uint64_t seen = 0;
+      std::size_t k = 0;
+      for (std::size_t c = 1; c < nt; ++c) {
+        const std::uint64_t target = total * c / nt;
+        while (k < nu && seen < target) seen += a.row_nvals(ui[k++]);
+        cuts[c] = k;
+      }
+      cuts[nt] = nu;
+      if (pool.local.size() < nt) pool.local.resize(nt);
+      if (pool.range_ind.size() < nt) pool.range_ind.resize(nt);
+    }  // implied barrier: cuts/pool sizing visible to the whole team
+
+    const auto nt = static_cast<std::size_t>(team);
+    const auto t = static_cast<std::size_t>(omp_get_thread_num());
+    auto& lacc = pool.local[t];
+    lacc.reset(n);
+    for (std::size_t k = cuts[t]; k < cuts[t + 1]; ++k) {
+      const Index i = ui[k];
+      const U ux = static_cast<U>(uv[k]);
+      auto cols = a.row_indices(i);
+      auto vals = a.row_values(i);
+      for (std::size_t e = 0; e < cols.size(); ++e) {
+        const Index j = cols[e];
+        if (!lacc.occupied[j] && !probe(j)) continue;  // mask push-down
+        lacc.scatter(j, static_cast<Z>(sr.mult(ux, static_cast<A>(vals[e]))),
+                     sr);
+      }
+    }
+
+#pragma omp barrier
+
+    // Thread t merges columns [lo, hi) from every private accumulator.
+    // Ranges are disjoint, so `merged` needs no synchronization.
+    const Index lo = n * static_cast<Index>(t) / static_cast<Index>(nt);
+    const Index hi = n * (static_cast<Index>(t) + 1) / static_cast<Index>(nt);
+    auto& out = pool.range_ind[t];
+    out.clear();
+    for (std::size_t s = 0; s < nt; ++s) {
+      const auto& sacc = pool.local[s];
+      for (Index j : sacc.touched) {
+        if (j < lo || j >= hi) continue;
+        if (!merged.occupied[j]) {
+          merged.occupied[j] = 1;
+          merged.value[j] = sacc.value[j];
+          out.push_back(j);
+        } else {
+          merged.value[j] = sr.add(static_cast<Z>(merged.value[j]),
+                                   static_cast<Z>(sacc.value[j]));
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
   }
 
-  template <typename SR>
-  void scatter(Index j, const Z& x, const SR& sr) {
-    if (!occupied[j]) {
-      occupied[j] = 1;
-      value[j] = x;
-      touched.push_back(j);
-    } else {
-      value[j] = sr.add(static_cast<Z>(value[j]), x);
-    }
-  }
-};
-
-/// Core push kernel: z = uᵀ A over semiring `sr` (no mask/accum — those are
-/// applied by the caller's write phase).
-template <typename Z, typename SR, typename U, typename A>
-Vector<Z> vxm_kernel(const SR& sr, const Vector<U>& u, const Matrix<A>& a) {
-  Vector<Z> z(a.ncols());
-  ScatterAccumulator<Z> acc;
-  acc.reset(a.ncols());
-
-  u.for_each([&](Index i, const U& ux) {
-    auto cols = a.row_indices(i);
-    auto vals = a.row_values(i);
-    for (std::size_t k = 0; k < cols.size(); ++k) {
-      acc.scatter(cols[k],
-                  static_cast<Z>(sr.mult(ux, static_cast<A>(vals[k]))), sr);
-    }
-  });
-
-  std::sort(acc.touched.begin(), acc.touched.end());
+  // Per-range outputs are sorted and the ranges ascend, so concatenation is
+  // already in index order.  Clearing occupied bits as we emit restores the
+  // merged accumulator's all-clear invariant without an O(n) pass.
+  Vector<Z> z(n);
   auto& zi = z.mutable_indices();
   auto& zv = z.mutable_values();
-  zi.reserve(acc.touched.size());
-  zv.reserve(acc.touched.size());
-  for (Index j : acc.touched) {
-    zi.push_back(j);
-    zv.push_back(acc.value[j]);
+  std::size_t nnz = 0;
+  for (std::size_t t = 0; t < static_cast<std::size_t>(team); ++t) {
+    nnz += pool.range_ind[t].size();
+  }
+  zi.reserve(nnz);
+  zv.reserve(nnz);
+  for (std::size_t t = 0; t < static_cast<std::size_t>(team); ++t) {
+    for (Index j : pool.range_ind[t]) {
+      zi.push_back(j);
+      zv.push_back(merged.value[j]);
+      merged.occupied[j] = 0;
+    }
   }
   return z;
 }
 
+#endif  // DSG_HAVE_OPENMP
+
+/// Core push kernel: z = uᵀ A over semiring `sr`.  The probe (from
+/// with_vector_probe) is applied inside the scatter loop: a column the mask
+/// makes non-writable is skipped before its product is ever formed, at one
+/// probe call per distinct column.  Accum/replace still happen in the
+/// caller's write phase.
+template <typename Z, typename SR, typename U, typename A, typename Probe>
+Vector<Z> vxm_kernel(Context& ctx, const SR& sr, const Vector<U>& u,
+                     const Matrix<A>& a, const Probe& probe) {
+  const Index n = a.ncols();
+  if constexpr (std::is_same_v<Probe, AlwaysFalseProbe>) {
+    // Complement of "no mask": nothing is writable, skip the product.
+    return Vector<Z>(n);
+  } else {
+#if defined(DSG_HAVE_OPENMP)
+    // With a single thread the parallel kernel is the serial one plus merge
+    // and region overhead, so it must also clear the thread-count gate.
+    if (u.nvals() >= ctx.vxm_parallel_threshold &&
+        omp_get_max_threads() > 1) {
+      return vxm_kernel_parallel<Z>(ctx, sr, u, a, probe);
+    }
+#endif
+    auto& acc = ctx.get<ScatterAccumulator<Z>>();
+    acc.reset(n);
+    u.for_each([&](Index i, const U& ux) {
+      auto cols = a.row_indices(i);
+      auto vals = a.row_values(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const Index j = cols[k];
+        if (!acc.occupied[j] && !probe(j)) continue;  // mask push-down
+        acc.scatter(j, static_cast<Z>(sr.mult(ux, static_cast<A>(vals[k]))),
+                    sr);
+      }
+    });
+    Vector<Z> z(n);
+    acc.extract_sorted(n, z.mutable_indices(), z.mutable_values());
+    return z;
+  }
+}
+
 /// Core pull kernel: z = A u over semiring `sr` (dot products of CSR rows
-/// with the sparse input vector).
-template <typename Z, typename SR, typename A, typename U>
-Vector<Z> mxv_kernel(const SR& sr, const Matrix<A>& a, const Vector<U>& u) {
+/// with the sparse input vector).  The probe skips non-writable rows before
+/// their dot product is computed.
+template <typename Z, typename SR, typename A, typename U, typename Probe>
+Vector<Z> mxv_kernel(const SR& sr, const Matrix<A>& a, const Vector<U>& u,
+                     const Probe& probe) {
   Vector<Z> z(a.nrows());
   auto& zi = z.mutable_indices();
   auto& zv = z.mutable_values();
@@ -90,6 +207,7 @@ Vector<Z> mxv_kernel(const SR& sr, const Matrix<A>& a, const Vector<U>& u) {
   auto ui = u.indices();
   auto uv = u.values();
   for (Index r = 0; r < a.nrows(); ++r) {
+    if (!probe(r)) continue;  // mask push-down
     auto cols = a.row_indices(r);
     auto vals = a.row_values(r);
     bool any = false;
@@ -119,60 +237,99 @@ Vector<Z> mxv_kernel(const SR& sr, const Matrix<A>& a, const Vector<U>& u) {
 
 }  // namespace detail
 
-/// w<mask> accum= uᵀ A  (GrB_vxm).  desc.transpose_in1 transposes A.
+/// w<mask> accum= uᵀ A  (GrB_vxm) using `ctx`'s workspaces.
+/// desc.transpose_in1 transposes A (served from the matrix's cached
+/// transpose — no per-call rebuild).
+template <typename W, typename Mask, typename Accum, typename SR, typename U,
+          typename A>
+void vxm(Context& ctx, Vector<W>& w, const Mask& mask, const Accum& accum,
+         const SR& sr, const Vector<U>& u, const Matrix<A>& a,
+         const Descriptor& desc = default_desc) {
+  const Matrix<A>* pa = desc.transpose_in1 ? &a.transpose_cached() : &a;
+  detail::check_size_match(u.size(), pa->nrows(), "vxm: u size vs A rows");
+  detail::check_size_match(w.size(), pa->ncols(), "vxm: w size vs A cols");
+
+  using Z = typename SR::value_type;
+  detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+    auto z = detail::vxm_kernel<Z>(ctx, sr, u, *pa, probe);
+    detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                desc.replace,
+                                /*z_prefiltered=*/true);
+  });
+}
+
+/// Legacy signature: runs on the thread-local default context.
 template <typename W, typename Mask, typename Accum, typename SR, typename U,
           typename A>
 void vxm(Vector<W>& w, const Mask& mask, const Accum& accum, const SR& sr,
          const Vector<U>& u, const Matrix<A>& a,
          const Descriptor& desc = default_desc) {
-  const Matrix<A>* pa = &a;
-  Matrix<A> at;
-  if (desc.transpose_in1) {
-    at = a.transposed();
-    pa = &at;
-  }
-  detail::check_size_match(u.size(), pa->nrows(), "vxm: u size vs A rows");
-  detail::check_size_match(w.size(), pa->ncols(), "vxm: w size vs A cols");
-
-  using Z = typename SR::value_type;
-  auto z = detail::vxm_kernel<Z>(sr, u, *pa);
-  detail::write_vector_result(w, z, mask, accum, desc);
+  vxm(default_context(), w, mask, accum, sr, u, a, desc);
 }
 
-/// Unmasked, non-accumulating convenience overload.
+/// Unmasked, non-accumulating convenience overloads.
+template <typename W, typename SR, typename U, typename A>
+void vxm(Context& ctx, Vector<W>& w, const SR& sr, const Vector<U>& u,
+         const Matrix<A>& a, const Descriptor& desc = default_desc) {
+  vxm(ctx, w, NoMask{}, NoAccumulate{}, sr, u, a, desc);
+}
+
 template <typename W, typename SR, typename U, typename A>
 void vxm(Vector<W>& w, const SR& sr, const Vector<U>& u, const Matrix<A>& a,
          const Descriptor& desc = default_desc) {
-  vxm(w, NoMask{}, NoAccumulate{}, sr, u, a, desc);
+  vxm(default_context(), w, NoMask{}, NoAccumulate{}, sr, u, a, desc);
 }
 
-/// w<mask> accum= A u  (GrB_mxv).  desc.transpose_in0 transposes A, in which
-/// case the push kernel (vxm on the untransposed matrix) is used since
-/// Aᵀu = (uᵀA)ᵀ.
+/// w<mask> accum= A u  (GrB_mxv) using `ctx`'s workspaces.
+/// desc.transpose_in0 transposes A, in which case the push kernel (vxm on
+/// the untransposed matrix) is used since Aᵀu = (uᵀA)ᵀ.
 template <typename W, typename Mask, typename Accum, typename SR, typename A,
           typename U>
-void mxv(Vector<W>& w, const Mask& mask, const Accum& accum, const SR& sr,
-         const Matrix<A>& a, const Vector<U>& u,
+void mxv(Context& ctx, Vector<W>& w, const Mask& mask, const Accum& accum,
+         const SR& sr, const Matrix<A>& a, const Vector<U>& u,
          const Descriptor& desc = default_desc) {
   using Z = typename SR::value_type;
   if (desc.transpose_in0) {
     detail::check_size_match(u.size(), a.nrows(), "mxv(T): u size vs A rows");
     detail::check_size_match(w.size(), a.ncols(), "mxv(T): w size vs A cols");
-    auto z = detail::vxm_kernel<Z>(sr, u, a);
-    detail::write_vector_result(w, z, mask, accum, desc);
+    detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+      auto z = detail::vxm_kernel<Z>(ctx, sr, u, a, probe);
+      detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                desc.replace,
+                                /*z_prefiltered=*/true);
+    });
     return;
   }
   detail::check_size_match(u.size(), a.ncols(), "mxv: u size vs A cols");
   detail::check_size_match(w.size(), a.nrows(), "mxv: w size vs A rows");
-  auto z = detail::mxv_kernel<Z>(sr, a, u);
-  detail::write_vector_result(w, z, mask, accum, desc);
+  detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+    auto z = detail::mxv_kernel<Z>(sr, a, u, probe);
+    detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                desc.replace,
+                                /*z_prefiltered=*/true);
+  });
 }
 
-/// Unmasked, non-accumulating convenience overload.
+/// Legacy signature: runs on the thread-local default context.
+template <typename W, typename Mask, typename Accum, typename SR, typename A,
+          typename U>
+void mxv(Vector<W>& w, const Mask& mask, const Accum& accum, const SR& sr,
+         const Matrix<A>& a, const Vector<U>& u,
+         const Descriptor& desc = default_desc) {
+  mxv(default_context(), w, mask, accum, sr, a, u, desc);
+}
+
+/// Unmasked, non-accumulating convenience overloads.
+template <typename W, typename SR, typename A, typename U>
+void mxv(Context& ctx, Vector<W>& w, const SR& sr, const Matrix<A>& a,
+         const Vector<U>& u, const Descriptor& desc = default_desc) {
+  mxv(ctx, w, NoMask{}, NoAccumulate{}, sr, a, u, desc);
+}
+
 template <typename W, typename SR, typename A, typename U>
 void mxv(Vector<W>& w, const SR& sr, const Matrix<A>& a, const Vector<U>& u,
          const Descriptor& desc = default_desc) {
-  mxv(w, NoMask{}, NoAccumulate{}, sr, a, u, desc);
+  mxv(default_context(), w, NoMask{}, NoAccumulate{}, sr, a, u, desc);
 }
 
 }  // namespace grb

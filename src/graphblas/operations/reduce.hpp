@@ -61,12 +61,7 @@ template <typename W, typename Mask, typename Accum, typename MonoidT,
 void reduce(Vector<W>& w, const Mask& mask, const Accum& accum,
             const MonoidT& monoid, const Matrix<A>& a,
             const Descriptor& desc = default_desc) {
-  const Matrix<A>* pa = &a;
-  Matrix<A> at;
-  if (desc.transpose_in0) {
-    at = a.transposed();
-    pa = &at;
-  }
+  const Matrix<A>* pa = desc.transpose_in0 ? &a.transpose_cached() : &a;
   detail::check_size_match(w.size(), pa->nrows(), "reduce: w vs A rows");
 
   using T = typename MonoidT::value_type;

@@ -17,43 +17,72 @@
 namespace grb {
 
 /// w<mask> accum= select(pred, u):  w keeps u's entries where
-/// pred(value, index) holds.
+/// pred(value, index) holds.  Uses `ctx`'s workspaces; the mask probe is
+/// pushed down so masked-out entries are never tested or staged.
+template <typename W, typename Mask, typename Accum, typename Pred,
+          typename U>
+  requires VectorSelectOpFor<Pred, U>
+void select(Context& ctx, Vector<W>& w, const Mask& mask, const Accum& accum,
+            Pred pred, const Vector<U>& u,
+            const Descriptor& desc = default_desc) {
+  detail::check_size_match(w.size(), u.size(), "select: w vs u");
+
+  detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+    Vector<U> z(u.size());
+    auto& zi = z.mutable_indices();
+    auto& zv = z.mutable_values();
+    u.for_each([&](Index i, const U& x) {
+      if (probe(i) && pred(x, i)) {
+        zi.push_back(i);
+        zv.push_back(x);
+      }
+    });
+    detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                desc.replace,
+                                /*z_prefiltered=*/true);
+  });
+}
+
+/// Legacy signature: runs on the thread-local default context.
 template <typename W, typename Mask, typename Accum, typename Pred,
           typename U>
   requires VectorSelectOpFor<Pred, U>
 void select(Vector<W>& w, const Mask& mask, const Accum& accum, Pred pred,
             const Vector<U>& u, const Descriptor& desc = default_desc) {
-  detail::check_size_match(w.size(), u.size(), "select: w vs u");
-
-  Vector<U> z(u.size());
-  auto& zi = z.mutable_indices();
-  auto& zv = z.mutable_values();
-  u.for_each([&](Index i, const U& x) {
-    if (pred(x, i)) {
-      zi.push_back(i);
-      zv.push_back(x);
-    }
-  });
-  detail::write_vector_result(w, z, mask, accum, desc);
+  select(default_context(), w, mask, accum, pred, u, desc);
 }
 
 /// Value-only predicate convenience: wraps pred(value) into pred(value, i).
 template <typename W, typename Pred, typename U>
   requires UnaryOpFor<Pred, U> && (!VectorSelectOpFor<Pred, U>)
-void select(Vector<W>& w, Pred pred, const Vector<U>& u,
+void select(Context& ctx, Vector<W>& w, Pred pred, const Vector<U>& u,
             const Descriptor& desc = default_desc) {
   select(
-      w, NoMask{}, NoAccumulate{},
+      ctx, w, NoMask{}, NoAccumulate{},
       [&pred](const U& x, Index) { return static_cast<bool>(pred(x)); }, u,
       desc);
 }
 
-/// Index-aware unmasked convenience overload.
+template <typename W, typename Pred, typename U>
+  requires UnaryOpFor<Pred, U> && (!VectorSelectOpFor<Pred, U>)
+void select(Vector<W>& w, Pred pred, const Vector<U>& u,
+            const Descriptor& desc = default_desc) {
+  select(default_context(), w, pred, u, desc);
+}
+
+/// Index-aware unmasked convenience overloads.
+template <typename W, typename Pred, typename U>
+  requires VectorSelectOpFor<Pred, U>
+void select(Context& ctx, Vector<W>& w, Pred pred, const Vector<U>& u,
+            const Descriptor& desc = default_desc) {
+  select(ctx, w, NoMask{}, NoAccumulate{}, pred, u, desc);
+}
+
 template <typename W, typename Pred, typename U>
   requires VectorSelectOpFor<Pred, U>
 void select(Vector<W>& w, Pred pred, const Vector<U>& u,
             const Descriptor& desc = default_desc) {
-  select(w, NoMask{}, NoAccumulate{}, pred, u, desc);
+  select(default_context(), w, NoMask{}, NoAccumulate{}, pred, u, desc);
 }
 
 /// C<Mask> accum= select(pred, A): keeps A's entries where
@@ -63,12 +92,7 @@ template <typename C, typename Mask, typename Accum, typename Pred,
   requires MatrixSelectOpFor<Pred, A>
 void select(Matrix<C>& c, const Mask& mask, const Accum& accum, Pred pred,
             const Matrix<A>& a, const Descriptor& desc = default_desc) {
-  const Matrix<A>* pa = &a;
-  Matrix<A> at;
-  if (desc.transpose_in0) {
-    at = a.transposed();
-    pa = &at;
-  }
+  const Matrix<A>* pa = desc.transpose_in0 ? &a.transpose_cached() : &a;
   detail::check_size_match(c.nrows(), pa->nrows(), "select: C vs A rows");
   detail::check_size_match(c.ncols(), pa->ncols(), "select: C vs A cols");
 
@@ -88,7 +112,7 @@ void select(Matrix<C>& c, const Mask& mask, const Accum& accum, Pred pred,
     zptr[r + 1] = static_cast<Index>(zind.size());
   }
   z.adopt(std::move(zptr), std::move(zind), std::move(zval));
-  detail::write_matrix_result(c, z, mask, accum, desc);
+  detail::write_matrix_result(c, std::move(z), mask, accum, desc);
 }
 
 /// Value-only predicate convenience (matrix).

@@ -13,7 +13,7 @@ namespace grb {
 template <typename C, typename Mask, typename Accum, typename A>
 void transpose(Matrix<C>& c, const Mask& mask, const Accum& accum,
                const Matrix<A>& a, const Descriptor& desc = default_desc) {
-  Matrix<A> z = desc.transpose_in0 ? a : a.transposed();
+  const Matrix<A>& z = desc.transpose_in0 ? a : a.transpose_cached();
   detail::check_size_match(c.nrows(), z.nrows(), "transpose: C vs Aᵀ rows");
   detail::check_size_match(c.ncols(), z.ncols(), "transpose: C vs Aᵀ cols");
   detail::write_matrix_result(c, z, mask, accum, desc);

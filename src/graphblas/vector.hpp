@@ -80,9 +80,16 @@ class Vector {
   bool empty() const { return ind_.empty(); }
 
   /// Removes all stored elements; dimension unchanged (GrB_Vector_clear).
+  /// Capacity is retained, so refilling a cleared vector does not allocate.
   void clear() {
     ind_.clear();
     val_.clear();
+  }
+
+  /// Pre-allocates storage for n elements without changing contents.
+  void reserve(Index n) {
+    ind_.reserve(n);
+    val_.reserve(n);
   }
 
   /// Resizes the logical dimension; entries at indices >= n are dropped
@@ -182,6 +189,15 @@ class Vector {
   void adopt(std::vector<Index>&& indices, std::vector<storage_type>&& values) {
     ind_ = std::move(indices);
     val_ = std::move(values);
+  }
+  /// Exchanges storage with caller-owned buffers (sorted triples, like
+  /// adopt).  The caller receives the previous storage, so a reused scratch
+  /// pair and a vector can ping-pong capacity with zero allocation in
+  /// steady state — the write phase in mask.hpp relies on this.
+  void swap_storage(std::vector<Index>& indices,
+                    std::vector<storage_type>& values) {
+    ind_.swap(indices);
+    val_.swap(values);
   }
   std::vector<Index>& mutable_indices() { return ind_; }
   std::vector<storage_type>& mutable_values() { return val_; }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "graphblas/context.hpp"
+
 namespace dsg {
 
 namespace {
@@ -13,6 +15,18 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+/// Dense work buffers for the fused kernel, parked in the thread-local
+/// grb::default_context() so repeated runs (benchmark reps, multi-source
+/// sweeps) reuse capacity instead of reallocating four O(n) arrays.  The
+/// distance vector t is excluded: it is moved into the result.
+struct FusedWorkspace {
+  std::vector<double> treq;
+  std::vector<unsigned char> tb;
+  std::vector<unsigned char> s;
+  std::vector<Index> frontier;
+  std::vector<Index> touched;
+};
 
 }  // namespace
 
@@ -87,12 +101,18 @@ SsspResult delta_stepping_fused(const grb::Matrix<double>& a, Index source,
 
   // Dense work vectors.  Absent == infinity for t/tReq; tb/s are the
   // characteristic vectors of tB_i and S.
+  auto& ws = grb::default_context().get<FusedWorkspace>();
   std::vector<double> t(n, kInfDist);
-  std::vector<double> treq(n, kInfDist);
-  std::vector<unsigned char> tb(n, 0);
-  std::vector<unsigned char> s(n, 0);
-  std::vector<Index> frontier;   // indices with tb set (bucket members)
-  std::vector<Index> touched;    // indices where treq got a request
+  auto& treq = ws.treq;
+  treq.assign(n, kInfDist);
+  auto& tb = ws.tb;
+  tb.assign(n, 0);
+  auto& s = ws.s;
+  s.assign(n, 0);
+  auto& frontier = ws.frontier;  // indices with tb set (bucket members)
+  frontier.clear();
+  auto& touched = ws.touched;    // indices where treq got a request
+  touched.clear();
 
   t[source] = 0.0;
 

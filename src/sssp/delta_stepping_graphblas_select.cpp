@@ -1,0 +1,113 @@
+// delta_stepping_graphblas_select lives in its own translation unit so
+// the compiler's per-function inlining budget applies to each variant
+// independently (both fully inline the grb:: kernel templates).
+#include "sssp/delta_stepping_graphblas.hpp"
+
+#include <chrono>
+
+#include "graphblas/graphblas.hpp"
+
+namespace dsg {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+SsspResult delta_stepping_graphblas_select(
+    const grb::Matrix<double>& a, Index source,
+    const DeltaSteppingOptions& options) {
+  check_sssp_inputs(a, source);
+  check_nonnegative_weights(a);
+  check_delta(options.delta);
+
+  const Index n = a.nrows();
+  const double delta = options.delta;
+  SsspStats stats;
+  const auto minplus = grb::min_plus_semiring<double>();
+
+  grb::Context& ctx = grb::default_context();  // workspace for all phases
+
+  grb::Vector<double> t(n);
+  t.set_element(source, 0.0);
+
+  // One fused select per filter instead of apply+apply.
+  auto setup_start = Clock::now();
+  grb::Matrix<double> al(n, n);
+  grb::Matrix<double> ah(n, n);
+  grb::select(al, grb::LightEdgePredicate<double>{delta}, a);
+  grb::select(ah, grb::GreaterThanThreshold<double>{delta}, a);
+  stats.setup_seconds = seconds_since(setup_start);
+
+  grb::Vector<double> tcomp(n);
+  grb::Vector<double> tbv(n);  // bucket members carrying their t values
+  grb::Vector<double> treq(n);
+  grb::Vector<double> tnew(n);
+  grb::Vector<double> tmasked(n);  // heavy-phase frontier, reused per bucket
+  grb::Vector<bool> s(n);
+
+  Index i = 0;
+  grb::select(ctx, tcomp, grb::GreaterEqualThreshold<double>{0.0}, t);
+  while (tcomp.nvals() > 0) {
+    ++stats.outer_iterations;
+    const double lo = static_cast<double>(i) * delta;
+    const double hi = lo + delta;
+    s.clear();
+
+    // tbv = t restricted to the bucket, one pass.
+    grb::select(ctx, tbv, grb::HalfOpenRangePredicate<double>{lo, hi}, t,
+                grb::replace_desc);
+    while (tbv.nvals() > 0) {
+      ++stats.light_phases;
+      stats.relax_requests += tbv.nvals();
+
+      auto light_start = Clock::now();
+      grb::vxm(ctx, treq, grb::NoMask{}, grb::NoAccumulate{}, minplus, tbv,
+               al, grb::replace_desc);
+      if (options.profile) stats.light_seconds += seconds_since(light_start);
+
+      // S |= bucket members (structural mask of tbv).
+      grb::assign_scalar(s, tbv, true, grb::structure_mask_desc);
+
+      // Improved-and-in-bucket: tnew = treq entries that beat t...
+      grb::ewise_add(ctx, tnew, treq, grb::NoAccumulate{},
+                     grb::LessThan<double>{}, treq, t, grb::replace_desc);
+      // ...keep treq values where the comparison was true,
+      grb::apply(ctx, tnew, tnew, grb::NoAccumulate{}, grb::Identity<double>{},
+                 treq, grb::replace_desc);
+      // t = min(t, treq)
+      grb::ewise_add(ctx, t, grb::NoMask{}, grb::NoAccumulate{},
+                     grb::Min<double>{}, t, treq);
+      // next bucket frontier: improved entries that fall in [lo, hi)
+      grb::select(ctx, tbv, grb::HalfOpenRangePredicate<double>{lo, hi}, tnew,
+                  grb::replace_desc);
+    }
+
+    auto heavy_start = Clock::now();
+    grb::apply(ctx, tmasked, s, grb::NoAccumulate{}, grb::Identity<double>{},
+               t, grb::replace_desc);
+    grb::vxm(ctx, treq, grb::NoMask{}, grb::NoAccumulate{}, minplus, tmasked,
+             ah, grb::replace_desc);
+    grb::ewise_add(ctx, t, grb::NoMask{}, grb::NoAccumulate{},
+                   grb::Min<double>{}, t, treq);
+    if (options.profile) stats.heavy_seconds += seconds_since(heavy_start);
+
+    ++i;
+    grb::select(ctx, tcomp,
+                grb::GreaterEqualThreshold<double>{static_cast<double>(i) *
+                                                   delta},
+                t, grb::replace_desc);
+  }
+
+  SsspResult result;
+  result.dist = t.to_dense(kInfDist);
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace dsg
