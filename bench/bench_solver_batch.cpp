@@ -1,0 +1,237 @@
+// SOLVER-BATCH — the repeated-query serving scenario the plan/execute API
+// exists for: many SSSP queries against one graph (routing services,
+// all-pairs sampling).
+//
+// Two measurements:
+//   1. throughput table: queries/sec through one warm SsspSolver at batch
+//      sizes 1 / 8 / 64 on the standard suite;
+//   2. amortization check on a fig3-scale graph (rmat-13): total time of
+//      64 legacy free-function calls (each re-paying plan setup) vs 64
+//      warm solve() calls vs one solve_batch(64).
+//
+// With --check the amortization numbers become a gate (used by the CI
+// Release bench smoke):
+//   - solve_batch(64)  <  2x the 64 warm solves (batching adds no
+//     meaningful overhead beyond the solves themselves), and
+//   - 64 legacy calls  >= 1.5x solve_batch(64) (plan + workspace
+//     amortization pays).
+//
+// Flags: --quick / --graphs N, --csv, --algo NAME (default fused),
+//        --delta D (default 1.0, suite graphs are unit-weight), --check.
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_support/reporter.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/delta_stepping_buckets.hpp"
+#include "sssp/delta_stepping_capi.hpp"
+#include "sssp/delta_stepping_fused.hpp"
+#include "sssp/delta_stepping_graphblas.hpp"
+#include "sssp/delta_stepping_openmp.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/solver.hpp"
+
+namespace {
+
+using namespace dsg;
+using sssp::Algorithm;
+
+/// The pre-solver calling convention: one free-function call per query,
+/// re-deriving the plan every time.  This is the baseline the batch API
+/// must beat.
+SsspResult legacy_call(Algorithm algorithm, const grb::Matrix<double>& a,
+                       Index source, double delta) {
+  DeltaSteppingOptions opt;
+  opt.delta = delta;
+  switch (algorithm) {
+    case Algorithm::kBuckets:
+      return delta_stepping_buckets(a, source, opt);
+    case Algorithm::kGraphblas:
+      return delta_stepping_graphblas(a, source, opt);
+    case Algorithm::kGraphblasSelect:
+      return delta_stepping_graphblas_select(a, source, opt);
+    case Algorithm::kCapi:
+      return delta_stepping_capi(a, source, opt);
+    case Algorithm::kFused:
+      return delta_stepping_fused(a, source, opt);
+    case Algorithm::kOpenmp: {
+      OpenMpOptions omp_opt;
+      omp_opt.delta = delta;
+      return delta_stepping_openmp(a, source, omp_opt);
+    }
+    case Algorithm::kBellmanFord:
+      return bellman_ford(a, source);
+    case Algorithm::kDijkstra:
+      return dijkstra(a, source);
+  }
+  std::cerr << "unknown algorithm\n";
+  std::exit(2);
+}
+
+/// Deterministic spread of `count` sources over [0, n).
+std::vector<Index> make_sources(Index n, std::size_t count) {
+  std::vector<Index> sources(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    sources[k] = static_cast<Index>((k * 7919 + 13) % n);
+  }
+  return sources;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string algo_name = args.get("algo", "fused");
+  const auto* info = sssp::find_algorithm(algo_name);
+  if (!info) {
+    std::cerr << "unknown --algo " << algo_name << "\n";
+    return 2;
+  }
+  const double delta = args.get_double("delta", 1.0);
+  const bool check = args.has("check");
+
+  // --- 1. Throughput table over the suite. --------------------------------
+  auto suite = bench::select_suite(args);
+  TableReporter table("SOLVER-BATCH: warm-plan throughput, algo=" +
+                      algo_name + ", delta=" + format_double(delta, 2));
+  table.set_header(
+      {"graph", "nodes", "edges", "batch", "total_ms", "queries_per_sec"});
+
+  for (const auto& entry : suite) {
+    auto graph = entry.make();
+    auto a = graph.to_matrix();
+    const Index n = a.nrows();
+
+    sssp::SolverOptions options;
+    options.algorithm = info->id;
+    options.delta = delta;
+    sssp::SsspSolver solver(a, options);
+
+    // Warm + validate once; every later number comes from a configuration
+    // whose output is correct.
+    {
+      const auto warm = solver.solve(0);
+      const auto report = validate_sssp(a, 0, warm.dist);
+      if (!report.ok) {
+        std::cerr << "VALIDATION FAILED (" << entry.name
+                  << "): " << report.message << "\n";
+        return 1;
+      }
+    }
+
+    for (std::size_t batch : {std::size_t{1}, std::size_t{8},
+                              std::size_t{64}}) {
+      const auto sources = make_sources(n, batch);
+      WallTimer timer;
+      const auto results = solver.solve_batch(sources);
+      const double ms = timer.milliseconds();
+      if (results.size() != batch) return 1;
+      const double qps = ms > 0.0 ? 1000.0 * static_cast<double>(batch) / ms
+                                  : 0.0;
+      table.add_row({entry.name, std::to_string(n), std::to_string(a.nvals()),
+                     std::to_string(batch), format_ms(ms),
+                     format_double(qps, 1)});
+    }
+  }
+
+  if (args.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  // --- 2. Amortization on a fig3-scale graph (rmat-13 stand-in). ----------
+  SuiteEntry big;
+  {
+    bool found = false;
+    for (auto& entry : benchmark_suite()) {
+      if (entry.name == "rmat-13") {  // the fig3 mid-size point
+        big = entry;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "suite no longer contains rmat-13; update the "
+                   "amortization gate graph\n";
+      return 2;
+    }
+  }
+  auto big_graph = big.make();
+  auto big_a = std::make_shared<const grb::Matrix<double>>(
+      big_graph.to_matrix());
+  const Index big_n = big_a->nrows();
+  const auto sources = make_sources(big_n, 64);
+
+  sssp::SolverOptions options;
+  options.algorithm = info->id;
+  options.delta = delta;
+  sssp::SsspSolver solver(big_a, options);
+  (void)solver.solve(sources[0]);  // warm the workspace
+
+  WallTimer batch_timer;
+  const auto batched = solver.solve_batch(sources);
+  const double batch_ms = batch_timer.milliseconds();
+
+  WallTimer warm_timer;
+  for (Index s : sources) (void)solver.solve(s);
+  const double warm_ms = warm_timer.milliseconds();
+
+  WallTimer legacy_timer;
+  for (Index s : sources) (void)legacy_call(info->id, *big_a, s, delta);
+  const double legacy_ms = legacy_timer.milliseconds();
+
+  // Spot-check the batch against a fresh solve.
+  {
+    const auto single = solver.solve(sources[7]);
+    if (batched[7].dist != single.dist) {
+      std::cerr << "BATCH MISMATCH on " << big.name << "\n";
+      return 1;
+    }
+  }
+
+  const double legacy_speedup = legacy_ms / batch_ms;
+  const double warm_ratio = batch_ms / warm_ms;
+  TableReporter amort("SOLVER-BATCH amortization: " + big.name + " (|V|=" +
+                      std::to_string(big_n) + "), 64 queries, algo=" +
+                      algo_name);
+  amort.set_header({"metric", "total_ms", "vs_batch"});
+  amort.add_row({"legacy_64_calls", format_ms(legacy_ms),
+                 format_double(legacy_speedup, 2) + "x slower"});
+  amort.add_row({"warm_64_solves", format_ms(warm_ms),
+                 format_double(warm_ms / batch_ms, 2) + "x"});
+  amort.add_row({"solve_batch_64", format_ms(batch_ms), "1.00x"});
+  amort.add_footer(
+      "gate: batch < 2x warm solves AND legacy >= 1.5x batch "
+      "(plan + workspace amortization)");
+  if (args.has("csv")) {
+    amort.print_csv(std::cout);
+  } else {
+    amort.print(std::cout);
+  }
+
+  if (check) {
+    bool ok = true;
+    if (!(warm_ratio < 2.0)) {
+      std::cerr << "GATE FAILED: solve_batch(64) took " << batch_ms
+                << " ms, >= 2x the 64 warm solves (" << warm_ms << " ms)\n";
+      ok = false;
+    }
+    if (!(legacy_speedup >= 1.5)) {
+      std::cerr << "GATE FAILED: 64 legacy calls (" << legacy_ms
+                << " ms) are only " << legacy_speedup
+                << "x of solve_batch(64) (" << batch_ms << " ms); need 1.5x\n";
+      ok = false;
+    }
+    if (!ok) return 1;
+    // stderr: keeps --csv stdout machine-parseable.
+    std::cerr << "gate passed: legacy/batch = "
+              << format_double(legacy_speedup, 2)
+              << "x, batch/warm = " << format_double(warm_ratio, 2) << "x\n";
+  }
+  return 0;
+}

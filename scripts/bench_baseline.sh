@@ -23,7 +23,8 @@ done
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
   -DDSG_BUILD_TESTS=OFF -DDSG_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_fig3_fusion bench_delta_sweep bench_spmspv
+  --target bench_fig3_fusion bench_delta_sweep bench_spmspv \
+           bench_solver_batch
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -32,10 +33,12 @@ if [[ "$QUICK" -eq 1 ]]; then
   FIG3_ARGS=(--graphs 3)
   SWEEP_ARGS=(--graphs 2 --deltas "0.5,1,2")
   SPMSPV_ARGS=(--n 65536 --deg 4)
+  BATCH_ARGS=(--graphs 3)
 else
   FIG3_ARGS=(--graphs 6)
   SWEEP_ARGS=(--graphs 3)
   SPMSPV_ARGS=()
+  BATCH_ARGS=(--graphs 6)
 fi
 
 "$BUILD_DIR/bench/bench_fig3_fusion" "${FIG3_ARGS[@]}" --csv \
@@ -44,6 +47,11 @@ fi
   > "$OUT_DIR/sweep.csv"
 "$BUILD_DIR/bench/bench_spmspv" "${SPMSPV_ARGS[@]}" --csv \
   > "$OUT_DIR/spmspv.csv"
+# --check is the Release amortization gate: solve_batch(64) < 2x the 64
+# warm solves AND 64 legacy calls >= 1.5x solve_batch(64).  A failed gate
+# fails this script (and the CI bench-smoke job).
+"$BUILD_DIR/bench/bench_solver_batch" "${BATCH_ARGS[@]}" --csv --check \
+  > "$OUT_DIR/solver_batch.csv"
 
 python3 - "$OUT_DIR" "$QUICK" <<'PY'
 import csv, json, platform, os, subprocess, sys
@@ -64,6 +72,27 @@ def read_table(path):
                 rows.append(dict(zip(header, cells)))
     return rows
 
+def read_tables(path):
+    """Multi-table CSV: a non-numeric first cell after data rows starts a
+    new header (bench_solver_batch emits throughput + amortization)."""
+    tables, header, rows = [], None, []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            cells = next(csv.reader([line]))
+            if header is None:
+                header = cells
+            elif cells[0] in ("graph", "metric"):  # a new table's header
+                tables.append((header, rows))
+                header, rows = cells, []
+            else:
+                rows.append(dict(zip(header, cells)))
+    if header is not None:
+        tables.append((header, rows))
+    return [rows for _, rows in tables]
+
 def git_head():
     try:
         return subprocess.check_output(
@@ -71,8 +100,10 @@ def git_head():
     except Exception:
         return "unknown"
 
+batch_tables = read_tables(os.path.join(out_dir, "solver_batch.csv"))
+
 doc = {
-    "schema": "dsg-bench-sssp-v1",
+    "schema": "dsg-bench-sssp-v2",
     "quick": quick,
     "commit": git_head(),
     "host": {
@@ -82,6 +113,11 @@ doc = {
     "fig3_fusion": read_table(os.path.join(out_dir, "fig3.csv")),
     "delta_sweep": read_table(os.path.join(out_dir, "sweep.csv")),
     "spmspv": read_table(os.path.join(out_dir, "spmspv.csv")),
+    # Batched-query scenario: queries/sec at batch sizes 1/8/64 through a
+    # warm SsspSolver, plus the 64-query legacy/warm/batch amortization.
+    "solver_batch": batch_tables[0] if batch_tables else [],
+    "solver_batch_amortization":
+        batch_tables[1] if len(batch_tables) > 1 else [],
 }
 with open("BENCH_sssp.json", "w") as f:
     json.dump(doc, f, indent=2)

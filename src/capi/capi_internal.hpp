@@ -1,0 +1,36 @@
+// capi_internal.hpp — the C API's opaque object layouts, shared between
+// the GrB_* binding (graphblas_c.cpp) and the v2 solver handles
+// (solver_c.cpp).  Not installed; C callers only ever see the opaque
+// pointers from capi/graphblas.h.
+#pragma once
+
+#include "capi/graphblas.h"
+#include "graphblas/descriptor.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/vector.hpp"
+
+struct GrB_Vector_opaque {
+  grb::Vector<double> impl;
+};
+
+struct GrB_Matrix_opaque {
+  grb::Matrix<double> impl;
+};
+
+struct GrB_Descriptor_opaque {
+  grb::Descriptor impl;
+};
+
+struct GrB_UnaryOp_opaque {
+  double (*fn)(double);
+};
+
+struct GrB_BinaryOp_opaque {
+  double (*fn)(double, double);
+};
+
+struct GrB_Semiring_opaque {
+  double (*add)(double, double);
+  double (*mult)(double, double);
+  double zero;
+};

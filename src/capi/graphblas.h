@@ -168,6 +168,87 @@ GrB_Info GrB_Vector_reduce_FP64(double* out, GrB_BinaryOp accum,
                                 GrB_BinaryOp monoid_op, double identity,
                                 GrB_Vector u, GrB_Descriptor desc);
 
+/* ========================================================================
+ * v2: SSSP solver handles (plan/execute API).
+ *
+ * The v1 surface above mirrors the paper's per-operation C API.  The v2
+ * handles expose the repository's plan/execute SSSP solver: DsgSolver_new
+ * preprocesses a graph ONCE (weight validation, the delta-dependent
+ * light/heavy matrix split, workspace setup) into an immutable plan;
+ * DsgSolver_solve / DsgSolver_solve_batch then answer any number of
+ * single- or multi-source queries against that plan without re-paying the
+ * preprocessing.  This is the API to use for repeated-query workloads
+ * (routing services, all-pairs sampling); the legacy one-call-per-query
+ * style re-derives the plan every time.
+ *
+ * Conventions:
+ *  - all functions return GrB_Info error codes; no exceptions ever cross
+ *    this boundary (internal errors map to the codes below, anything
+ *    unexpected to GrB_PANIC);
+ *  - distances are written into caller-provided arrays of length n (the
+ *    matrix dimension); unreachable vertices are reported as +infinity
+ *    ((double)INFINITY) — never NaN, never a finite sentinel;
+ *  - DsgSolver_new SNAPSHOTS the matrix: freeing or mutating `a`
+ *    afterwards does not affect the solver;
+ *  - a solver is not thread-safe; create one per thread, or serialize.
+ *    EXCEPTION: DSG_SSSP_CAPI carries the paper listing's file-scope
+ *    operator state (delta/i globals, kept global for fidelity), so capi
+ *    solvers must be serialized PROCESS-wide — one per thread is not
+ *    enough.  Every other algorithm is safe one-solver-per-thread.
+ * ======================================================================== */
+
+typedef struct DsgSolver_opaque* DsgSolver;
+
+/* Algorithm selector; values mirror dsg::sssp::Algorithm. */
+typedef enum {
+  DSG_SSSP_BUCKETS = 0,          /* canonical Meyer-Sanders buckets        */
+  DSG_SSSP_GRAPHBLAS = 1,        /* unfused GraphBLAS (paper Fig. 2)       */
+  DSG_SSSP_GRAPHBLAS_SELECT = 2, /* GraphBLAS with fused select filters    */
+  DSG_SSSP_CAPI = 3,             /* the Fig. 2 C-API transcription         */
+  DSG_SSSP_FUSED = 4,            /* fused C implementation (default)       */
+  DSG_SSSP_OPENMP = 5,           /* task-parallel fused (Sec. VI-C)        */
+  DSG_SSSP_BELLMAN_FORD = 6,     /* SPFA worklist baseline                 */
+  DSG_SSSP_DIJKSTRA = 7          /* binary-heap baseline                   */
+} DsgSsspAlgorithm;
+
+/* Pass as `delta` to let the plan pick the bucket width from the graph's
+ * degree statistics (max_weight / avg_degree, clamped to the smallest
+ * positive weight). */
+#define DSG_SSSP_DELTA_AUTO 0.0
+
+/* Builds a solver over a snapshot of `a` (square, non-negative weights).
+ * `delta` > 0 fixes the bucket width; <= 0 selects it automatically.
+ * Errors: GrB_NULL_POINTER, GrB_DIMENSION_MISMATCH (non-square),
+ * GrB_INVALID_VALUE (empty graph, negative weight, bad algorithm). */
+GrB_Info DsgSolver_new(DsgSolver* solver, GrB_Matrix a,
+                       DsgSsspAlgorithm algorithm, double delta);
+
+/* Number of vertices of the planned graph (the length of every distance
+ * array below). */
+GrB_Info DsgSolver_nrows(GrB_Index* n, DsgSolver solver);
+
+/* The bucket width Δ in effect (auto-selected or as passed). */
+GrB_Info DsgSolver_delta(double* delta, DsgSolver solver);
+
+/* Stable name of the solver's algorithm (e.g. "fused"); the pointer stays
+ * valid for the life of the program. */
+GrB_Info DsgSolver_algorithm_name(const char** name, DsgSolver solver);
+
+/* One query: dist must have capacity for n doubles.
+ * Errors: GrB_INVALID_INDEX (source out of range), GrB_NULL_POINTER. */
+GrB_Info DsgSolver_solve(DsgSolver solver, GrB_Index source, double* dist);
+
+/* Batched queries: dist must have capacity for batch * n doubles; query k
+ * writes dist[k*n .. k*n + n).  Results are element-identical to calling
+ * DsgSolver_solve per source in order (duplicate sources allowed).
+ * Internally-serial algorithms fan out across OpenMP threads when the
+ * library was built with OpenMP. */
+GrB_Info DsgSolver_solve_batch(DsgSolver solver, const GrB_Index* sources,
+                               GrB_Index batch, double* dist);
+
+/* Frees the solver and sets *solver to NULL (NULL-safe like GrB_*_free). */
+GrB_Info DsgSolver_free(DsgSolver* solver);
+
 #ifdef __cplusplus
 }  /* extern "C" */
 #endif

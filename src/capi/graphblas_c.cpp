@@ -8,35 +8,8 @@
 
 #include <new>
 
+#include "capi/capi_internal.hpp"  // the opaque object layouts
 #include "graphblas/graphblas.hpp"
-
-// --- Opaque object definitions. ----------------------------------------------
-
-struct GrB_Vector_opaque {
-  grb::Vector<double> impl;
-};
-
-struct GrB_Matrix_opaque {
-  grb::Matrix<double> impl;
-};
-
-struct GrB_Descriptor_opaque {
-  grb::Descriptor impl;
-};
-
-struct GrB_UnaryOp_opaque {
-  double (*fn)(double);
-};
-
-struct GrB_BinaryOp_opaque {
-  double (*fn)(double, double);
-};
-
-struct GrB_Semiring_opaque {
-  double (*add)(double, double);
-  double (*mult)(double, double);
-  double zero;
-};
 
 namespace {
 

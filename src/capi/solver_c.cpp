@@ -1,0 +1,114 @@
+// solver_c.cpp — the v2 C API: DsgSolver_* plan/execute handles over
+// dsg::sssp::SsspSolver (see the header block in capi/graphblas.h).
+//
+// Compiled into the dsg_sssp library (not the GrB_* shared binding): the
+// solver handles sit above the SSSP layer, while the GrB_* binding sits
+// below it — folding both into one library would create a dependency
+// cycle.  The shared piece is capi_internal.hpp, the opaque layouts.
+//
+// Error-code discipline: every entry traps all exceptions and maps them to
+// GrB_Info (the same table as the v1 binding); nothing ever throws across
+// the C boundary.
+#include <algorithm>
+#include <new>
+
+#include "capi/capi_internal.hpp"
+#include "capi/graphblas.h"
+#include "sssp/solver.hpp"
+
+struct DsgSolver_opaque {
+  dsg::sssp::SsspSolver impl;
+};
+
+namespace {
+
+/// Translates grb:: exceptions into GrB_Info codes at the API boundary.
+template <typename Fn>
+GrB_Info guarded(Fn&& fn) {
+  try {
+    fn();
+    return GrB_SUCCESS;
+  } catch (const grb::DimensionMismatch&) {
+    return GrB_DIMENSION_MISMATCH;
+  } catch (const grb::IndexOutOfBounds&) {
+    return GrB_INVALID_INDEX;
+  } catch (const grb::InvalidValue&) {
+    return GrB_INVALID_VALUE;
+  } catch (const std::bad_alloc&) {
+    return GrB_OUT_OF_MEMORY;
+  } catch (...) {
+    return GrB_PANIC;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+GrB_Info DsgSolver_new(DsgSolver* solver, GrB_Matrix a,
+                       DsgSsspAlgorithm algorithm, double delta) {
+  if (!solver || !a) return GrB_NULL_POINTER;
+  *solver = nullptr;
+  const int alg = static_cast<int>(algorithm);
+  if (alg < 0 || alg >= dsg::sssp::kNumAlgorithms) {
+    return GrB_INVALID_VALUE;
+  }
+  return guarded([&] {
+    dsg::sssp::SolverOptions options;
+    options.algorithm = static_cast<dsg::sssp::Algorithm>(algorithm);
+    options.delta = delta;
+    // Snapshot: the solver owns a copy, so the caller may free or mutate
+    // `a` afterwards.
+    *solver = new DsgSolver_opaque{
+        dsg::sssp::SsspSolver(grb::Matrix<double>(a->impl), options)};
+  });
+}
+
+GrB_Info DsgSolver_nrows(GrB_Index* n, DsgSolver solver) {
+  if (!n || !solver) return GrB_NULL_POINTER;
+  *n = solver->impl.num_vertices();
+  return GrB_SUCCESS;
+}
+
+GrB_Info DsgSolver_delta(double* delta, DsgSolver solver) {
+  if (!delta || !solver) return GrB_NULL_POINTER;
+  *delta = solver->impl.delta();
+  return GrB_SUCCESS;
+}
+
+GrB_Info DsgSolver_algorithm_name(const char** name, DsgSolver solver) {
+  if (!name || !solver) return GrB_NULL_POINTER;
+  *name = dsg::sssp::algorithm_info(solver->impl.algorithm()).name;
+  return GrB_SUCCESS;
+}
+
+GrB_Info DsgSolver_solve(DsgSolver solver, GrB_Index source, double* dist) {
+  if (!solver || !dist) return GrB_NULL_POINTER;
+  return guarded([&] {
+    dsg::SsspResult result = solver->impl.solve(source);
+    std::copy(result.dist.begin(), result.dist.end(), dist);
+  });
+}
+
+GrB_Info DsgSolver_solve_batch(DsgSolver solver, const GrB_Index* sources,
+                               GrB_Index batch, double* dist) {
+  if (!solver || (batch > 0 && (!sources || !dist))) return GrB_NULL_POINTER;
+  return guarded([&] {
+    std::span<const grb::Index> span(sources, batch);
+    std::vector<dsg::SsspResult> results = solver->impl.solve_batch(span);
+    const std::size_t n = solver->impl.num_vertices();
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      std::copy(results[k].dist.begin(), results[k].dist.end(),
+                dist + k * n);
+    }
+  });
+}
+
+GrB_Info DsgSolver_free(DsgSolver* solver) {
+  if (!solver) return GrB_NULL_POINTER;
+  delete *solver;
+  *solver = nullptr;
+  return GrB_SUCCESS;
+}
+
+}  // extern "C"

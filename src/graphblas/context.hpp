@@ -155,6 +155,13 @@ class Context {
   /// exercise the parallel path on small inputs.
   Index vxm_parallel_threshold = 4096;
 
+  /// Input nvals at/above which the point-wise vector ops (apply / select
+  /// / ewise_add / ewise_mult) run their OpenMP two-pass kernels.  The
+  /// parallel kernels emit entries in exactly the serial order, so results
+  /// are bit-identical either way.  Tests lower this to exercise the
+  /// parallel path on small inputs.
+  Index pointwise_parallel_threshold = 16384;
+
  private:
   std::vector<std::pair<std::type_index, std::shared_ptr<void>>> slots_;
 };

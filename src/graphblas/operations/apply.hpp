@@ -12,6 +12,7 @@
 #include "graphblas/descriptor.hpp"
 #include "graphblas/mask.hpp"
 #include "graphblas/matrix.hpp"
+#include "graphblas/operations/pointwise_parallel.hpp"
 #include "graphblas/types.hpp"
 #include "graphblas/vector.hpp"
 
@@ -35,17 +36,68 @@ void apply(Context& ctx, Vector<W>& w, const Mask& mask, const Accum& accum,
     Vector<Z> z(u.size());
     auto& zi = z.mutable_indices();
     auto& zv = z.mutable_values();
+    auto ui = u.indices();
+    auto uv = u.values();
+    const std::size_t nu = ui.size();
+#if defined(DSG_HAVE_OPENMP)
+    // Parallel two-pass kernel (bit-identical to serial; see
+    // pointwise_parallel.hpp) once the input clears the Context threshold.
+    if (nu >= static_cast<std::size_t>(ctx.pointwise_parallel_threshold) &&
+        omp_get_max_threads() > 1) {
+      if constexpr (std::is_same_v<std::decay_t<decltype(probe)>,
+                                   detail::AlwaysTrueProbe>) {
+        // Output structure equals input structure: one parallel transform.
+        zi.assign(ui.begin(), ui.end());
+        zv.resize(nu);
+#pragma omp parallel for schedule(static)
+        for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(nu); ++k) {
+          zv[static_cast<std::size_t>(k)] = static_cast<storage_of_t<Z>>(
+              op(static_cast<U>(uv[static_cast<std::size_t>(k)])));
+        }
+      } else {
+        const int chunks = detail::pointwise_chunks(nu);
+        detail::parallel_chunked_compact(
+            chunks,
+            [&](int t) {
+              const auto [b, e] = detail::chunk_range(nu, t, chunks);
+              std::size_t count = 0;
+              for (std::size_t k = b; k < e; ++k) {
+                if (probe(ui[k])) ++count;
+              }
+              return count;
+            },
+            [&](std::size_t total) {
+              zi.resize(total);
+              zv.resize(total);
+            },
+            [&](int t, std::size_t off) {
+              const auto [b, e] = detail::chunk_range(nu, t, chunks);
+              for (std::size_t k = b; k < e; ++k) {
+                if (!probe(ui[k])) continue;  // mask push-down
+                zi[off] = ui[k];
+                zv[off] = static_cast<storage_of_t<Z>>(
+                    op(static_cast<U>(uv[k])));
+                ++off;
+              }
+            });
+      }
+      detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                  desc.replace,
+                                  /*z_prefiltered=*/true);
+      return;
+    }
+#endif  // DSG_HAVE_OPENMP
     if constexpr (std::is_same_v<std::decay_t<decltype(probe)>,
                                  detail::AlwaysTrueProbe>) {
       // Unmasked fast path: bulk-copy the structure, transform the values.
-      zi.assign(u.indices().begin(), u.indices().end());
-      zv.reserve(u.nvals());
-      for (const auto& x : u.values()) {
+      zi.assign(ui.begin(), ui.end());
+      zv.reserve(nu);
+      for (const auto& x : uv) {
         zv.push_back(static_cast<storage_of_t<Z>>(op(static_cast<U>(x))));
       }
     } else {
-      zi.reserve(u.nvals());
-      zv.reserve(u.nvals());
+      zi.reserve(nu);
+      zv.reserve(nu);
       u.for_each([&](Index i, const U& x) {
         if (!probe(i)) return;  // mask push-down
         zi.push_back(i);

@@ -13,15 +13,53 @@
 // both inputs do.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "graphblas/descriptor.hpp"
 #include "graphblas/mask.hpp"
 #include "graphblas/matrix.hpp"
+#include "graphblas/operations/pointwise_parallel.hpp"
 #include "graphblas/types.hpp"
 #include "graphblas/vector.hpp"
 
 namespace grb {
+
+#if defined(DSG_HAVE_OPENMP)
+
+namespace detail {
+
+/// Chunk boundaries for a parallel two-stream merge: the index domain
+/// [0, n) is cut evenly and each cut located in both entry streams.  Equal
+/// indices land in the same chunk on both sides (cuts are by index value),
+/// so union/intersection pairing is preserved chunk-locally and the
+/// concatenated result is bit-identical to the serial merge.
+struct MergeCuts {
+  int chunks = 1;
+  std::vector<std::size_t> ua, vb;  // chunks + 1 stream offsets each
+};
+
+template <typename USpan, typename VSpan>
+MergeCuts merge_cuts(Index n, const USpan& ui, const VSpan& vi) {
+  MergeCuts c;
+  c.chunks = pointwise_chunks(ui.size() + vi.size());
+  const auto nc = static_cast<std::size_t>(c.chunks);
+  c.ua.resize(nc + 1);
+  c.vb.resize(nc + 1);
+  for (std::size_t t = 0; t <= nc; ++t) {
+    const Index bound = static_cast<Index>(
+        static_cast<std::size_t>(n) * t / nc);
+    c.ua[t] = static_cast<std::size_t>(
+        std::lower_bound(ui.begin(), ui.end(), bound) - ui.begin());
+    c.vb[t] = static_cast<std::size_t>(
+        std::lower_bound(vi.begin(), vi.end(), bound) - vi.begin());
+  }
+  return c;
+}
+
+}  // namespace detail
+
+#endif  // DSG_HAVE_OPENMP
 
 /// w<mask> accum= u (+op) v  — union (eWiseAdd) on vectors, using `ctx`'s
 /// workspaces.  The mask probe is pushed down into the merge: positions the
@@ -46,6 +84,77 @@ void ewise_add(Context& ctx, Vector<W>& w, const Mask& mask,
     auto uv = u.values();
     auto vi = v.indices();
     auto vv = v.values();
+#if defined(DSG_HAVE_OPENMP)
+    // Parallel two-pass union merge (bit-identical to serial; see
+    // pointwise_parallel.hpp) once the inputs clear the Context threshold.
+    if (ui.size() + vi.size() >=
+            static_cast<std::size_t>(ctx.pointwise_parallel_threshold) &&
+        omp_get_max_threads() > 1) {
+      const auto cuts = detail::merge_cuts(u.size(), ui, vi);
+      detail::parallel_chunked_compact(
+          cuts.chunks,
+          [&](int t) {
+            std::size_t a = cuts.ua[static_cast<std::size_t>(t)];
+            std::size_t b = cuts.vb[static_cast<std::size_t>(t)];
+            const std::size_t a1 = cuts.ua[static_cast<std::size_t>(t) + 1];
+            const std::size_t b1 = cuts.vb[static_cast<std::size_t>(t) + 1];
+            std::size_t count = 0;
+            while (a < a1 || b < b1) {
+              if (a < a1 && (b >= b1 || ui[a] < vi[b])) {
+                if (probe(ui[a])) ++count;
+                ++a;
+              } else if (b < b1 && (a >= a1 || vi[b] < ui[a])) {
+                if (probe(vi[b])) ++count;
+                ++b;
+              } else {
+                if (probe(ui[a])) ++count;
+                ++a;
+                ++b;
+              }
+            }
+            return count;
+          },
+          [&](std::size_t total) {
+            zi.resize(total);
+            zv.resize(total);
+          },
+          [&](int t, std::size_t off) {
+            std::size_t a = cuts.ua[static_cast<std::size_t>(t)];
+            std::size_t b = cuts.vb[static_cast<std::size_t>(t)];
+            const std::size_t a1 = cuts.ua[static_cast<std::size_t>(t) + 1];
+            const std::size_t b1 = cuts.vb[static_cast<std::size_t>(t) + 1];
+            while (a < a1 || b < b1) {
+              if (a < a1 && (b >= b1 || ui[a] < vi[b])) {
+                if (probe(ui[a])) {
+                  zi[off] = ui[a];
+                  zv[off] = static_cast<Z>(uv[a]);  // lone operand
+                  ++off;
+                }
+                ++a;
+              } else if (b < b1 && (a >= a1 || vi[b] < ui[a])) {
+                if (probe(vi[b])) {
+                  zi[off] = vi[b];
+                  zv[off] = static_cast<Z>(vv[b]);
+                  ++off;
+                }
+                ++b;
+              } else {
+                if (probe(ui[a])) {
+                  zi[off] = ui[a];
+                  zv[off] = static_cast<Z>(op(uv[a], vv[b]));
+                  ++off;
+                }
+                ++a;
+                ++b;
+              }
+            }
+          });
+      detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                  desc.replace,
+                                  /*z_prefiltered=*/true);
+      return;
+    }
+#endif  // DSG_HAVE_OPENMP
     std::size_t a = 0, b = 0;
     while (a < ui.size() || b < vi.size()) {
       if (a < ui.size() && (b >= vi.size() || ui[a] < vi[b])) {
@@ -117,6 +226,64 @@ void ewise_mult(Context& ctx, Vector<W>& w, const Mask& mask,
     auto uv = u.values();
     auto vi = v.indices();
     auto vv = v.values();
+#if defined(DSG_HAVE_OPENMP)
+    // Parallel two-pass intersection merge (bit-identical to serial).
+    if (ui.size() + vi.size() >=
+            static_cast<std::size_t>(ctx.pointwise_parallel_threshold) &&
+        omp_get_max_threads() > 1) {
+      const auto cuts = detail::merge_cuts(u.size(), ui, vi);
+      detail::parallel_chunked_compact(
+          cuts.chunks,
+          [&](int t) {
+            std::size_t a = cuts.ua[static_cast<std::size_t>(t)];
+            std::size_t b = cuts.vb[static_cast<std::size_t>(t)];
+            const std::size_t a1 = cuts.ua[static_cast<std::size_t>(t) + 1];
+            const std::size_t b1 = cuts.vb[static_cast<std::size_t>(t) + 1];
+            std::size_t count = 0;
+            while (a < a1 && b < b1) {
+              if (ui[a] < vi[b]) {
+                ++a;
+              } else if (vi[b] < ui[a]) {
+                ++b;
+              } else {
+                if (probe(ui[a])) ++count;
+                ++a;
+                ++b;
+              }
+            }
+            return count;
+          },
+          [&](std::size_t total) {
+            zi.resize(total);
+            zv.resize(total);
+          },
+          [&](int t, std::size_t off) {
+            std::size_t a = cuts.ua[static_cast<std::size_t>(t)];
+            std::size_t b = cuts.vb[static_cast<std::size_t>(t)];
+            const std::size_t a1 = cuts.ua[static_cast<std::size_t>(t) + 1];
+            const std::size_t b1 = cuts.vb[static_cast<std::size_t>(t) + 1];
+            while (a < a1 && b < b1) {
+              if (ui[a] < vi[b]) {
+                ++a;
+              } else if (vi[b] < ui[a]) {
+                ++b;
+              } else {
+                if (probe(ui[a])) {
+                  zi[off] = ui[a];
+                  zv[off] = op(uv[a], vv[b]);
+                  ++off;
+                }
+                ++a;
+                ++b;
+              }
+            }
+          });
+      detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                  desc.replace,
+                                  /*z_prefiltered=*/true);
+      return;
+    }
+#endif  // DSG_HAVE_OPENMP
     std::size_t a = 0, b = 0;
     while (a < ui.size() && b < vi.size()) {
       if (ui[a] < vi[b]) {

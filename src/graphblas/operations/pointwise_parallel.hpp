@@ -1,0 +1,80 @@
+// pointwise_parallel.hpp — the deterministic two-pass parallel scheme
+// shared by the point-wise vector operations (apply / select / ewise).
+//
+// Those kernels all compact a filtered/merged stream into a fresh sparse
+// vector.  The output size is data-dependent, so a naive parallel loop
+// cannot write in place.  The scheme here splits the input into contiguous
+// chunks and runs two parallel passes:
+//
+//   1. count: each chunk reports how many entries it will emit;
+//   2. a serial prefix sum turns counts into write offsets;
+//   3. fill: each chunk writes its entries at its offset.
+//
+// Chunks are contiguous and processed left-to-right within themselves, so
+// the concatenated output is exactly the serial output — bit-identical,
+// independent of thread count and scheduling.  (This is the property the
+// serial-parity tests pin down.)
+//
+// Only compiled under DSG_HAVE_OPENMP; callers gate on
+// Context::pointwise_parallel_threshold.
+#pragma once
+
+#if defined(DSG_HAVE_OPENMP)
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include <omp.h>
+
+namespace grb::detail {
+
+/// Number of chunks for `work` input items: one per thread, but never so
+/// many that a chunk drops below ~4k items (below that the pass overhead
+/// dominates).
+inline int pointwise_chunks(std::size_t work) {
+  const std::size_t by_work = work / 4096 + 1;
+  const auto threads =
+      static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+  return static_cast<int>(std::max<std::size_t>(
+      1, std::min<std::size_t>(threads, by_work)));
+}
+
+/// [begin, end) of chunk t when `work` items are cut into `chunks` even
+/// contiguous pieces.  Count and fill passes MUST use the same boundaries;
+/// keeping the arithmetic here keeps them in lockstep.
+struct ChunkRange {
+  std::size_t begin;
+  std::size_t end;
+};
+
+inline ChunkRange chunk_range(std::size_t work, int t, int chunks) {
+  const auto nt = static_cast<std::size_t>(t);
+  const auto nc = static_cast<std::size_t>(chunks);
+  return {work * nt / nc, work * (nt + 1) / nc};
+}
+
+/// Runs the count / prefix / fill scheme over `chunks` chunks.
+/// count(t) -> entries chunk t emits; resize(total) sizes the output;
+/// fill(t, offset) writes chunk t's entries starting at `offset`.
+template <typename CountFn, typename ResizeFn, typename FillFn>
+void parallel_chunked_compact(int chunks, CountFn&& count, ResizeFn&& resize,
+                              FillFn&& fill) {
+  std::vector<std::size_t> offs(static_cast<std::size_t>(chunks) + 1, 0);
+#pragma omp parallel for schedule(static, 1)
+  for (int t = 0; t < chunks; ++t) {
+    offs[static_cast<std::size_t>(t) + 1] = count(t);
+  }
+  for (int t = 0; t < chunks; ++t) {
+    offs[static_cast<std::size_t>(t) + 1] += offs[static_cast<std::size_t>(t)];
+  }
+  resize(offs[static_cast<std::size_t>(chunks)]);
+#pragma omp parallel for schedule(static, 1)
+  for (int t = 0; t < chunks; ++t) {
+    fill(t, offs[static_cast<std::size_t>(t)]);
+  }
+}
+
+}  // namespace grb::detail
+
+#endif  // DSG_HAVE_OPENMP

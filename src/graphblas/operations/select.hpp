@@ -11,6 +11,7 @@
 #include "graphblas/descriptor.hpp"
 #include "graphblas/mask.hpp"
 #include "graphblas/matrix.hpp"
+#include "graphblas/operations/pointwise_parallel.hpp"
 #include "graphblas/types.hpp"
 #include "graphblas/vector.hpp"
 
@@ -31,6 +32,47 @@ void select(Context& ctx, Vector<W>& w, const Mask& mask, const Accum& accum,
     Vector<U> z(u.size());
     auto& zi = z.mutable_indices();
     auto& zv = z.mutable_values();
+#if defined(DSG_HAVE_OPENMP)
+    // Parallel two-pass kernel (bit-identical to serial; see
+    // pointwise_parallel.hpp) once the input clears the Context threshold.
+    auto ui = u.indices();
+    auto uv = u.values();
+    const std::size_t nu = ui.size();
+    if (nu >= static_cast<std::size_t>(ctx.pointwise_parallel_threshold) &&
+        omp_get_max_threads() > 1) {
+      const int chunks = detail::pointwise_chunks(nu);
+      auto keep = [&](std::size_t k) {
+        return probe(ui[k]) && pred(static_cast<U>(uv[k]), ui[k]);
+      };
+      detail::parallel_chunked_compact(
+          chunks,
+          [&](int t) {
+            const auto [b, e] = detail::chunk_range(nu, t, chunks);
+            std::size_t count = 0;
+            for (std::size_t k = b; k < e; ++k) {
+              if (keep(k)) ++count;
+            }
+            return count;
+          },
+          [&](std::size_t total) {
+            zi.resize(total);
+            zv.resize(total);
+          },
+          [&](int t, std::size_t off) {
+            const auto [b, e] = detail::chunk_range(nu, t, chunks);
+            for (std::size_t k = b; k < e; ++k) {
+              if (!keep(k)) continue;
+              zi[off] = ui[k];
+              zv[off] = uv[k];
+              ++off;
+            }
+          });
+      detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                  desc.replace,
+                                  /*z_prefiltered=*/true);
+      return;
+    }
+#endif  // DSG_HAVE_OPENMP
     u.for_each([&](Index i, const U& x) {
       if (probe(i) && pred(x, i)) {
         zi.push_back(i);

@@ -47,6 +47,11 @@ SsspResult bellman_ford(const grb::Matrix<double>& a, Index source) {
   return result;
 }
 
+SsspResult bellman_ford(const GraphPlan& plan, grb::Context&, Index source,
+                        const ExecOptions&) {
+  return bellman_ford(plan.matrix(), source);
+}
+
 SsspResult bellman_ford_rounds(const grb::Matrix<double>& a, Index source) {
   check_sssp_inputs(a, source);
   const Index n = a.nrows();

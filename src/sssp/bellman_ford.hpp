@@ -7,6 +7,11 @@
 
 #include "graphblas/matrix.hpp"
 #include "sssp/common.hpp"
+#include "sssp/plan.hpp"
+
+namespace grb {
+class Context;
+}
 
 namespace dsg {
 
@@ -14,6 +19,12 @@ namespace dsg {
 /// Handles negative weights; throws grb::InvalidValue when a negative
 /// cycle is reachable from the source.
 SsspResult bellman_ford(const grb::Matrix<double>& a, Index source);
+
+/// Plan-based entry (solver registry).  Bellman–Ford needs no Δ-dependent
+/// preprocessing; this simply runs the worklist against the plan's
+/// already-validated matrix.
+SsspResult bellman_ford(const GraphPlan& plan, grb::Context& ctx, Index source,
+                        const ExecOptions& exec = {});
 
 /// Classic round-based Bellman–Ford: |V|-1 full relaxation sweeps with
 /// early exit.  Also the linear-algebraic r-fold (min,+) vxm iteration

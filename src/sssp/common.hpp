@@ -30,7 +30,14 @@ struct SsspStats {
 };
 
 /// Result of one SSSP run: dist[v] is the shortest-path weight from the
-/// source to v, kInfDist when unreachable.
+/// source to v.
+///
+/// Unreachable-vertex convention (library-wide invariant): dist always has
+/// exactly |V| entries and an unreachable vertex is reported as exactly
+/// +infinity (kInfDist) — never omitted, never NaN, never a finite
+/// sentinel.  Every variant (including the GraphBLAS ones, which densify
+/// their sparse t vector with to_dense(kInfDist)) follows this, and
+/// validate_sssp() accepts exactly this convention and no other.
 struct SsspResult {
   std::vector<double> dist;
   SsspStats stats;

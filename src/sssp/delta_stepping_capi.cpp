@@ -8,6 +8,7 @@
 //   - bounds/weight validation up front (the listing assumes good input).
 #include "sssp/delta_stepping_capi.hpp"
 
+#include <memory>
 #include <vector>
 
 #include "capi/graphblas.h"
@@ -36,6 +37,75 @@ double delta_irange(double x) {
           x < (i_global + 1.0) * delta_global)
              ? 1.0
              : 0.0;
+}
+
+/// Plan-owned C-API objects: the listing's setup (operators, descriptor,
+/// A and the A_L/A_H filter products, lines 2-21 of Fig. 2) built once per
+/// plan instead of once per call.  Freed with the plan.
+struct CapiPlanHandles {
+  GrB_Matrix A = nullptr, Al = nullptr, Ah = nullptr;
+  GrB_UnaryOp op_delta_leq = nullptr, op_delta_gt = nullptr;
+  GrB_UnaryOp op_delta_igeq = nullptr, op_delta_irange = nullptr;
+  GrB_Descriptor clear_desc = nullptr;
+
+  CapiPlanHandles() = default;
+  CapiPlanHandles(const CapiPlanHandles&) = delete;
+  CapiPlanHandles& operator=(const CapiPlanHandles&) = delete;
+  ~CapiPlanHandles() {
+    GrB_Matrix_free(&A);
+    GrB_Matrix_free(&Al);
+    GrB_Matrix_free(&Ah);
+    GrB_UnaryOp_free(&op_delta_leq);
+    GrB_UnaryOp_free(&op_delta_gt);
+    GrB_UnaryOp_free(&op_delta_igeq);
+    GrB_UnaryOp_free(&op_delta_irange);
+    GrB_Descriptor_free(&clear_desc);
+  }
+};
+
+/// Replays Fig. 2 lines 1-21 (minus the vectors) against the plan's matrix.
+std::shared_ptr<CapiPlanHandles> build_capi_handles(
+    const grb::Matrix<double>& a_in, double delta) {
+  auto h = std::make_shared<CapiPlanHandles>();
+  const GrB_Index n = a_in.nrows();
+  const GrB_Index m = a_in.ncols();
+
+  GrB_Matrix_new(&h->A, n, m);
+  {
+    std::vector<GrB_Index> rows, cols;
+    std::vector<double> vals;
+    rows.reserve(a_in.nvals());
+    cols.reserve(a_in.nvals());
+    vals.reserve(a_in.nvals());
+    a_in.for_each([&](Index r, Index c, const double& w) {
+      rows.push_back(r);
+      cols.push_back(c);
+      vals.push_back(w);
+    });
+    GrB_Matrix_build_FP64(h->A, rows.data(), cols.data(), vals.data(),
+                          static_cast<GrB_Index>(vals.size()), GrB_NULL);
+  }
+
+  delta_global = delta;  // the filter operators read the global, as in Fig. 2
+  GrB_UnaryOp_new(&h->op_delta_leq, delta_leq);
+  GrB_UnaryOp_new(&h->op_delta_gt, delta_gt);
+  GrB_UnaryOp_new(&h->op_delta_igeq, delta_igeq);
+  GrB_UnaryOp_new(&h->op_delta_irange, delta_irange);
+
+  GrB_Descriptor_new(&h->clear_desc);
+  GrB_Descriptor_set(h->clear_desc, GrB_OUTP, GrB_REPLACE);
+
+  GrB_Matrix Ab = nullptr;
+  GrB_Matrix_new(&h->Ah, n, m);
+  GrB_Matrix_new(&h->Al, n, m);
+  GrB_Matrix_new(&Ab, n, m);
+  // A_L = A .* (A .<= delta); A_H = A .* (A .> delta)   (lines 15-21)
+  GrB_apply(Ab, GrB_NULL, GrB_NULL, h->op_delta_leq, h->A, GrB_NULL);
+  GrB_apply(h->Al, Ab, GrB_NULL, GrB_IDENTITY_FP64, h->A, GrB_NULL);
+  GrB_apply(Ab, GrB_NULL, GrB_NULL, h->op_delta_gt, h->A, h->clear_desc);
+  GrB_apply(h->Ah, Ab, GrB_NULL, GrB_IDENTITY_FP64, h->A, GrB_NULL);
+  GrB_Matrix_free(&Ab);
+  return h;
 }
 
 }  // namespace
@@ -205,6 +275,106 @@ SsspResult delta_stepping_capi(const grb::Matrix<double>& a_in, Index source,
   GrB_UnaryOp_free(&op_delta_gt);
   GrB_UnaryOp_free(&op_delta_igeq);
   GrB_UnaryOp_free(&op_delta_irange);
+  return result;
+}
+
+SsspResult delta_stepping_capi(const GraphPlan& plan, grb::Context&,
+                               Index source, const ExecOptions&) {
+  const GrB_Index n = plan.num_vertices();
+  grb::detail::check_index(source, n, "sssp: source");
+  SsspStats stats;
+
+  // The listing's setup, hoisted: operators, descriptor, A / A_L / A_H
+  // come prebuilt from the plan (built on first use, reused afterwards).
+  const auto& h = plan.derived<CapiPlanHandles>(
+      [&] { return build_capi_handles(plan.matrix(), plan.delta()); });
+  delta_global = plan.delta();  // the loop operators read the globals
+
+  GrB_Vector t = nullptr, tmasked = nullptr, tReq = nullptr;
+  GrB_Vector tless = nullptr, tB = nullptr, tgeq = nullptr, tcomp = nullptr;
+  GrB_Vector s = nullptr;
+  GrB_Vector_new(&t, n);
+  GrB_Vector_new(&tmasked, n);
+  GrB_Vector_new(&tReq, n);
+  GrB_Vector_new(&tless, n);
+  GrB_Vector_new(&tB, n);
+  GrB_Vector_new(&tgeq, n);
+  GrB_Vector_new(&tcomp, n);
+  GrB_Vector_new(&s, n);
+
+  // t[src] = 0                                        (line 8)
+  GrB_Vector_setElement_FP64(t, 0.0, source);
+
+  // init i = 0; loop (lines 23-69) — identical to the legacy body.
+  i_global = 0.0;
+  GrB_Vector_apply(tgeq, GrB_NULL, GrB_NULL, h.op_delta_igeq, t, GrB_NULL);
+  GrB_Vector_apply(tcomp, tgeq, GrB_NULL, GrB_IDENTITY_BOOL, t, GrB_NULL);
+  GrB_Index tcomp_size = 0;
+  GrB_Vector_nvals(&tcomp_size, tcomp);
+  while (tcomp_size > 0) {
+    ++stats.outer_iterations;
+    GrB_Vector_clear(s);
+
+    GrB_Vector_apply(tB, GrB_NULL, GrB_NULL, h.op_delta_irange, t,
+                     h.clear_desc);
+    GrB_Vector_apply(tmasked, tB, GrB_NULL, GrB_IDENTITY_FP64, t,
+                     h.clear_desc);
+
+    GrB_Index tm_size = 0;
+    GrB_Vector_nvals(&tm_size, tmasked);
+    while (tm_size > 0) {
+      ++stats.light_phases;
+      stats.relax_requests += tm_size;
+      GrB_vxm(tReq, GrB_NULL, GrB_NULL, GxB_MIN_PLUS_FP64, tmasked, h.Al,
+              h.clear_desc);
+      GrB_eWiseAdd(s, GrB_NULL, GrB_NULL, GrB_LOR, s, tB, GrB_NULL);
+
+      GrB_eWiseAdd(tless, tReq, GrB_NULL, GrB_LT_FP64, tReq, t, h.clear_desc);
+      GrB_Vector_apply(tB, tless, GrB_NULL, h.op_delta_irange, tReq,
+                       h.clear_desc);
+
+      GrB_eWiseAdd(t, GrB_NULL, GrB_NULL, GrB_MIN_FP64, t, tReq, GrB_NULL);
+
+      GrB_Vector_apply(tmasked, tB, GrB_NULL, GrB_IDENTITY_FP64, t,
+                       h.clear_desc);
+      GrB_Vector_nvals(&tm_size, tmasked);
+    }
+
+    GrB_Vector_apply(tmasked, s, GrB_NULL, GrB_IDENTITY_FP64, t, h.clear_desc);
+    GrB_vxm(tReq, GrB_NULL, GrB_NULL, GxB_MIN_PLUS_FP64, tmasked, h.Ah,
+            h.clear_desc);
+    GrB_eWiseAdd(t, GrB_NULL, GrB_NULL, GrB_MIN_FP64, t, tReq, GrB_NULL);
+
+    i_global += 1.0;
+    GrB_Vector_apply(tgeq, GrB_NULL, GrB_NULL, h.op_delta_igeq, t,
+                     h.clear_desc);
+    GrB_Vector_apply(tcomp, tgeq, GrB_NULL, GrB_IDENTITY_BOOL, t,
+                     h.clear_desc);
+    GrB_Vector_nvals(&tcomp_size, tcomp);
+  }
+
+  SsspResult result;
+  result.dist.assign(n, kInfDist);
+  {
+    GrB_Index count = 0;
+    GrB_Vector_nvals(&count, t);
+    std::vector<GrB_Index> indices(count);
+    std::vector<double> values(count);
+    GrB_Vector_extractTuples_FP64(indices.data(), values.data(), &count, t);
+    for (GrB_Index k = 0; k < count; ++k) {
+      result.dist[indices[k]] = values[k];
+    }
+  }
+  result.stats = stats;
+
+  GrB_Vector_free(&t);
+  GrB_Vector_free(&tmasked);
+  GrB_Vector_free(&tReq);
+  GrB_Vector_free(&tless);
+  GrB_Vector_free(&tB);
+  GrB_Vector_free(&tgeq);
+  GrB_Vector_free(&tcomp);
+  GrB_Vector_free(&s);
   return result;
 }
 

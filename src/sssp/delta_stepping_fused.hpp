@@ -16,28 +16,24 @@
 
 #include "graphblas/matrix.hpp"
 #include "sssp/common.hpp"
+#include "sssp/plan.hpp"
+
+namespace grb {
+class Context;
+}
 
 namespace dsg {
 
 /// Fused sequential delta-stepping from `source` over adjacency matrix `a`.
+/// One-shot: builds a throwaway plan per call.  Repeated-query callers
+/// should hold an sssp::SsspSolver (or a GraphPlan) instead.
 SsspResult delta_stepping_fused(const grb::Matrix<double>& a, Index source,
                                 const DeltaSteppingOptions& options = {});
 
-namespace detail {
-
-/// Light/heavy CSR split shared by the fused and OpenMP implementations.
-/// Built in one pass over A (two passes when tasked): this is the
-/// "matrix filtering" that costs 35-40% of fused runtime per Sec. VI-C.
-struct LightHeavySplit {
-  std::vector<Index> light_ptr, light_ind;
-  std::vector<double> light_val;
-  std::vector<Index> heavy_ptr, heavy_ind;
-  std::vector<double> heavy_val;
-};
-
-/// Sequential split.
-LightHeavySplit split_light_heavy(const grb::Matrix<double>& a, double delta);
-
-}  // namespace detail
+/// Plan-based core: executes against a prebuilt GraphPlan (weights already
+/// validated, A_L/A_H split already materialized) with `ctx`-owned warm
+/// buffers.  stats.setup_seconds is 0 here — the plan paid it once.
+SsspResult delta_stepping_fused(const GraphPlan& plan, grb::Context& ctx,
+                                Index source, const ExecOptions& exec = {});
 
 }  // namespace dsg

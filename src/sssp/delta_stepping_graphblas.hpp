@@ -3,14 +3,26 @@
 // substrate (paper Fig. 1 left / Fig. 2).
 //
 // The structure deliberately mirrors the SuiteSparse listing in Fig. 2,
-// including the double-apply filter idiom and the eWiseAdd-with-tReq-mask
-// workaround for the non-commutative (tReq < t) comparison (Sec. V-B).
-// This is the *unfused* implementation whose cost Fig. 3 compares against
-// the fused C implementation.
+// including the eWiseAdd-with-tReq-mask workaround for the non-commutative
+// (tReq < t) comparison (Sec. V-B).  This is the *unfused* implementation
+// whose cost Fig. 3 compares against the fused C implementation.
+//
+// Both variants come in two forms:
+//   - the legacy one-shot free function (matrix + options), which keeps
+//     the paper's per-call A_L/A_H setup through GraphBLAS operations
+//     (double-apply here, fused select in the ablation) — this is what
+//     Fig. 3 / ABL-OPS measure, so the idiom stays in the measured path;
+//   - the plan-based core (GraphPlan + Context + source), which executes
+//     the same loop against prebuilt A_L/A_H and warm workspaces.
 #pragma once
 
 #include "graphblas/matrix.hpp"
 #include "sssp/common.hpp"
+#include "sssp/plan.hpp"
+
+namespace grb {
+class Context;
+}
 
 namespace dsg {
 
@@ -19,12 +31,18 @@ namespace dsg {
 ///
 /// Faithfulness notes:
 ///  - A_L / A_H are built with two GrB_apply calls each (predicate then
-///    identity-under-mask), exactly like Fig. 2 lines 16-21.
+///    identity-under-mask), exactly like Fig. 2 lines 16-21; the plan-based
+///    core receives the same matrices prebuilt in one pass.
 ///  - The bucket filter, the (tReq < t) test and the S-set update use the
 ///    same apply / eWiseAdd sequence as Fig. 2 lines 35-54.
 ///  - Relaxations are vxm over the (min,+) semiring (lines 43 and 60).
 SsspResult delta_stepping_graphblas(const grb::Matrix<double>& a, Index source,
                                     const DeltaSteppingOptions& options = {});
+
+/// Plan-based core of the above.  stats.setup_seconds is 0 here — the plan
+/// paid the A_L/A_H construction once.
+SsspResult delta_stepping_graphblas(const GraphPlan& plan, grb::Context& ctx,
+                                    Index source, const ExecOptions& exec = {});
 
 /// Variant using one fused grb::select per filter instead of the
 /// double-apply idiom — the "what if the API had first-class selection"
@@ -32,5 +50,10 @@ SsspResult delta_stepping_graphblas(const grb::Matrix<double>& a, Index source,
 SsspResult delta_stepping_graphblas_select(
     const grb::Matrix<double>& a, Index source,
     const DeltaSteppingOptions& options = {});
+
+/// Plan-based core of the select variant.
+SsspResult delta_stepping_graphblas_select(const GraphPlan& plan,
+                                           grb::Context& ctx, Index source,
+                                           const ExecOptions& exec = {});
 
 }  // namespace dsg

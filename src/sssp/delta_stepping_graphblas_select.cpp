@@ -17,32 +17,18 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-}  // namespace
-
-SsspResult delta_stepping_graphblas_select(
-    const grb::Matrix<double>& a, Index source,
-    const DeltaSteppingOptions& options) {
-  check_sssp_inputs(a, source);
-  check_nonnegative_weights(a);
-  check_delta(options.delta);
-
-  const Index n = a.nrows();
-  const double delta = options.delta;
-  SsspStats stats;
+/// The select-variant loop against prebuilt A_L / A_H.  Shared by the
+/// plan-based core (plan-owned matrices) and the legacy entry (per-call
+/// fused-select setup, the ABL-OPS idiom).
+SsspResult run_select_loop(const grb::Matrix<double>& al,
+                           const grb::Matrix<double>& ah, Index n,
+                           double delta, grb::Context& ctx, Index source,
+                           bool profile) {
+  SsspStats stats;  // setup_seconds filled in by the caller (0 when planned)
   const auto minplus = grb::min_plus_semiring<double>();
-
-  grb::Context& ctx = grb::default_context();  // workspace for all phases
 
   grb::Vector<double> t(n);
   t.set_element(source, 0.0);
-
-  // One fused select per filter instead of apply+apply.
-  auto setup_start = Clock::now();
-  grb::Matrix<double> al(n, n);
-  grb::Matrix<double> ah(n, n);
-  grb::select(al, grb::LightEdgePredicate<double>{delta}, a);
-  grb::select(ah, grb::GreaterThanThreshold<double>{delta}, a);
-  stats.setup_seconds = seconds_since(setup_start);
 
   grb::Vector<double> tcomp(n);
   grb::Vector<double> tbv(n);  // bucket members carrying their t values
@@ -69,7 +55,7 @@ SsspResult delta_stepping_graphblas_select(
       auto light_start = Clock::now();
       grb::vxm(ctx, treq, grb::NoMask{}, grb::NoAccumulate{}, minplus, tbv,
                al, grb::replace_desc);
-      if (options.profile) stats.light_seconds += seconds_since(light_start);
+      if (profile) stats.light_seconds += seconds_since(light_start);
 
       // S |= bucket members (structural mask of tbv).
       grb::assign_scalar(s, tbv, true, grb::structure_mask_desc);
@@ -95,7 +81,7 @@ SsspResult delta_stepping_graphblas_select(
              ah, grb::replace_desc);
     grb::ewise_add(ctx, t, grb::NoMask{}, grb::NoAccumulate{},
                    grb::Min<double>{}, t, treq);
-    if (options.profile) stats.heavy_seconds += seconds_since(heavy_start);
+    if (profile) stats.heavy_seconds += seconds_since(heavy_start);
 
     ++i;
     grb::select(ctx, tcomp,
@@ -107,6 +93,45 @@ SsspResult delta_stepping_graphblas_select(
   SsspResult result;
   result.dist = t.to_dense(kInfDist);
   result.stats = stats;
+  return result;
+}
+
+}  // namespace
+
+SsspResult delta_stepping_graphblas_select(const GraphPlan& plan,
+                                           grb::Context& ctx, Index source,
+                                           const ExecOptions& exec) {
+  const Index n = plan.num_vertices();
+  grb::detail::check_index(source, n, "sssp: source");
+  // A_L / A_H prebuilt by the plan; stats.setup_seconds stays 0.
+  return run_select_loop(plan.light_matrix(), plan.heavy_matrix(), n,
+                         plan.delta(), ctx, source, exec.profile);
+}
+
+SsspResult delta_stepping_graphblas_select(
+    const grb::Matrix<double>& a, Index source,
+    const DeltaSteppingOptions& options) {
+  check_sssp_inputs(a, source);
+  check_nonnegative_weights(a);
+  check_delta(options.delta);
+
+  const Index n = a.nrows();
+  const double delta = options.delta;
+  grb::Context& ctx = grb::default_context();
+
+  // Per-call setup with one fused grb::select per filter instead of the
+  // double-apply idiom — the ABL-OPS comparison point.  Plan-holding
+  // callers (SsspSolver) skip this entirely.
+  const auto setup_start = Clock::now();
+  grb::Matrix<double> al(n, n);
+  grb::Matrix<double> ah(n, n);
+  grb::select(al, grb::LightEdgePredicate<double>{delta}, a);
+  grb::select(ah, grb::GreaterThanThreshold<double>{delta}, a);
+  const double setup_seconds = seconds_since(setup_start);
+
+  SsspResult result =
+      run_select_loop(al, ah, n, delta, ctx, source, options.profile);
+  result.stats.setup_seconds = setup_seconds;
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <vector>
 
+#include "graphblas/context.hpp"
 #include "sssp/delta_stepping_fused.hpp"
 
 #if defined(DSG_HAVE_OPENMP)
@@ -17,6 +18,11 @@ namespace dsg {
 SsspResult delta_stepping_openmp(const grb::Matrix<double>& a, Index source,
                                  const OpenMpOptions& options) {
   return delta_stepping_fused(a, source, options);
+}
+
+SsspResult delta_stepping_openmp(const GraphPlan& plan, grb::Context& ctx,
+                                 Index source, const ExecOptions& exec) {
+  return delta_stepping_fused(plan, ctx, source, exec);
 }
 
 #else  // DSG_HAVE_OPENMP
@@ -186,19 +192,22 @@ void tasked_for(Index n, int num_tasks, Body body) {
 
 }  // namespace
 
-SsspResult delta_stepping_openmp(const grb::Matrix<double>& a, Index source,
-                                 const OpenMpOptions& options) {
-  check_sssp_inputs(a, source);
-  check_nonnegative_weights(a);
-  check_delta(options.delta);
+namespace {
 
+/// Shared task-parallel body.  When `prebuilt` is non-null the A_L/A_H
+/// construction tasks are skipped and the prebuilt split (from a GraphPlan)
+/// is used — inputs must already be validated by the caller.
+SsspResult delta_stepping_openmp_impl(
+    const grb::Matrix<double>& a, Index source, const OpenMpOptions& options,
+    const detail::LightHeavySplit* prebuilt) {
   const Index n = a.nrows();
   const double delta = options.delta;
   SsspStats stats;
 
   if (options.num_threads > 0) omp_set_num_threads(options.num_threads);
 
-  detail::LightHeavySplit split;
+  detail::LightHeavySplit local_split;
+  const detail::LightHeavySplit& split = prebuilt ? *prebuilt : local_split;
   std::vector<double> t_vec(n, kInfDist);
   std::vector<double> treq_vec(n, kInfDist);
   std::vector<unsigned char> s_vec(n, 0);
@@ -213,18 +222,21 @@ SsspResult delta_stepping_openmp(const grb::Matrix<double>& a, Index source,
     int num_tasks = options.tasks_per_vector;
     if (num_tasks <= 0) num_tasks = omp_get_num_threads();
 
-    // --- A_L and A_H construction: one task each (paper Sec. VI-C). -------
-    auto setup_start = Clock::now();
-#pragma omp task shared(split, a)
-    filter_csr(
-        a, [delta](double w) { return w > 0.0 && w <= delta; },
-        split.light_ptr, split.light_ind, split.light_val);
-#pragma omp task shared(split, a)
-    filter_csr(
-        a, [delta](double w) { return w > delta; }, split.heavy_ptr,
-        split.heavy_ind, split.heavy_val);
+    // --- A_L and A_H construction: one task each (paper Sec. VI-C).
+    // Skipped entirely when a GraphPlan supplied the split. ---------------
+    if (!prebuilt) {
+      auto setup_start = Clock::now();
+#pragma omp task shared(local_split, a)
+      filter_csr(
+          a, [delta](double w) { return w > 0.0 && w <= delta; },
+          local_split.light_ptr, local_split.light_ind, local_split.light_val);
+#pragma omp task shared(local_split, a)
+      filter_csr(
+          a, [delta](double w) { return w > delta; }, local_split.heavy_ptr,
+          local_split.heavy_ind, local_split.heavy_val);
 #pragma omp taskwait
-    stats.setup_seconds = seconds_since(setup_start);
+      stats.setup_seconds = seconds_since(setup_start);
+    }
 
     std::vector<std::vector<Index>> parts(
         static_cast<std::size_t>(num_tasks) + 1);
@@ -315,6 +327,28 @@ SsspResult delta_stepping_openmp(const grb::Matrix<double>& a, Index source,
   result.dist = std::move(t_vec);
   result.stats = stats;
   return result;
+}
+
+}  // namespace
+
+SsspResult delta_stepping_openmp(const grb::Matrix<double>& a, Index source,
+                                 const OpenMpOptions& options) {
+  check_sssp_inputs(a, source);
+  check_nonnegative_weights(a);
+  check_delta(options.delta);
+  return delta_stepping_openmp_impl(a, source, options, nullptr);
+}
+
+SsspResult delta_stepping_openmp(const GraphPlan& plan, grb::Context&,
+                                 Index source, const ExecOptions& exec) {
+  grb::detail::check_index(source, plan.num_vertices(), "sssp: source");
+  OpenMpOptions options;
+  options.delta = plan.delta();
+  options.profile = exec.profile;
+  options.num_threads = exec.num_threads;
+  options.tasks_per_vector = exec.tasks_per_vector;
+  return delta_stepping_openmp_impl(plan.matrix(), source, options,
+                                    &plan.light_heavy());
 }
 
 #endif  // DSG_HAVE_OPENMP

@@ -17,6 +17,11 @@
 
 #include "graphblas/matrix.hpp"
 #include "sssp/common.hpp"
+#include "sssp/plan.hpp"
+
+namespace grb {
+class Context;
+}
 
 namespace dsg {
 
@@ -30,7 +35,18 @@ struct OpenMpOptions : DeltaSteppingOptions {
 
 /// Task-parallel fused delta-stepping.  Falls back to the sequential fused
 /// implementation when built without OpenMP.
+///
+/// This legacy entry keeps the paper's full Sec. VI-C structure including
+/// the one-task-per-matrix A_L/A_H construction (it is what Fig. 4
+/// measures); the plan-based overload below skips that step entirely.
 SsspResult delta_stepping_openmp(const grb::Matrix<double>& a, Index source,
                                  const OpenMpOptions& options = {});
+
+/// Plan-based core: executes the task-parallel loop against a prebuilt
+/// GraphPlan (split already materialized — the scaling limiter the paper
+/// identifies is amortized away).  exec.num_threads / exec.tasks_per_vector
+/// map onto OpenMpOptions.  stats.setup_seconds is 0 here.
+SsspResult delta_stepping_openmp(const GraphPlan& plan, grb::Context& ctx,
+                                 Index source, const ExecOptions& exec = {});
 
 }  // namespace dsg

@@ -11,11 +11,11 @@ namespace {
 /// (distance, vertex) min-heap entry; lazy deletion via distance check.
 using HeapEntry = std::pair<double, Index>;
 
+/// Core; inputs must be validated by the caller (the public wrappers
+/// validate per call, the plan-based entry relies on the plan's one-time
+/// validation).
 SsspResult dijkstra_impl(const grb::Matrix<double>& a, Index source,
                          std::vector<Index>* parent) {
-  check_sssp_inputs(a, source);
-  check_nonnegative_weights(a);
-
   const Index n = a.nrows();
   SsspResult result;
   result.dist.assign(n, kInfDist);
@@ -50,11 +50,21 @@ SsspResult dijkstra_impl(const grb::Matrix<double>& a, Index source,
 }  // namespace
 
 SsspResult dijkstra(const grb::Matrix<double>& a, Index source) {
+  check_sssp_inputs(a, source);
+  check_nonnegative_weights(a);
   return dijkstra_impl(a, source, nullptr);
+}
+
+SsspResult dijkstra(const GraphPlan& plan, grb::Context&, Index source,
+                    const ExecOptions&) {
+  grb::detail::check_index(source, plan.num_vertices(), "sssp: source");
+  return dijkstra_impl(plan.matrix(), source, nullptr);
 }
 
 SsspResult dijkstra_with_parents(const grb::Matrix<double>& a, Index source,
                                  std::vector<Index>& parent) {
+  check_sssp_inputs(a, source);
+  check_nonnegative_weights(a);
   return dijkstra_impl(a, source, &parent);
 }
 

@@ -6,11 +6,21 @@
 
 #include "graphblas/matrix.hpp"
 #include "sssp/common.hpp"
+#include "sssp/plan.hpp"
+
+namespace grb {
+class Context;
+}
 
 namespace dsg {
 
 /// Binary-heap Dijkstra from `source`; weights must be non-negative.
 SsspResult dijkstra(const grb::Matrix<double>& a, Index source);
+
+/// Plan-based entry (solver registry): skips the per-call O(|E|)
+/// non-negativity re-validation — the plan did it once.
+SsspResult dijkstra(const GraphPlan& plan, grb::Context& ctx, Index source,
+                    const ExecOptions& exec = {});
 
 /// Dijkstra that also records a shortest-path tree: parent[v] is the
 /// predecessor of v on a shortest path, or grb::all_indices for the source

@@ -1,0 +1,213 @@
+#include "sssp/plan.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dsg {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Lazy-slot key types.  Each wraps the materialized artifact so the
+// type-keyed cache can distinguish the roles.
+struct SplitSlot {
+  detail::LightHeavySplit split;
+};
+
+struct GrbSplitSlot {
+  grb::Matrix<double> light;
+  grb::Matrix<double> heavy;
+};
+
+/// Builds a grb::Matrix directly from one half of the CSR split (no
+/// predicate re-evaluation: the split already holds exactly the entries).
+grb::Matrix<double> matrix_from_csr(Index nrows, Index ncols,
+                                    const std::vector<Index>& ptr,
+                                    const std::vector<Index>& ind,
+                                    const std::vector<double>& val) {
+  grb::Matrix<double> m(nrows, ncols);
+  std::vector<Index> p(ptr);
+  std::vector<Index> i(ind);
+  std::vector<double> v(val);
+  m.adopt(std::move(p), std::move(i), std::move(v));
+  return m;
+}
+
+}  // namespace
+
+namespace detail {
+
+LightHeavySplit split_light_heavy(const grb::Matrix<double>& a, double delta) {
+  const Index n = a.nrows();
+  LightHeavySplit s;
+  s.light_ptr.assign(n + 1, 0);
+  s.heavy_ptr.assign(n + 1, 0);
+
+  // Pass 1: count light/heavy entries per row.
+  auto row_ptr = a.row_ptr();
+  auto col_ind = a.col_ind();
+  auto values = a.raw_values();
+  for (Index r = 0; r < n; ++r) {
+    for (Index k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double w = values[k];
+      if (w > 0.0 && w <= delta) {
+        ++s.light_ptr[r + 1];
+      } else if (w > delta) {
+        ++s.heavy_ptr[r + 1];
+      }
+    }
+  }
+  for (Index r = 0; r < n; ++r) {
+    s.light_ptr[r + 1] += s.light_ptr[r];
+    s.heavy_ptr[r + 1] += s.heavy_ptr[r];
+  }
+  s.light_ind.resize(s.light_ptr[n]);
+  s.light_val.resize(s.light_ptr[n]);
+  s.heavy_ind.resize(s.heavy_ptr[n]);
+  s.heavy_val.resize(s.heavy_ptr[n]);
+
+  // Pass 2: fill.
+  std::vector<Index> lnext(s.light_ptr.begin(), s.light_ptr.end() - 1);
+  std::vector<Index> hnext(s.heavy_ptr.begin(), s.heavy_ptr.end() - 1);
+  for (Index r = 0; r < n; ++r) {
+    for (Index k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double w = values[k];
+      const Index c = col_ind[k];
+      if (w > 0.0 && w <= delta) {
+        const Index slot = lnext[r]++;
+        s.light_ind[slot] = c;
+        s.light_val[slot] = w;
+      } else if (w > delta) {
+        const Index slot = hnext[r]++;
+        s.heavy_ind[slot] = c;
+        s.heavy_val[slot] = w;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace detail
+
+GraphPlan::GraphPlan(std::shared_ptr<const grb::Matrix<double>> a,
+                     double delta)
+    : a_(std::move(a)), lazy_(std::make_unique<Lazy>()) {
+  if (!a_) {
+    throw grb::InvalidValue("GraphPlan: null matrix");
+  }
+  init(delta);
+}
+
+GraphPlan::GraphPlan(Borrowed, const grb::Matrix<double>& a, double delta)
+    // Aliasing shared_ptr with no ownership: the caller guarantees
+    // lifetime (legacy one-shot shims).
+    : a_(std::shared_ptr<const grb::Matrix<double>>(
+          std::shared_ptr<const void>(), &a)),
+      lazy_(std::make_unique<Lazy>()) {
+  init(delta);
+}
+
+GraphPlan GraphPlan::borrow(const grb::Matrix<double>& a, double delta) {
+  return GraphPlan(Borrowed{}, a, delta);
+}
+
+void GraphPlan::init(double delta) {
+  const auto start = Clock::now();
+  const grb::Matrix<double>& a = *a_;
+  if (a.nrows() != a.ncols()) {
+    throw grb::DimensionMismatch("sssp: adjacency matrix must be square");
+  }
+  if (a.nrows() == 0) {
+    throw grb::InvalidValue("sssp: empty graph");
+  }
+
+  // One pass: validation (non-negative weights) + weight stats.  Degrees
+  // come straight from the CSR row pointers.
+  stats_.num_vertices = a.nrows();
+  stats_.num_edges = a.nvals();
+  auto row_ptr = a.row_ptr();
+  for (Index r = 0; r < a.nrows(); ++r) {
+    stats_.max_out_degree =
+        std::max(stats_.max_out_degree, row_ptr[r + 1] - row_ptr[r]);
+  }
+  stats_.avg_out_degree =
+      static_cast<double>(stats_.num_edges) / static_cast<double>(a.nrows());
+  double max_w = 0.0;
+  double min_pos = 0.0;
+  a.for_each([&](Index, Index, const double& w) {
+    if (w < 0.0) {
+      throw grb::InvalidValue("sssp: negative edge weight " +
+                              std::to_string(w));
+    }
+    if (w > max_w) max_w = w;
+    if (w > 0.0 && (min_pos == 0.0 || w < min_pos)) min_pos = w;
+  });
+  stats_.max_weight = max_w;
+  stats_.min_positive_weight = min_pos;
+
+  delta_was_auto_ = !(delta > 0.0);
+  delta_ = delta_was_auto_ ? auto_delta(stats_) : delta;
+  scan_seconds_ = seconds_since(start);
+}
+
+double GraphPlan::auto_delta(const PlanStats& stats) {
+  if (stats.num_edges == 0 || stats.max_weight <= 0.0) return 1.0;
+  // Δ = max_w / d̄ keeps one bucket's expected light-edge frontier work at
+  // about one average neighbourhood (the Meyer–Sanders Θ(1/d) guidance,
+  // scaled by the weight range); the clamp keeps at least the cheapest
+  // edges light so the bucketing is not pure Dijkstra.
+  const double degree = std::max(1.0, stats.avg_out_degree);
+  double delta = stats.max_weight / degree;
+  if (stats.min_positive_weight > 0.0) {
+    delta = std::max(delta, stats.min_positive_weight);
+  }
+  return delta;
+}
+
+const detail::LightHeavySplit& GraphPlan::light_heavy() const {
+  return derived<SplitSlot>([&] {
+           auto slot = std::make_shared<SplitSlot>();
+           slot->split = detail::split_light_heavy(*a_, delta_);
+           return slot;
+         })
+      .split;
+}
+
+namespace {
+
+/// Both grb halves materialize through this one derived() call, so there
+/// is no ordering dependency between light_matrix() and heavy_matrix().
+const GrbSplitSlot& grb_split_slot(const GraphPlan& plan) {
+  const auto& s = plan.light_heavy();
+  const auto& a = plan.matrix();
+  return plan.derived<GrbSplitSlot>([&] {
+    auto slot = std::make_shared<GrbSplitSlot>();
+    slot->light = matrix_from_csr(a.nrows(), a.ncols(), s.light_ptr,
+                                  s.light_ind, s.light_val);
+    slot->heavy = matrix_from_csr(a.nrows(), a.ncols(), s.heavy_ptr,
+                                  s.heavy_ind, s.heavy_val);
+    return slot;
+  });
+}
+
+}  // namespace
+
+const grb::Matrix<double>& GraphPlan::light_matrix() const {
+  return grb_split_slot(*this).light;
+}
+
+const grb::Matrix<double>& GraphPlan::heavy_matrix() const {
+  return grb_split_slot(*this).heavy;
+}
+
+double GraphPlan::setup_seconds() const {
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  return scan_seconds_ + lazy_->extra_seconds;
+}
+
+}  // namespace dsg

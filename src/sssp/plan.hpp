@@ -1,0 +1,177 @@
+// plan.hpp — GraphPlan, the reusable preprocessing artifact of the SSSP
+// plan/execute API.
+//
+// Every SSSP entry point used to take a raw grb::Matrix and re-derive the
+// same per-call state on every invocation: an O(|E|) weight validation, the
+// A_L/A_H light/heavy split for the current Δ, and (for the GraphBLAS
+// variants) the split as grb matrices.  A GraphPlan hoists all of that into
+// a build-once object, the way the GraphBLAS C API amortizes descriptors
+// and operators across operations:
+//
+//   - construction scans the matrix once: validates non-negative weights
+//     (throws grb::InvalidValue otherwise) and collects the degree/weight
+//     statistics that drive the auto-Δ heuristic;
+//   - Δ is fixed at construction — pass kAutoDelta (or any value <= 0) to
+//     let the Meyer–Sanders-style heuristic pick it from the stats;
+//   - the light/heavy CSR split, its grb::Matrix form, and any
+//     algorithm-specific derived state (e.g. the C-API matrix handles) are
+//     materialized lazily through a mutex-guarded type-keyed cache, so a
+//     plan only ever pays for what the chosen algorithm touches.  After
+//     materialization all accessors are const reads, safe to share across
+//     the threads of a batched solve.
+//
+// A plan either owns its matrix (move a Matrix in, or share a shared_ptr)
+// or borrows it (GraphPlan::borrow — used by the legacy one-shot shims,
+// where the plan provably outlives the call).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <typeindex>
+#include <utility>
+#include <vector>
+
+#include "sssp/common.hpp"
+
+namespace dsg {
+
+namespace detail {
+
+/// Light/heavy CSR split shared by the fused, OpenMP and bucket variants.
+/// Built in one pass over A (two passes when tasked): this is the
+/// "matrix filtering" that costs 35-40% of fused runtime per Sec. VI-C —
+/// exactly the work a GraphPlan amortizes across queries.
+struct LightHeavySplit {
+  std::vector<Index> light_ptr, light_ind;
+  std::vector<double> light_val;
+  std::vector<Index> heavy_ptr, heavy_ind;
+  std::vector<double> heavy_val;
+};
+
+/// Sequential split.
+LightHeavySplit split_light_heavy(const grb::Matrix<double>& a, double delta);
+
+}  // namespace detail
+
+/// Sentinel for "let the plan choose Δ from the graph's degree statistics".
+inline constexpr double kAutoDelta = 0.0;
+
+/// Per-execution options for the plan-based entry points
+/// `(const GraphPlan&, grb::Context&, Index source, const ExecOptions&)`.
+/// Everything graph- or Δ-shaped lives in the plan; this carries only what
+/// can vary per solve.
+struct ExecOptions {
+  /// Collect the per-phase timers in SsspStats (small overhead).
+  bool profile = false;
+  /// OpenMP variant: thread count (0 = library default).
+  int num_threads = 0;
+  /// OpenMP variant: tasks per vector pass (0 = one per thread).
+  int tasks_per_vector = 0;
+};
+
+/// One-pass structural statistics collected at plan construction.  These
+/// feed the auto-Δ heuristic and are cheap enough to always compute (the
+/// same pass performs the non-negativity validation).
+struct PlanStats {
+  Index num_vertices = 0;
+  std::size_t num_edges = 0;       ///< stored (directed) entries
+  Index max_out_degree = 0;
+  double avg_out_degree = 0.0;
+  double max_weight = 0.0;         ///< 0 when the graph has no edges
+  double min_positive_weight = 0.0;  ///< 0 when no positive weight exists
+};
+
+class GraphPlan {
+ public:
+  /// Owning constructors: the plan keeps the matrix alive.
+  explicit GraphPlan(grb::Matrix<double> a, double delta = kAutoDelta)
+      : GraphPlan(std::make_shared<const grb::Matrix<double>>(std::move(a)),
+                  delta) {}
+  explicit GraphPlan(std::shared_ptr<const grb::Matrix<double>> a,
+                     double delta = kAutoDelta);
+
+  /// Borrowing factory: the caller guarantees `a` outlives the plan.  Used
+  /// by the legacy one-shot entry points; prefer the owning constructors
+  /// for long-lived plans.
+  static GraphPlan borrow(const grb::Matrix<double>& a,
+                          double delta = kAutoDelta);
+
+  GraphPlan(GraphPlan&&) noexcept = default;
+  GraphPlan& operator=(GraphPlan&&) noexcept = default;
+  GraphPlan(const GraphPlan&) = delete;
+  GraphPlan& operator=(const GraphPlan&) = delete;
+
+  const grb::Matrix<double>& matrix() const { return *a_; }
+  Index num_vertices() const { return a_->nrows(); }
+  const PlanStats& stats() const { return stats_; }
+
+  /// The bucket width this plan was built for (always > 0).
+  double delta() const { return delta_; }
+  /// True when Δ came from the auto heuristic rather than the caller.
+  bool delta_was_auto() const { return delta_was_auto_; }
+
+  /// The Meyer–Sanders-style Δ heuristic: Δ ≈ max_weight / avg_degree
+  /// (bucket width such that one bucket's light-edge work stays near the
+  /// average vertex neighbourhood), clamped below by the smallest positive
+  /// weight so at least some edges qualify as light.
+  static double auto_delta(const PlanStats& stats);
+
+  /// Light/heavy CSR split at this plan's Δ (fused / OpenMP / bucket
+  /// variants).  Built on first use; later calls are const reads.
+  const detail::LightHeavySplit& light_heavy() const;
+
+  /// The same split as grb matrices A_L / A_H (GraphBLAS variants).
+  const grb::Matrix<double>& light_matrix() const;
+  const grb::Matrix<double>& heavy_matrix() const;
+
+  /// Seconds spent building this plan so far: the validation/stats scan
+  /// plus every lazy materialization to date.  This is the cost a
+  /// per-query caller used to pay on every call.
+  double setup_seconds() const;
+
+  /// Algorithm-specific derived state, built once per plan: returns the
+  /// plan-owned T, constructing it via `make()` on first request (mutex
+  /// guarded, so concurrent first use is safe).  The build time is added
+  /// to setup_seconds().  Used e.g. by the C-API variant to park its
+  /// GrB_Matrix handles.
+  template <typename T, typename Make>
+  const T& derived(Make&& make) const {
+    std::lock_guard<std::mutex> lock(lazy_->mu);
+    const std::type_index key(typeid(T));
+    for (auto& slot : lazy_->slots) {
+      if (slot.first == key) return *static_cast<const T*>(slot.second.get());
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::shared_ptr<const T> owned = std::forward<Make>(make)();
+    lazy_->extra_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const T& ref = *owned;
+    lazy_->slots.emplace_back(key, std::move(owned));
+    return ref;
+  }
+
+ private:
+  struct Borrowed {};  // tag: non-owning shared_ptr
+  GraphPlan(Borrowed, const grb::Matrix<double>& a, double delta);
+
+  void init(double delta);
+
+  struct Lazy {
+    std::mutex mu;
+    // Type-keyed slots (same shape as grb::Context): a handful of entries,
+    // linear scan, stable references.
+    std::vector<std::pair<std::type_index, std::shared_ptr<const void>>> slots;
+    double extra_seconds = 0.0;  // lazy materialization time, guarded by mu
+  };
+
+  std::shared_ptr<const grb::Matrix<double>> a_;
+  PlanStats stats_;
+  double delta_ = 1.0;
+  bool delta_was_auto_ = false;
+  double scan_seconds_ = 0.0;
+  std::unique_ptr<Lazy> lazy_;
+};
+
+}  // namespace dsg

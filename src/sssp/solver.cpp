@@ -1,0 +1,169 @@
+#include "sssp/solver.hpp"
+
+#include <array>
+#include <exception>
+#include <utility>
+
+#include "sssp/bellman_ford.hpp"
+#include "sssp/delta_stepping_buckets.hpp"
+#include "sssp/delta_stepping_capi.hpp"
+#include "sssp/delta_stepping_fused.hpp"
+#include "sssp/delta_stepping_graphblas.hpp"
+#include "sssp/delta_stepping_openmp.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/paths.hpp"
+
+#if defined(DSG_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace dsg::sssp {
+
+namespace {
+
+// The registry.  Order matches the Algorithm enum values so enum lookup is
+// an index.  batch_parallel notes:
+//   - capi carries the listing's global operator state (delta/i_global);
+//   - openmp parallelizes internally — nesting a source-level fan-out on
+//     top would oversubscribe.
+constexpr std::array<AlgorithmInfo, kNumAlgorithms> kRegistry{{
+    {Algorithm::kBuckets, "buckets", true, &delta_stepping_buckets},
+    {Algorithm::kGraphblas, "graphblas", true, &delta_stepping_graphblas},
+    {Algorithm::kGraphblasSelect, "graphblas_select", true,
+     &delta_stepping_graphblas_select},
+    {Algorithm::kCapi, "capi", false, &delta_stepping_capi},
+    {Algorithm::kFused, "fused", true, &delta_stepping_fused},
+    {Algorithm::kOpenmp, "openmp", false, &delta_stepping_openmp},
+    {Algorithm::kBellmanFord, "bellman_ford", true, &bellman_ford},
+    {Algorithm::kDijkstra, "dijkstra", true, &dijkstra},
+}};
+
+/// Touches the plan state the algorithm will need, so that batched
+/// execution hits only const reads (the lazy materialization is mutex
+/// guarded anyway; this just front-loads the cost to construction, where
+/// the plan/execute contract says it belongs).
+void warm_plan(const GraphPlan& plan, Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBuckets:
+    case Algorithm::kFused:
+    case Algorithm::kOpenmp:
+      plan.light_heavy();
+      break;
+    case Algorithm::kGraphblas:
+    case Algorithm::kGraphblasSelect:
+      plan.light_matrix();
+      break;
+    case Algorithm::kCapi:
+      // Handles are built lazily on first solve (they live in the plan's
+      // derived-state cache); nothing cheap to warm here without running
+      // the C API setup, which first solve does once.
+      break;
+    case Algorithm::kBellmanFord:
+    case Algorithm::kDijkstra:
+      break;  // no Δ-dependent preprocessing
+  }
+}
+
+}  // namespace
+
+std::span<const AlgorithmInfo> algorithm_registry() { return kRegistry; }
+
+const AlgorithmInfo& algorithm_info(Algorithm algorithm) {
+  const auto idx = static_cast<std::size_t>(algorithm);
+  if (idx >= kRegistry.size()) {
+    throw grb::InvalidValue("SsspSolver: unknown algorithm id " +
+                            std::to_string(static_cast<int>(algorithm)));
+  }
+  return kRegistry[idx];
+}
+
+const AlgorithmInfo* find_algorithm(std::string_view name) {
+  for (const auto& info : kRegistry) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+SsspSolver::SsspSolver(grb::Matrix<double> graph, SolverOptions options)
+    : SsspSolver(
+          std::make_shared<const grb::Matrix<double>>(std::move(graph)),
+          options) {}
+
+SsspSolver::SsspSolver(std::shared_ptr<const grb::Matrix<double>> graph,
+                       SolverOptions options)
+    : plan_(std::move(graph), options.delta), options_(options) {
+  algorithm_info(options_.algorithm);  // validate the enum up front
+  warm_plan(plan_, options_.algorithm);
+}
+
+ExecOptions SsspSolver::exec_options() const {
+  ExecOptions exec;
+  exec.profile = options_.profile;
+  exec.num_threads = options_.num_threads;
+  exec.tasks_per_vector = options_.tasks_per_vector;
+  return exec;
+}
+
+SsspResult SsspSolver::solve(Index source) {
+  const AlgorithmInfo& info = algorithm_info(options_.algorithm);
+  return info.run(plan_, ctx_, source, exec_options());
+}
+
+std::vector<SsspResult> SsspSolver::solve_batch(
+    std::span<const Index> sources) {
+  // Validate every source before launching anything: a bad index must not
+  // surface mid-batch (or from inside a parallel region).
+  for (Index s : sources) {
+    grb::detail::check_index(s, plan_.num_vertices(), "solve_batch: source");
+  }
+
+  const AlgorithmInfo& info = algorithm_info(options_.algorithm);
+  const ExecOptions exec = exec_options();
+  std::vector<SsspResult> results(sources.size());
+
+#if defined(DSG_HAVE_OPENMP)
+  if (info.batch_parallel && sources.size() > 1 &&
+      omp_get_max_threads() > 1) {
+    // Source-level fan-out.  Each thread executes on its own thread-local
+    // Context, so workspaces never cross threads; every solve is an
+    // independent deterministic run, so results match the serial loop
+    // bit-for-bit.  Exceptions cannot cross the region: capture the first
+    // and rethrow after the join.
+    std::exception_ptr first_error = nullptr;
+    const int threads = options_.num_threads > 0
+                            ? options_.num_threads
+                            : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+    for (std::int64_t k = 0;
+         k < static_cast<std::int64_t>(sources.size()); ++k) {
+      try {
+        results[static_cast<std::size_t>(k)] =
+            info.run(plan_, grb::default_context(),
+                     sources[static_cast<std::size_t>(k)], exec);
+      } catch (...) {
+#pragma omp critical(dsg_solver_batch_error)
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+  }
+#endif
+
+  // Serial round-robin over the solver's own warm workspace.
+  for (std::size_t k = 0; k < sources.size(); ++k) {
+    results[k] = info.run(plan_, ctx_, sources[k], exec);
+  }
+  return results;
+}
+
+SsspPathResult SsspSolver::solve_with_paths(Index source) {
+  SsspResult r = solve(source);
+  SsspPathResult out;
+  out.parent = recover_parents(plan_.matrix(), source, r.dist);
+  out.dist = std::move(r.dist);
+  out.stats = r.stats;
+  return out;
+}
+
+}  // namespace dsg::sssp

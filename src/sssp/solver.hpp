@@ -1,0 +1,142 @@
+// solver.hpp — sssp::SsspSolver, the plan/execute front door of the SSSP
+// family.
+//
+// The seven algorithm variants used to be seven free functions, each
+// re-deriving per-call state (weight validation, the A_L/A_H Δ-split,
+// workspace allocation) on every invocation.  The solver splits that into
+// the classic plan/execute shape:
+//
+//   construction  = plan: validate the graph once, pick Δ (explicitly or
+//                   via the degree-stats heuristic), build the splits the
+//                   chosen algorithm needs, own a grb::Context;
+//   solve()       = execute: run the chosen algorithm against the plan
+//                   with warm-reused workspaces;
+//   solve_batch() = execute many: round-robin over the shared workspace,
+//                   OpenMP across sources for the internally-serial
+//                   variants;
+//   solve_with_paths() = execute + recover the shortest-path tree.
+//
+// Algorithm choice is data, not code: the Algorithm enum + registry map
+// over the existing variants, so callers (and the v2 C API) can select by
+// value or by name.  Each registry entry runs the plan-based core of its
+// variant; results are identical to the legacy free functions.
+//
+// A solver is single-owner: not copyable, not thread-safe for concurrent
+// solve() calls on the same instance (it owns one Context).  solve_batch
+// parallelizes internally and is safe to call from one thread.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graphblas/context.hpp"
+#include "sssp/common.hpp"
+#include "sssp/plan.hpp"
+
+namespace dsg::sssp {
+
+/// The registered SSSP algorithm variants.  Values are stable (the v2 C
+/// API mirrors them numerically).
+enum class Algorithm {
+  kBuckets = 0,          ///< canonical Meyer–Sanders buckets (Fig. 1 right)
+  kGraphblas = 1,        ///< unfused GraphBLAS formulation (Fig. 2)
+  kGraphblasSelect = 2,  ///< GraphBLAS with fused select filters (ABL-OPS)
+  kCapi = 3,             ///< the Fig. 2 C-API transcription (not thread-safe)
+  kFused = 4,            ///< fused C implementation (Sec. VI-B) — default
+  kOpenmp = 5,           ///< task-parallel fused (Sec. VI-C)
+  kBellmanFord = 6,      ///< SPFA worklist baseline
+  kDijkstra = 7,         ///< binary-heap baseline / oracle
+};
+
+/// Number of registered algorithms (contiguous enum values 0..N-1).
+inline constexpr int kNumAlgorithms = 8;
+
+/// Registry row: how to name, select and run one variant.
+struct AlgorithmInfo {
+  Algorithm id;
+  const char* name;  ///< stable string id, e.g. "fused", "graphblas_select"
+  /// True when independent solves may run on different threads (the
+  /// variant is internally serial and free of global state).
+  bool batch_parallel;
+  /// Plan-based core of the variant.
+  SsspResult (*run)(const GraphPlan&, grb::Context&, Index,
+                    const ExecOptions&);
+};
+
+/// All registered algorithms, ordered by enum value.
+std::span<const AlgorithmInfo> algorithm_registry();
+
+/// Lookup by enum (always succeeds for a valid enum).
+const AlgorithmInfo& algorithm_info(Algorithm algorithm);
+
+/// Lookup by stable name; nullptr when unknown.
+const AlgorithmInfo* find_algorithm(std::string_view name);
+
+/// Solver construction options.
+struct SolverOptions {
+  Algorithm algorithm = Algorithm::kFused;
+  /// Bucket width Δ; <= 0 (kAutoDelta) selects it from the plan's degree
+  /// statistics.  Ignored by kBellmanFord / kDijkstra.
+  double delta = kAutoDelta;
+  /// Collect per-phase timers in SsspStats (small overhead).
+  bool profile = false;
+  /// Thread count for the kOpenmp variant and for batched execution
+  /// (0 = library default).
+  int num_threads = 0;
+  /// Tasks per vector pass for the kOpenmp variant (0 = one per thread).
+  int tasks_per_vector = 0;
+};
+
+/// Distances plus the recovered shortest-path tree.
+struct SsspPathResult {
+  std::vector<double> dist;    ///< kInfDist where unreachable
+  std::vector<Index> parent;   ///< kNoParent for source and unreachable
+  SsspStats stats;
+};
+
+class SsspSolver {
+ public:
+  /// Owning constructors: move a matrix in (or share one via shared_ptr)
+  /// and the plan keeps it alive.  Throws grb::InvalidValue /
+  /// grb::DimensionMismatch on invalid graphs (negative weights,
+  /// non-square, empty) — solve() itself cannot fail on graph shape.
+  explicit SsspSolver(grb::Matrix<double> graph, SolverOptions options = {});
+  explicit SsspSolver(std::shared_ptr<const grb::Matrix<double>> graph,
+                      SolverOptions options = {});
+
+  SsspSolver(SsspSolver&&) noexcept = default;
+  SsspSolver& operator=(SsspSolver&&) noexcept = default;
+  SsspSolver(const SsspSolver&) = delete;
+  SsspSolver& operator=(const SsspSolver&) = delete;
+
+  const GraphPlan& plan() const { return plan_; }
+  const SolverOptions& options() const { return options_; }
+  Algorithm algorithm() const { return options_.algorithm; }
+  /// The Δ actually in use (auto-selected when options.delta <= 0).
+  double delta() const { return plan_.delta(); }
+  Index num_vertices() const { return plan_.num_vertices(); }
+
+  /// One query against the warm plan/workspace.  stats.setup_seconds is 0:
+  /// preprocessing was paid at construction (see plan().setup_seconds()).
+  SsspResult solve(Index source);
+
+  /// Many queries against the shared plan.  Results are element-identical
+  /// to calling solve() per source in order (duplicate sources included —
+  /// warm-workspace reuse leaks no state between queries).  Internally
+  /// serial variants fan out across OpenMP threads when available.
+  std::vector<SsspResult> solve_batch(std::span<const Index> sources);
+
+  /// One query plus shortest-path-tree recovery over the plan's matrix.
+  SsspPathResult solve_with_paths(Index source);
+
+ private:
+  ExecOptions exec_options() const;
+
+  GraphPlan plan_;
+  SolverOptions options_;
+  grb::Context ctx_;
+};
+
+}  // namespace dsg::sssp

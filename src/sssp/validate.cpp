@@ -48,6 +48,14 @@ ValidationReport validate_sssp(const grb::Matrix<double>& a, Index source,
 
   ValidationReport report;
   for (Index v = 0; v < n; ++v) {
+    // The library-wide convention (see SsspResult): entries are either a
+    // real distance or exactly +inf.  NaN never compares true against the
+    // inf checks below, so reject it explicitly with a clear message.
+    if (std::isnan(dist[v])) {
+      std::ostringstream os;
+      os << "vertex " << v << " has NaN distance (unreachable must be +inf)";
+      return fail(os.str());
+    }
     if (reachable[v] && dist[v] == kInfDist) {
       std::ostringstream os;
       os << "vertex " << v << " is reachable but dist is inf";

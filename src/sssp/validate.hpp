@@ -20,7 +20,9 @@ struct ValidationReport {
 ///  - no edge is over-relaxed: dist[v] <= dist[u] + w(u,v) for every edge;
 ///  - every finite dist[v], v != source, has a tight predecessor
 ///    (dist[u] + w(u,v) == dist[v] for some in-edge);
-///  - vertices unreachable in the structure have dist == inf.
+///  - vertices unreachable in the structure have dist == +inf *exactly*
+///    (the library-wide SsspResult convention); NaN entries are rejected
+///    outright, reachable vertices must be finite.
 ValidationReport validate_sssp(const grb::Matrix<double>& a, Index source,
                                const std::vector<double>& dist,
                                double tolerance = 1e-9);

@@ -1,0 +1,207 @@
+// test_pointwise_parallel.cpp — serial parity for the OpenMP point-wise
+// vector kernels (apply / select / ewise_add / ewise_mult).
+//
+// The parallel kernels promise BIT-IDENTICAL output to the serial path
+// (two-pass count/fill over contiguous chunks preserves the serial emit
+// order exactly).  The suite runs each op twice on the same inputs — once
+// with the Context threshold dropped to 1 (parallel path taken whenever
+// OpenMP is available) and once with it effectively disabled — and
+// compares structures and values exactly.  Without OpenMP both runs take
+// the serial path and the suite still passes, so the same tests cover the
+// no-OpenMP build.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graphblas/graphblas.hpp"
+
+namespace {
+
+using grb::Index;
+
+/// Deterministic LCG so the fixtures are reproducible across platforms.
+struct Lcg {
+  std::uint64_t state;
+  explicit Lcg(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  }
+  double uniform() { return static_cast<double>(next() % 1000003) / 1000003.0; }
+};
+
+/// Sparse vector with roughly `density` fill and values in [0, 10).
+grb::Vector<double> random_vector(Index n, double density, std::uint64_t seed) {
+  Lcg rng(seed);
+  grb::Vector<double> v(n);
+  auto& vi = v.mutable_indices();
+  auto& vv = v.mutable_values();
+  for (Index i = 0; i < n; ++i) {
+    if (rng.uniform() < density) {
+      vi.push_back(i);
+      vv.push_back(rng.uniform() * 10.0);
+    }
+  }
+  return v;
+}
+
+grb::Vector<bool> random_mask(Index n, double density, std::uint64_t seed) {
+  Lcg rng(seed);
+  grb::Vector<bool> m(n);
+  auto& mi = m.mutable_indices();
+  auto& mv = m.mutable_values();
+  for (Index i = 0; i < n; ++i) {
+    if (rng.uniform() < density) {
+      mi.push_back(i);
+      mv.push_back(rng.uniform() < 0.7);  // mix of true and stored-false
+    }
+  }
+  return m;
+}
+
+template <typename T>
+void expect_identical(const grb::Vector<T>& a, const grb::Vector<T>& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(a.nvals(), b.nvals()) << what;
+  auto ai = a.indices();
+  auto bi = b.indices();
+  auto av = a.values();
+  auto bv = b.values();
+  for (std::size_t k = 0; k < ai.size(); ++k) {
+    ASSERT_EQ(ai[k], bi[k]) << what << " structure @" << k;
+    ASSERT_EQ(av[k], bv[k]) << what << " value @" << k;  // bit-identical
+  }
+}
+
+/// Runs `body(ctx, out)` once on a parallel-eager Context and once on a
+/// serial-pinned one, asserting identical results.
+template <typename Body>
+void check_parity(Index n, const char* what, Body&& body) {
+  grb::Context parallel_ctx;
+  parallel_ctx.pointwise_parallel_threshold = 1;
+  grb::Context serial_ctx;
+  serial_ctx.pointwise_parallel_threshold =
+      std::numeric_limits<Index>::max();
+
+  grb::Vector<double> out_par(n);
+  grb::Vector<double> out_ser(n);
+  body(parallel_ctx, out_par);
+  body(serial_ctx, out_ser);
+  expect_identical(out_par, out_ser, what);
+}
+
+constexpr Index kN = 40000;  // large enough for several chunks per op
+
+TEST(PointwiseParallel, ApplyUnmasked) {
+  const auto u = random_vector(kN, 0.4, 1);
+  check_parity(kN, "apply unmasked", [&](grb::Context& ctx, auto& out) {
+    grb::apply(ctx, out, grb::NoMask{}, grb::NoAccumulate{},
+               grb::BindSecond<grb::Plus<double>, double>{{}, 1.25}, u);
+  });
+}
+
+TEST(PointwiseParallel, ApplyMaskedVariants) {
+  const auto u = random_vector(kN, 0.5, 2);
+  const auto mask = random_mask(kN, 0.3, 3);
+  check_parity(kN, "apply value mask", [&](grb::Context& ctx, auto& out) {
+    grb::apply(ctx, out, mask, grb::NoAccumulate{}, grb::Identity<double>{},
+               u, grb::replace_desc);
+  });
+  check_parity(kN, "apply structure mask", [&](grb::Context& ctx, auto& out) {
+    grb::apply(ctx, out, mask, grb::NoAccumulate{}, grb::Identity<double>{},
+               u, grb::structure_mask_desc);
+  });
+  grb::Descriptor comp = grb::replace_desc;
+  comp.mask_complement = true;
+  check_parity(kN, "apply complement mask", [&](grb::Context& ctx, auto& out) {
+    grb::apply(ctx, out, mask, grb::NoAccumulate{}, grb::Identity<double>{},
+               u, comp);
+  });
+}
+
+TEST(PointwiseParallel, ApplyWithAccumulator) {
+  const auto u = random_vector(kN, 0.4, 4);
+  const auto seed_vals = random_vector(kN, 0.2, 5);
+  check_parity(kN, "apply accum", [&](grb::Context& ctx, auto& out) {
+    out = seed_vals;  // pre-existing output contents to accumulate into
+    grb::apply(ctx, out, grb::NoMask{}, grb::Plus<double>{},
+               grb::Identity<double>{}, u);
+  });
+}
+
+TEST(PointwiseParallel, SelectValueAndMask) {
+  const auto u = random_vector(kN, 0.5, 6);
+  const auto mask = random_mask(kN, 0.4, 7);
+  check_parity(kN, "select threshold", [&](grb::Context& ctx, auto& out) {
+    grb::select(ctx, out, grb::GreaterThanThreshold<double>{5.0}, u);
+  });
+  check_parity(kN, "select masked", [&](grb::Context& ctx, auto& out) {
+    grb::select(
+        ctx, out, mask, grb::NoAccumulate{},
+        [](const double& x, Index i) { return x > 2.0 && i % 3 != 0; }, u,
+        grb::replace_desc);
+  });
+}
+
+TEST(PointwiseParallel, EwiseAddUnionSemantics) {
+  const auto u = random_vector(kN, 0.4, 8);
+  const auto v = random_vector(kN, 0.4, 9);
+  check_parity(kN, "ewise_add min", [&](grb::Context& ctx, auto& out) {
+    grb::ewise_add(ctx, out, grb::NoMask{}, grb::NoAccumulate{},
+                   grb::Min<double>{}, u, v);
+  });
+  const auto mask = random_mask(kN, 0.3, 10);
+  check_parity(kN, "ewise_add masked", [&](grb::Context& ctx, auto& out) {
+    grb::ewise_add(ctx, out, mask, grb::NoAccumulate{}, grb::Plus<double>{},
+                   u, v, grb::replace_desc);
+  });
+  // The Sec. V-B pitfall op (non-commutative LessThan): pass-through
+  // semantics must be identical too.
+  check_parity(kN, "ewise_add lt", [&](grb::Context& ctx, auto& out) {
+    grb::Vector<double> cmp(kN);
+    grb::ewise_add(ctx, cmp, u, grb::NoAccumulate{}, grb::LessThan<double>{},
+                   u, v, grb::replace_desc);
+    grb::apply(ctx, out, cmp, grb::NoAccumulate{}, grb::Identity<double>{}, u,
+               grb::replace_desc);
+  });
+}
+
+TEST(PointwiseParallel, EwiseMultIntersection) {
+  const auto u = random_vector(kN, 0.5, 11);
+  const auto v = random_vector(kN, 0.5, 12);
+  check_parity(kN, "ewise_mult", [&](grb::Context& ctx, auto& out) {
+    grb::ewise_mult(ctx, out, grb::NoMask{}, grb::NoAccumulate{},
+                    grb::Times<double>{}, u, v);
+  });
+  const auto mask = random_mask(kN, 0.25, 13);
+  check_parity(kN, "ewise_mult masked", [&](grb::Context& ctx, auto& out) {
+    grb::ewise_mult(ctx, out, mask, grb::NoAccumulate{}, grb::Plus<double>{},
+                    u, v, grb::structure_mask_desc);
+  });
+}
+
+TEST(PointwiseParallel, EmptyAndDenseEdges) {
+  const grb::Vector<double> empty(kN);
+  const auto dense = random_vector(kN, 1.0, 14);
+  check_parity(kN, "apply empty", [&](grb::Context& ctx, auto& out) {
+    grb::apply(ctx, out, grb::NoMask{}, grb::NoAccumulate{},
+               grb::Identity<double>{}, empty);
+  });
+  check_parity(kN, "apply dense", [&](grb::Context& ctx, auto& out) {
+    grb::apply(ctx, out, grb::NoMask{}, grb::NoAccumulate{},
+               grb::BindSecond<grb::Plus<double>, double>{{}, -3.0}, dense);
+  });
+  check_parity(kN, "ewise_add one empty", [&](grb::Context& ctx, auto& out) {
+    grb::ewise_add(ctx, out, grb::NoMask{}, grb::NoAccumulate{},
+                   grb::Plus<double>{}, dense, empty);
+  });
+  check_parity(kN, "ewise_mult one empty", [&](grb::Context& ctx, auto& out) {
+    grb::ewise_mult(ctx, out, grb::NoMask{}, grb::NoAccumulate{},
+                    grb::Plus<double>{}, dense, empty);
+  });
+}
+
+}  // namespace
