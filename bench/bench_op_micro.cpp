@@ -79,7 +79,7 @@ BENCHMARK(BM_VectorFilter_Select)->Range(1 << 10, 1 << 18);
 void BM_VectorFilter_RawLoop(benchmark::State& state) {
   const Index n = static_cast<Index>(state.range(0));
   auto t = random_dense_vector(n, 1);
-  auto dense = t.to_dense(0.0);
+  auto dense = t.to_dense_array(0.0);
   std::vector<Index> out;
   for (auto _ : state) {
     out.clear();
@@ -190,8 +190,8 @@ BENCHMARK(BM_InnerLoop_UnfusedGraphBlas)->Range(1 << 10, 1 << 16);
 
 void BM_InnerLoop_FusedPass(benchmark::State& state) {
   const Index n = static_cast<Index>(state.range(0));
-  auto tv = random_dense_vector(n, 3).to_dense(0.0);
-  auto reqv = random_dense_vector(n, 4).to_dense(0.0);
+  auto tv = random_dense_vector(n, 3).to_dense_array(0.0);
+  auto reqv = random_dense_vector(n, 4).to_dense_array(0.0);
   std::vector<unsigned char> tb(n), s(n);
   std::vector<Index> frontier;
   for (auto _ : state) {

@@ -214,6 +214,50 @@ int main(int argc, char** argv) {
     amort.print(std::cout);
   }
 
+  // --- 3. Storage-representation effect on the GraphBLAS variant ----------
+  // (record only, no gate: the dense-path perf gate lives in bench_spmspv;
+  // the end-to-end trajectory is tracked by BENCH_sssp.json's fig3 table).
+  // Same plan, same queries, one Context with density auto-switching on and
+  // one with it pinned off — the delta between the rows is what the dual
+  // sparse/dense Vector representation buys the unfused Fig. 2 pipeline.
+  {
+    GraphPlan plan = GraphPlan::borrow(*big_a, delta);
+    (void)plan.light_matrix();  // pay the A_L/A_H split before timing
+    (void)plan.heavy_matrix();
+    const auto rep_sources = make_sources(big_n, 8);
+    ExecOptions exec;
+
+    auto run_all = [&](grb::Context& ctx) {
+      for (Index s : rep_sources) {
+        (void)delta_stepping_graphblas(plan, ctx, s, exec);
+      }
+    };
+    grb::Context ctx_on, ctx_off;
+    ctx_off.auto_representation = false;
+    run_all(ctx_on);  // warm both workspace sets
+    run_all(ctx_off);
+
+    WallTimer on_timer;
+    run_all(ctx_on);
+    const double on_ms = on_timer.milliseconds();
+    WallTimer off_timer;
+    run_all(ctx_off);
+    const double off_ms = off_timer.milliseconds();
+
+    TableReporter rep("SOLVER-BATCH representation: " + big.name +
+                      ", 8 graphblas queries, dense auto-switching on/off");
+    rep.set_header({"metric", "total_ms", "vs_auto_on"});
+    rep.add_row({"auto_representation_on", format_ms(on_ms), "1.00x"});
+    rep.add_row({"auto_representation_off", format_ms(off_ms),
+                 format_double(off_ms / on_ms, 2) + "x"});
+    rep.add_footer("record only; dense-path gate lives in bench_spmspv");
+    if (args.has("csv")) {
+      rep.print_csv(std::cout);
+    } else {
+      rep.print(std::cout);
+    }
+  }
+
   if (check) {
     bool ok = true;
     if (!(warm_ratio < 2.0)) {

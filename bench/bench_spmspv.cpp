@@ -1,20 +1,33 @@
-// SPMSPV — microbenchmark for the workspace-reusing sparse-frontier vxm
-// (the delta-stepping light-phase kernel when the frontier holds a handful
-// of vertices and n is large).
+// SPMSPV — microbenchmarks for the two representation-sensitive hot paths
+// of the substrate.
 //
-// Two configurations of the same kernel:
+// Section 1: workspace-reusing sparse-frontier vxm (the delta-stepping
+// light-phase kernel when the frontier holds a handful of vertices and n is
+// large).  Two configurations of the same kernel:
 //   cold:   a fresh grb::Context per call — every call pays the O(n)
 //           workspace (re)initialization, which is what the pre-workspace
 //           engine paid on *every* vxm;
 //   reused: one Context across calls — steady-state cost is O(frontier
 //           out-degree) thanks to the sparse accumulator reset.
+// Gate: reused >= 5x faster than cold at frontier=16.
 //
-// The PR acceptance gate is reused >= 5x faster than cold at frontier << n.
-// Exit status: 0 when the largest-n ratio clears the gate (checked only at
-// the full default size so CI smoke runs with --n smaller stay meaningful).
+// Section 2: point-wise ops (apply under a mask / in-place eWiseAdd(Min) /
+// select) over a 75%-dense length-n vector, pinned to the sparse
+// representation vs pinned to the dense (bitmap) representation — the
+// delta-stepping tentative-distance access pattern.  Outputs are verified
+// bit-identical between the two paths before timing.
+// Gate: geometric-mean dense-path speedup >= 2x.
 //
-// Flags: --n N (default 1<<20), --deg D (default 8), --csv.
+// Exit status: 0 when both gates clear (enforced only at the full default
+// size, n >= 1<<20, so CI smoke runs with --n smaller stay meaningful; the
+// bit-identity check is enforced at every size).
+//
+// Flags: --n N (default 1<<20), --deg D (default 8), --csv, --check
+// (accepted for symmetry with bench_solver_batch; gates are on by default
+// at full scale).
 #include <chrono>
+#include <cmath>
+#include <functional>
 #include <iostream>
 #include <random>
 #include <vector>
@@ -62,6 +75,42 @@ double best_ms_per_call(F&& call, int reps, int calls_per_rep) {
     if (ms < best) best = ms;
   }
   return best;
+}
+
+/// A length-n vector with ~`density` of all positions stored (random
+/// values), built sparse; callers pin the representation explicitly.
+grb::Vector<double> random_dense_ish(grb::Index n, double density,
+                                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> vd(0.0, 100.0);
+  std::bernoulli_distribution keep(density);
+  grb::Vector<double> v(n);
+  auto& vi = v.mutable_indices();
+  auto& vv = v.mutable_values();
+  for (grb::Index i = 0; i < n; ++i) {
+    if (keep(rng)) {
+      vi.push_back(i);
+      vv.push_back(vd(rng));
+    }
+  }
+  return v;
+}
+
+grb::Vector<bool> random_mask(grb::Index n, double density,
+                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution keep(density);
+  std::bernoulli_distribution truthy(0.5);
+  grb::Vector<bool> m(n);
+  auto& mi = m.mutable_indices();
+  auto& mv = m.mutable_values();
+  for (grb::Index i = 0; i < n; ++i) {
+    if (keep(rng)) {
+      mi.push_back(i);
+      mv.push_back(truthy(rng) ? 1 : 0);
+    }
+  }
+  return m;
 }
 
 }  // namespace
@@ -120,12 +169,124 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
 
-  // Only enforce the gate at the default scale: tiny --n smoke runs have
-  // n comparable to the frontier, where reuse cannot dominate.
-  if (n >= (Index{1} << 20) && gate_speedup < 5.0) {
-    std::cerr << "FAILED: workspace reuse speedup " << gate_speedup
-              << "x below the 5x acceptance gate\n";
-    return 1;
+  // --- Section 2: point-wise ops, sparse vs dense representation. ----------
+  //
+  // The tentative-distance access pattern of delta-stepping: a 75%-dense
+  // value vector, a stored-everywhere-it-matters boolean filter, and a
+  // sparse (1%) request vector.  Each op runs twice on logically identical
+  // inputs — once pinned to the sparse representation, once pinned to the
+  // dense one (auto-switching disabled on both contexts so neither path
+  // migrates mid-measurement) — and the outputs are compared bit-for-bit
+  // before any timing is trusted.
+  const double kDensity = 0.75;
+  auto t_sparse = random_dense_ish(n, kDensity, 11);
+  auto m_sparse = random_mask(n, kDensity, 12);
+  auto treq = random_dense_ish(n, 0.01, 13);  // sparse request vector
+  auto t_dense = t_sparse;
+  t_dense.to_dense();
+  auto m_dense = m_sparse;
+  m_dense.to_dense();
+
+  grb::Context ctx_sparse, ctx_dense;
+  ctx_sparse.auto_representation = false;
+  ctx_dense.auto_representation = false;
+
+  const double sel_lo = 25.0, sel_hi = 75.0;
+  auto range_pred = [=](double x, Index) { return x >= sel_lo && x < sel_hi; };
+
+  struct PointwiseOp {
+    const char* name;
+    std::function<void(grb::Context&, grb::Vector<double>&,
+                       const grb::Vector<double>&, const grb::Vector<bool>&)>
+        run;
+  };
+  const std::vector<PointwiseOp> pointwise_ops = {
+      // The Fig. 2 filter idiom: identity under a value mask, replace mode.
+      {"apply_masked",
+       [&](grb::Context& c, grb::Vector<double>& w,
+           const grb::Vector<double>& t, const grb::Vector<bool>& m) {
+         grb::apply(c, w, m, grb::NoAccumulate{}, grb::Identity<double>{}, t,
+                    grb::replace_desc);
+       }},
+      // The relaxation: w = min(w, tReq) with w aliasing the first operand
+      // (O(nnz(tReq)) in-place on the dense path).
+      {"ewise_min_relax",
+       [&](grb::Context& c, grb::Vector<double>& w, const grb::Vector<double>&,
+           const grb::Vector<bool>&) {
+         grb::ewise_add(c, w, grb::NoMask{}, grb::NoAccumulate{},
+                        grb::Min<double>{}, w, treq);
+       }},
+      // Bucket extraction: keep values in [lo, hi).
+      {"select_range",
+       [&](grb::Context& c, grb::Vector<double>& w,
+           const grb::Vector<double>& t, const grb::Vector<bool>&) {
+         grb::select(c, w, grb::NoMask{}, grb::NoAccumulate{}, range_pred, t);
+       }},
+  };
+
+  TableReporter ptable(
+      "POINTWISE: sparse vs dense representation (n=" + std::to_string(n) +
+      ", density=" + format_double(kDensity, 2) + ")");
+  ptable.set_header({"op", "sparse_ms", "dense_ms", "speedup"});
+
+  bool identical = true;
+  double speedup_product = 1.0;
+  for (const auto& op : pointwise_ops) {
+    // Bit-identity first, on fresh outputs and fresh contexts.
+    {
+      grb::Context cs, cd;
+      cs.auto_representation = false;
+      cd.auto_representation = false;
+      grb::Vector<double> ws = t_sparse;  // ewise_min_relax updates in place
+      grb::Vector<double> wd = t_dense;
+      op.run(cs, ws, t_sparse, m_sparse);
+      op.run(cd, wd, t_dense, m_dense);
+      if (!(ws == wd)) {
+        std::cerr << "FAILED: " << op.name
+                  << " outputs differ between representations\n";
+        identical = false;
+      }
+    }
+
+    const int calls = n >= (Index{1} << 18) ? 10 : 100;
+    grb::Vector<double> ws = t_sparse;
+    const double sparse_ms = best_ms_per_call(
+        [&] { op.run(ctx_sparse, ws, t_sparse, m_sparse); }, 3, calls);
+    grb::Vector<double> wd = t_dense;
+    const double dense_ms = best_ms_per_call(
+        [&] { op.run(ctx_dense, wd, t_dense, m_dense); }, 3, calls);
+
+    const double speedup = sparse_ms / dense_ms;
+    speedup_product *= speedup;
+    ptable.add_row({op.name, format_ms(sparse_ms), format_ms(dense_ms),
+                    format_double(speedup, 2) + "x"});
+  }
+  const double geomean =
+      std::pow(speedup_product, 1.0 / static_cast<double>(
+                                          pointwise_ops.size()));
+  ptable.add_footer("gate: geomean dense-path speedup >= 2x; measured " +
+                    format_double(geomean, 2) + "x");
+  if (args.has("csv")) {
+    ptable.print_csv(std::cout);
+  } else {
+    ptable.print(std::cout);
+  }
+
+  if (!identical) return 1;  // representations must agree at every size
+
+  // Only enforce the perf gates at the default scale: tiny --n smoke runs
+  // have n comparable to the frontier, where neither effect can dominate.
+  if (n >= (Index{1} << 20)) {
+    if (gate_speedup < 5.0) {
+      std::cerr << "FAILED: workspace reuse speedup " << gate_speedup
+                << "x below the 5x acceptance gate\n";
+      return 1;
+    }
+    if (geomean < 2.0) {
+      std::cerr << "FAILED: dense-path pointwise speedup (geomean) "
+                << geomean << "x below the 2x acceptance gate\n";
+      return 1;
+    }
   }
   return 0;
 }

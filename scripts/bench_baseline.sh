@@ -6,6 +6,54 @@
 # Usage: scripts/bench_baseline.sh [build-dir] [--quick]
 #   build-dir  defaults to build-bench (kept separate from the dev build)
 #   --quick    CI smoke mode: fewer graphs, smaller spmspv instance
+#
+# ---------------------------------------------------------------------------
+# BENCH_sssp.json schema (dsg-bench-sssp-v2)
+#
+# Top-level keys:
+#   schema   "dsg-bench-sssp-v2" — bump only on breaking shape changes;
+#            additive keys (like spmspv_pointwise) do not bump it.
+#   quick    true when produced by --quick (CI smoke); the checked-in file
+#            must always come from a full (non-quick) run.
+#   commit   short git hash the numbers were measured at.
+#   host     { machine, nproc } — compare runs on like hardware only.
+#
+# Table keys (each a list of row objects keyed by that table's CSV header):
+#   fig3_fusion    bench_fig3_fusion: per-graph end-to-end SSSP milliseconds
+#                  per variant (graphblas / select / capi / fused / openmp
+#                  columns; the paper's abstraction-penalty table).  This is
+#                  the end-to-end regression reference: a PR touching the
+#                  operations layer must keep these faster-or-equal.
+#   delta_sweep    bench_delta_sweep: per-graph milliseconds across the Δ
+#                  ablation grid, plus the auto-Δ row.
+#   spmspv         bench_spmspv table 1: sparse-frontier vxm, workspace
+#                  reuse vs per-call reset (cold_ms / reused_ms / speedup
+#                  per frontier size; CI gate >= 5x at frontier=16).
+#   spmspv_pointwise
+#                  bench_spmspv table 2: point-wise ops over a 75%-dense
+#                  vector, sparse vs dense representation (sparse_ms /
+#                  dense_ms / speedup per op; CI gate: geomean >= 2x,
+#                  outputs verified bit-identical before timing).
+#   solver_batch   bench_solver_batch table 1: queries/sec through a warm
+#                  SsspSolver at batch sizes 1/8/64 per graph.
+#   solver_batch_amortization
+#                  bench_solver_batch table 2: 64-query legacy vs warm vs
+#                  batch totals (CI gate: batch < 2x warm, legacy >= 1.5x
+#                  batch).
+#   solver_batch_representation
+#                  bench_solver_batch table 3: the unfused GraphBLAS
+#                  variant with Vector density auto-switching on vs off
+#                  (record only — the dense-path gate is spmspv_pointwise).
+#
+# Regenerating and gating: run `scripts/bench_baseline.sh` on an idle
+# machine and commit the rewritten BENCH_sssp.json alongside the change
+# that moved the numbers.  CI runs the --quick variant on every push
+# (.github/workflows/ci.yml, bench-smoke job), which enforces the
+# bench_spmspv and bench_solver_batch --check gates but does not diff
+# milliseconds against the checked-in file (CI hardware varies); the
+# checked-in numbers are the human-reviewed trajectory.
+# See docs/ARCHITECTURE.md for where each measured path lives.
+# ---------------------------------------------------------------------------
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,7 +93,10 @@ fi
   > "$OUT_DIR/fig3.csv"
 "$BUILD_DIR/bench/bench_delta_sweep" "${SWEEP_ARGS[@]}" --csv \
   > "$OUT_DIR/sweep.csv"
-"$BUILD_DIR/bench/bench_spmspv" "${SPMSPV_ARGS[@]}" --csv \
+# --check asserts the dense-vs-sparse bit-identity at every size and (at
+# full scale) the two perf gates: workspace reuse >= 5x, dense-path
+# pointwise geomean >= 2x.
+"$BUILD_DIR/bench/bench_spmspv" "${SPMSPV_ARGS[@]}" --csv --check \
   > "$OUT_DIR/spmspv.csv"
 # --check is the Release amortization gate: solve_batch(64) < 2x the 64
 # warm solves AND 64 legacy calls >= 1.5x solve_batch(64).  A failed gate
@@ -73,8 +124,9 @@ def read_table(path):
     return rows
 
 def read_tables(path):
-    """Multi-table CSV: a non-numeric first cell after data rows starts a
-    new header (bench_solver_batch emits throughput + amortization)."""
+    """Multi-table CSV: a known header first-cell after data rows starts a
+    new table (bench_solver_batch emits throughput + amortization +
+    representation; bench_spmspv emits vxm + pointwise)."""
     tables, header, rows = [], None, []
     with open(path) as f:
         for line in f:
@@ -84,7 +136,7 @@ def read_tables(path):
             cells = next(csv.reader([line]))
             if header is None:
                 header = cells
-            elif cells[0] in ("graph", "metric"):  # a new table's header
+            elif cells[0] in ("graph", "metric", "op", "frontier"):
                 tables.append((header, rows))
                 header, rows = cells, []
             else:
@@ -101,6 +153,7 @@ def git_head():
         return "unknown"
 
 batch_tables = read_tables(os.path.join(out_dir, "solver_batch.csv"))
+spmspv_tables = read_tables(os.path.join(out_dir, "spmspv.csv"))
 
 doc = {
     "schema": "dsg-bench-sssp-v2",
@@ -112,12 +165,20 @@ doc = {
     },
     "fig3_fusion": read_table(os.path.join(out_dir, "fig3.csv")),
     "delta_sweep": read_table(os.path.join(out_dir, "sweep.csv")),
-    "spmspv": read_table(os.path.join(out_dir, "spmspv.csv")),
+    # Sparse-frontier vxm workspace reuse, plus the point-wise ops measured
+    # with the vector pinned sparse vs pinned dense (see scripts header for
+    # the full schema description).
+    "spmspv": spmspv_tables[0] if spmspv_tables else [],
+    "spmspv_pointwise":
+        spmspv_tables[1] if len(spmspv_tables) > 1 else [],
     # Batched-query scenario: queries/sec at batch sizes 1/8/64 through a
-    # warm SsspSolver, plus the 64-query legacy/warm/batch amortization.
+    # warm SsspSolver, the 64-query legacy/warm/batch amortization, and the
+    # dense auto-switching on/off record for the graphblas variant.
     "solver_batch": batch_tables[0] if batch_tables else [],
     "solver_batch_amortization":
         batch_tables[1] if len(batch_tables) > 1 else [],
+    "solver_batch_representation":
+        batch_tables[2] if len(batch_tables) > 2 else [],
 }
 with open("BENCH_sssp.json", "w") as f:
     json.dump(doc, f, indent=2)

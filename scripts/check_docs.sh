@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Documentation hygiene check (the CI docs job):
+#   1. every relative markdown link in README.md, ROADMAP.md, and docs/*.md
+#      resolves to an existing file (anchors stripped; http(s) links are
+#      not fetched — this check is offline by design);
+#   2. every docs/<file> path *mentioned anywhere* in README.md exists, so
+#      prose references cannot rot silently.
+# Exits non-zero listing every violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - <<'PY'
+import glob
+import os
+import re
+import sys
+
+failures = []
+
+sources = ["README.md", "ROADMAP.md"] + sorted(glob.glob("docs/*.md"))
+
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+for src in sources:
+    if not os.path.exists(src):
+        failures.append(f"{src}: file listed for checking does not exist")
+        continue
+    text = open(src, encoding="utf-8").read()
+    for target in link_re.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(src), path))
+        if not os.path.exists(resolved):
+            failures.append(f"{src}: broken link -> {target}")
+
+readme = open("README.md", encoding="utf-8").read()
+for mention in sorted(set(re.findall(r"docs/[A-Za-z0-9_.-]+\.md", readme))):
+    if not os.path.exists(mention):
+        failures.append(f"README.md: mentions {mention}, which does not exist")
+
+if failures:
+    print("documentation check FAILED:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+
+print(f"documentation check passed ({len(sources)} files scanned)")
+PY

@@ -30,7 +30,7 @@ std::vector<Index> bfs_levels_graphblas(const grb::Matrix<double>& a,
                        std::vector<Index>{grb::all_indices},
                        grb::structure_mask_desc);
   }
-  return visited.to_dense(kUnreachedLevel);
+  return visited.to_dense_array(kUnreachedLevel);
 }
 
 std::vector<Index> bfs_parents_graphblas(const grb::Matrix<double>& a,
@@ -72,7 +72,7 @@ std::vector<Index> bfs_parents_graphblas(const grb::Matrix<double>& a,
                grb::structure_mask_desc);
   }
 
-  auto out = parent.to_dense(kNoParent);
+  auto out = parent.to_dense_array(kNoParent);
   out[source] = kNoParent;  // the source has no parent
   return out;
 }

@@ -40,7 +40,7 @@ std::vector<Index> connected_components_graphblas(
     if (proposed == labels) break;
     labels = std::move(proposed);
   }
-  return labels.to_dense(0);
+  return labels.to_dense_array(0);
 }
 
 Index count_components(const std::vector<Index>& labels) {

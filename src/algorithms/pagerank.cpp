@@ -37,7 +37,7 @@ PageRankResult pagerank_graphblas(const grb::Matrix<double>& a,
   // Dangling vertices: structural complement of outdeg.
   std::vector<double> dangling(n, 0.0);
   {
-    auto deg_dense = outdeg.to_dense(0.0);
+    auto deg_dense = outdeg.to_dense_array(0.0);
     for (Index v = 0; v < n; ++v) {
       if (deg_dense[v] == 0.0) dangling[v] = 1.0;
     }
@@ -52,7 +52,7 @@ PageRankResult pagerank_graphblas(const grb::Matrix<double>& a,
     // Dangling mass this round.
     double dangling_mass = 0.0;
     {
-      auto dense = rank.to_dense(0.0);
+      auto dense = rank.to_dense_array(0.0);
       for (Index v = 0; v < n; ++v) dangling_mass += dense[v] * dangling[v];
     }
 
@@ -91,7 +91,7 @@ PageRankResult pagerank_graphblas(const grb::Matrix<double>& a,
     }
   }
 
-  result.rank = rank.to_dense(0.0);
+  result.rank = rank.to_dense_array(0.0);
   return result;
 }
 

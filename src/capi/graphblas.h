@@ -208,7 +208,12 @@ typedef enum {
   DSG_SSSP_FUSED = 4,            /* fused C implementation (default)       */
   DSG_SSSP_OPENMP = 5,           /* task-parallel fused (Sec. VI-C)        */
   DSG_SSSP_BELLMAN_FORD = 6,     /* SPFA worklist baseline                 */
-  DSG_SSSP_DIJKSTRA = 7          /* binary-heap baseline                   */
+  DSG_SSSP_DIJKSTRA = 7,         /* binary-heap baseline                   */
+  /* Forces the enum's value range to cover all of int, so an out-of-range
+   * selector arriving from C (where enums are plain ints) is a checkable
+   * GrB_INVALID_VALUE instead of undefined behaviour at the parameter
+   * load.  Never a valid algorithm. */
+  DSG_SSSP_FORCE_INT = 0x7fffffff
 } DsgSsspAlgorithm;
 
 /* Pass as `delta` to let the plan pick the bucket width from the graph's

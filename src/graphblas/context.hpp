@@ -109,6 +109,34 @@ struct WriteScratch {
   std::vector<S> val;
 };
 
+/// Dense (bitmap + values) staging for kernels that compute a dense-
+/// representation result (apply/select/ewise over dense inputs).  reset()
+/// zeroes the bitmap only; values are guarded by the bits, exactly like
+/// ScatterAccumulator.
+template <typename Z>
+struct DenseKernelStage {
+  std::vector<unsigned char> bit;
+  std::vector<storage_of_t<Z>> val;
+  void reset(Index n) {
+    bit.assign(n, 0);
+    val.resize(n);
+  }
+};
+
+/// Dense staging for the *write* phase of a dense result (mask/accum merge
+/// with the old output).  A distinct template from DenseKernelStage so the
+/// kernel's stage and the write stage never alias within one operation,
+/// even when Z == W.
+template <typename S>
+struct DenseWriteStage {
+  std::vector<unsigned char> bit;
+  std::vector<S> val;
+  void reset(Index n) {
+    bit.assign(n, 0);
+    val.resize(n);
+  }
+};
+
 /// Per-thread accumulators plus merge staging for the OpenMP push kernel.
 /// Each thread scatters into its own accumulator; threads then merge
 /// disjoint index ranges of all accumulators into `merged`, collecting each
@@ -161,6 +189,39 @@ class Context {
   /// are bit-identical either way.  Tests lower this to exercise the
   /// parallel path on small inputs.
   Index pointwise_parallel_threshold = 16384;
+
+  // --- Storage-representation policy (see Vector::to_dense/to_sparse). -----
+  //
+  // Every vector write phase ends with manage_representation(w): a vector
+  // whose density crosses dense_promote_density switches to the bitmap
+  // representation; a dense vector falling to dense_demote_density or below
+  // switches back.  The band between the two thresholds is hysteresis — a
+  // vector hovering near one boundary keeps its current form instead of
+  // paying an O(n) conversion per operation.  Representation never changes
+  // results (pinned by tests/test_representation.cpp), so auto_representation
+  // exists only for benchmarks that need to measure one path in isolation.
+
+  /// Master switch for automatic representation management.
+  bool auto_representation = true;
+  /// Density at/above which a sparse vector is promoted to dense.
+  double dense_promote_density = 0.5;
+  /// Density at/below which a dense vector is demoted to sparse.  Must be
+  /// strictly below dense_promote_density for the hysteresis band to exist.
+  double dense_demote_density = 0.25;
+
+  /// Applies the density policy to `v` (any type with size/density/
+  /// is_dense/to_dense/to_sparse — templated to keep this header free of a
+  /// vector.hpp include).
+  template <typename Vec>
+  void manage_representation(Vec& v) const {
+    if (!auto_representation || v.size() == 0) return;
+    const double d = v.density();
+    if (v.is_dense()) {
+      if (d <= dense_demote_density) v.to_sparse();
+    } else if (d >= dense_promote_density) {
+      v.to_dense();
+    }
+  }
 
  private:
   std::vector<std::pair<std::type_index, std::shared_ptr<void>>> slots_;

@@ -39,37 +39,61 @@ template <typename Accum>
 inline constexpr bool is_no_accum_v =
     std::is_same_v<std::decay_t<Accum>, NoAccumulate>;
 
-/// Point query against a vector mask under descriptor flags.  A mask with
-/// every position stored (e.g. the dense boolean filters of delta-stepping)
-/// is probed by direct indexing instead of binary search.
+/// Point query against a vector mask under descriptor flags.  Probing cost
+/// depends on the mask's storage representation:
+///   - dense (bitmap) representation: O(1) bitmap test, no probe structure
+///     to build and no mirror materialization;
+///   - sparse with every position stored (the fully-populated boolean
+///     filters of delta-stepping): direct subscript into the value array;
+///   - sparse otherwise: binary search per probe.
 template <typename MaskT>
 class VectorMaskProbe {
  public:
   VectorMaskProbe(const Vector<MaskT>& mask, const Descriptor& desc)
       : mask_(&mask),
         complement_(desc.mask_complement),
-        structural_(desc.mask_structure),
-        dense_(mask.nvals() == mask.size()) {}
+        structural_(desc.mask_structure) {
+    if (mask.is_dense()) {
+      mode_ = Mode::kBitmap;
+      bit_ = mask.dense_bitmap().data();
+      val_ = mask.dense_values().data();
+    } else if (mask.nvals() == mask.size()) {
+      mode_ = Mode::kAllStored;
+      val_ = mask.values().data();
+    } else {
+      mode_ = Mode::kSearch;
+    }
+  }
 
   bool operator()(Index i) const {
     bool t;
-    if (dense_) {
-      t = structural_ ||
-          mask_->values()[i] != storage_of_t<MaskT>(MaskT(0));
-    } else if (structural_) {
-      t = mask_->has_element(i);
-    } else {
-      auto v = mask_->extract_element(i);
-      t = v.has_value() && *v != MaskT(0);
+    switch (mode_) {
+      case Mode::kBitmap:
+        t = bit_[i] != 0 &&
+            (structural_ || val_[i] != storage_of_t<MaskT>(MaskT(0)));
+        break;
+      case Mode::kAllStored:
+        t = structural_ || val_[i] != storage_of_t<MaskT>(MaskT(0));
+        break;
+      default:
+        if (structural_) {
+          t = mask_->has_element(i);
+        } else {
+          auto v = mask_->extract_element(i);
+          t = v.has_value() && *v != MaskT(0);
+        }
     }
     return complement_ ? !t : t;
   }
 
  private:
+  enum class Mode { kBitmap, kAllStored, kSearch };
   const Vector<MaskT>* mask_;
+  const unsigned char* bit_ = nullptr;
+  const storage_of_t<MaskT>* val_ = nullptr;
   bool complement_;
   bool structural_;
-  bool dense_;  // all positions stored: probe by subscript
+  Mode mode_ = Mode::kSearch;
 };
 
 /// Point query against a matrix mask under descriptor flags.
@@ -203,6 +227,7 @@ void masked_write_vector(Context& ctx, Vector<W>& w, const Vector<Z>& z,
     if (in_z) ++b;
   }
   w.swap_storage(out_ind, out_val);
+  ctx.manage_representation(w);
 }
 
 /// Rvalue overload: when there is no mask and no accumulator, every
@@ -217,13 +242,101 @@ void masked_write_vector(Context& ctx, Vector<W>& w, Vector<Z>&& z,
   if constexpr (std::is_same_v<W, Z> &&
                 std::is_same_v<Probe, AlwaysTrueProbe> &&
                 is_no_accum_v<Accum>) {
-    (void)ctx;
     (void)probe;
     (void)replace;
     (void)z_prefiltered;
     w = std::move(z);
+    ctx.manage_representation(w);
   } else {
     masked_write_vector(ctx, w, z, probe, accum, replace, z_prefiltered);
+  }
+}
+
+/// Dense-result write phase: performs `w<probe> accum= z` where z is a
+/// dense-staged kernel result — `z.bit[i]` marks presence, `z.val[i]` holds
+/// the value, `znnz` counts the set bits.  The stage's buffers are consumed
+/// (swapped into w on the fast path, or recycled by the caller's next
+/// reset); w ends in the dense representation and is then handed to the
+/// Context's density policy, which may demote it.
+///
+/// Semantics are exactly masked_write_vector's, position by position — the
+/// bit-identity tests compare the two on the same inputs.
+template <typename W, typename Z, typename Probe, typename Accum>
+void masked_write_vector_dense(Context& ctx, Vector<W>& w,
+                               DenseKernelStage<Z>& z, Index znnz,
+                               const Probe& probe, const Accum& accum,
+                               bool replace, bool z_prefiltered = false) {
+  const Index n = w.size();
+  // Like the sparse rvalue fast path: W and Z must be the *same element
+  // type* (not merely the same storage type) so the adoption cannot skip
+  // the value-normalizing casts of the general path (bool vs uchar).
+  if constexpr (std::is_same_v<Probe, AlwaysTrueProbe> &&
+                is_no_accum_v<Accum> && std::is_same_v<W, Z>) {
+    // Every position writable, result is exactly z: adopt the stage's
+    // buffers; the stage inherits w's previous dense buffers (capacity
+    // ping-pong, like the sparse write scratch).
+    (void)replace;
+    (void)z_prefiltered;
+    w.swap_dense_storage(z.bit, z.val, znnz);
+    ctx.manage_representation(w);
+    return;
+  } else {
+    auto& out = ctx.get<DenseWriteStage<storage_of_t<W>>>();
+    out.reset(n);
+    Index nnz = 0;
+
+    const bool w_dense = w.is_dense();
+    auto wbit = w_dense ? w.dense_bitmap() : std::span<const unsigned char>{};
+    auto wdv = w_dense ? w.dense_values()
+                       : std::span<const storage_of_t<W>>{};
+    auto wi = w_dense ? std::span<const Index>{} : w.indices();
+    auto wv = w_dense ? std::span<const storage_of_t<W>>{} : w.values();
+    std::size_t a = 0;  // cursor into (wi, wv) when w is sparse
+
+    for (Index i = 0; i < n; ++i) {
+      const bool in_z = z.bit[i] != 0;
+      bool in_w;
+      storage_of_t<W> wx{};
+      if (w_dense) {
+        in_w = wbit[i] != 0;
+        if (in_w) wx = wdv[i];
+      } else {
+        in_w = a < wi.size() && wi[a] == i;
+        if (in_w) wx = wv[a++];
+      }
+
+      if ((in_z && z_prefiltered) || probe(i)) {
+        if constexpr (is_no_accum_v<Accum>) {
+          if (in_z) {
+            out.bit[i] = 1;
+            out.val[i] = static_cast<W>(static_cast<Z>(z.val[i]));
+            ++nnz;
+          }
+        } else {
+          if (in_w && in_z) {
+            out.bit[i] = 1;
+            out.val[i] = static_cast<W>(accum(wx, z.val[i]));
+            ++nnz;
+          } else if (in_z) {
+            out.bit[i] = 1;
+            out.val[i] = static_cast<W>(static_cast<Z>(z.val[i]));
+            ++nnz;
+          } else if (in_w) {
+            out.bit[i] = 1;
+            out.val[i] = wx;
+            ++nnz;
+          }
+        }
+      } else {
+        if (!replace && in_w) {
+          out.bit[i] = 1;
+          out.val[i] = wx;
+          ++nnz;
+        }
+      }
+    }
+    w.swap_dense_storage(out.bit, out.val, nnz);
+    ctx.manage_representation(w);
   }
 }
 

@@ -18,12 +18,68 @@
 
 namespace grb {
 
+namespace detail {
+
+/// Dense-representation apply kernel: positional sweep of u's bitmap with
+/// the mask pushed down, staging a dense result.  Branch-predictable, no
+/// index arrays, no sorted merge; parallelizes as a plain positional loop
+/// (writes are per-position, so the result is bit-identical to serial for
+/// any thread count).
+template <typename W, typename Probe, typename Accum, typename UnaryOp,
+          typename U>
+void apply_vector_dense(Context& ctx, Vector<W>& w, const Probe& probe,
+                        const Accum& accum, UnaryOp op, const Vector<U>& u,
+                        const Descriptor& desc) {
+  using Z = decltype(op(std::declval<U>()));
+  const Index n = u.size();
+  auto& stage = ctx.get<DenseKernelStage<Z>>();
+  stage.reset(n);
+  Index nnz = 0;
+  if constexpr (!std::is_same_v<Probe, AlwaysFalseProbe>) {
+    auto ubit = u.dense_bitmap();
+    auto uval = u.dense_values();
+#if defined(DSG_HAVE_OPENMP)
+    if (n >= ctx.pointwise_parallel_threshold && omp_get_max_threads() > 1) {
+      std::int64_t count = 0;
+#pragma omp parallel for schedule(static) reduction(+ : count)
+      for (std::ptrdiff_t pi = 0; pi < static_cast<std::ptrdiff_t>(n); ++pi) {
+        const auto i = static_cast<Index>(pi);
+        if (ubit[i] && probe(i)) {  // mask push-down
+          stage.bit[i] = 1;
+          stage.val[i] =
+              static_cast<storage_of_t<Z>>(op(static_cast<U>(uval[i])));
+          ++count;
+        }
+      }
+      nnz = static_cast<Index>(count);
+      masked_write_vector_dense(ctx, w, stage, nnz, probe, accum,
+                                desc.replace, /*z_prefiltered=*/true);
+      return;
+    }
+#endif  // DSG_HAVE_OPENMP
+    for (Index i = 0; i < n; ++i) {
+      if (ubit[i] && probe(i)) {  // mask push-down
+        stage.bit[i] = 1;
+        stage.val[i] =
+            static_cast<storage_of_t<Z>>(op(static_cast<U>(uval[i])));
+        ++nnz;
+      }
+    }
+  }
+  masked_write_vector_dense(ctx, w, stage, nnz, probe, accum, desc.replace,
+                            /*z_prefiltered=*/true);
+}
+
+}  // namespace detail
+
 /// w<mask> accum= op(u), using `ctx`'s workspaces.
 ///
 /// Applies `op` to every stored element of `u`; absent elements stay absent.
 /// Mask/accum/descriptor behave per the standard write rule (see mask.hpp);
 /// the mask probe is pushed down so `op` never runs at non-writable
-/// positions.
+/// positions.  A dense-representation input takes the positional bitmap
+/// kernel (detail::apply_vector_dense); results are bit-identical either
+/// way.
 template <typename W, typename Mask, typename Accum, typename UnaryOp,
           typename U>
 void apply(Context& ctx, Vector<W>& w, const Mask& mask, const Accum& accum,
@@ -33,6 +89,10 @@ void apply(Context& ctx, Vector<W>& w, const Mask& mask, const Accum& accum,
 
   using Z = decltype(op(std::declval<U>()));
   detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+    if (u.is_dense()) {
+      detail::apply_vector_dense(ctx, w, probe, accum, op, u, desc);
+      return;
+    }
     Vector<Z> z(u.size());
     auto& zi = z.mutable_indices();
     auto& zv = z.mutable_values();

@@ -61,9 +61,143 @@ MergeCuts merge_cuts(Index n, const USpan& ui, const VSpan& vi) {
 
 #endif  // DSG_HAVE_OPENMP
 
+namespace detail {
+
+/// In-place dense union: w aliases u, u is dense, every position writable,
+/// no accumulator.  Then `w = u ⊕ v` collapses to scattering v's entries
+/// into w's dense arrays — O(nnz(v)) instead of an O(nnz(u) + nnz(v))
+/// sorted merge.  This is the delta-stepping relaxation `t = min(t, tReq)`
+/// once t has gone dense: cost proportional to the request vector, not to
+/// the distance vector.
+template <typename W, typename BinaryOp, typename V>
+void ewise_add_dense_inplace(Vector<W>& w, BinaryOp op, const Vector<V>& v) {
+  auto& bit = w.mutable_dense_bitmap();
+  auto& val = w.mutable_dense_values();
+  Index nnz = w.nvals();
+  v.for_each([&](Index i, const V& x) {
+    if (bit[i]) {
+      val[i] = static_cast<storage_of_t<W>>(op(static_cast<W>(val[i]), x));
+    } else {
+      bit[i] = 1;
+      val[i] = static_cast<storage_of_t<W>>(static_cast<W>(x));
+      ++nnz;
+    }
+  });
+  w.set_dense_nvals(nnz);
+}
+
+/// Dense union kernel: at least one operand is in the dense representation.
+/// Positional sweep over the index domain with the mask pushed down; a
+/// sparse operand rides a cursor.  Fills `stage` and returns the stored
+/// count.  The both-dense case is branch-predictable and parallelizes
+/// positionally (bit-identical to serial).
+template <typename Z, typename Probe, typename BinaryOp, typename U,
+          typename V>
+Index ewise_add_dense_kernel(Context& ctx, DenseKernelStage<Z>& stage,
+                             const Probe& probe, BinaryOp op,
+                             const Vector<U>& u, const Vector<V>& v) {
+  const Index n = u.size();
+  Index nnz = 0;
+  if constexpr (std::is_same_v<Probe, AlwaysFalseProbe>) {
+    (void)ctx;
+    (void)op;
+    return 0;
+  } else {
+    const bool ud = u.is_dense();
+    const bool vd = v.is_dense();
+    if (ud && vd) {
+      auto ub = u.dense_bitmap();
+      auto uv = u.dense_values();
+      auto vb = v.dense_bitmap();
+      auto vv = v.dense_values();
+#if defined(DSG_HAVE_OPENMP)
+      if (n >= ctx.pointwise_parallel_threshold &&
+          omp_get_max_threads() > 1) {
+        std::int64_t count = 0;
+#pragma omp parallel for schedule(static) reduction(+ : count)
+        for (std::ptrdiff_t pi = 0; pi < static_cast<std::ptrdiff_t>(n);
+             ++pi) {
+          const auto i = static_cast<Index>(pi);
+          const bool iu = ub[i] != 0;
+          const bool iv = vb[i] != 0;
+          if ((iu || iv) && probe(i)) {
+            stage.bit[i] = 1;
+            stage.val[i] = iu && iv
+                               ? static_cast<storage_of_t<Z>>(
+                                     static_cast<Z>(op(uv[i], vv[i])))
+                               : iu ? static_cast<storage_of_t<Z>>(
+                                          static_cast<Z>(uv[i]))
+                                    : static_cast<storage_of_t<Z>>(
+                                          static_cast<Z>(vv[i]));
+            ++count;
+          }
+        }
+        return static_cast<Index>(count);
+      }
+#endif  // DSG_HAVE_OPENMP
+      for (Index i = 0; i < n; ++i) {
+        const bool iu = ub[i] != 0;
+        const bool iv = vb[i] != 0;
+        if ((iu || iv) && probe(i)) {
+          stage.bit[i] = 1;
+          stage.val[i] =
+              iu && iv
+                  ? static_cast<storage_of_t<Z>>(
+                        static_cast<Z>(op(uv[i], vv[i])))
+                  : iu ? static_cast<storage_of_t<Z>>(static_cast<Z>(uv[i]))
+                       : static_cast<storage_of_t<Z>>(static_cast<Z>(vv[i]));
+          ++nnz;
+        }
+      }
+      return nnz;
+    }
+    // Mixed: one side dense, the other a sparse cursor.  Serial — the work
+    // is dominated by the O(n) sweep either way.
+    auto ub = ud ? u.dense_bitmap() : std::span<const unsigned char>{};
+    auto udv = ud ? u.dense_values()
+                  : std::span<const storage_of_t<U>>{};
+    auto ui = ud ? std::span<const Index>{} : u.indices();
+    auto usv = ud ? std::span<const storage_of_t<U>>{} : u.values();
+    auto vb = vd ? v.dense_bitmap() : std::span<const unsigned char>{};
+    auto vdv = vd ? v.dense_values()
+                  : std::span<const storage_of_t<V>>{};
+    auto vi = vd ? std::span<const Index>{} : v.indices();
+    auto vsv = vd ? std::span<const storage_of_t<V>>{} : v.values();
+    std::size_t a = 0, b = 0;
+    for (Index i = 0; i < n; ++i) {
+      const bool iu = ud ? ub[i] != 0 : (a < ui.size() && ui[a] == i);
+      const bool iv = vd ? vb[i] != 0 : (b < vi.size() && vi[b] == i);
+      if (iu || iv) {
+        if (probe(i)) {
+          const storage_of_t<U> ux = iu ? (ud ? udv[i] : usv[a])
+                                        : storage_of_t<U>{};
+          const storage_of_t<V> vx = iv ? (vd ? vdv[i] : vsv[b])
+                                        : storage_of_t<V>{};
+          stage.bit[i] = 1;
+          stage.val[i] =
+              iu && iv
+                  ? static_cast<storage_of_t<Z>>(static_cast<Z>(op(ux, vx)))
+                  : iu ? static_cast<storage_of_t<Z>>(static_cast<Z>(ux))
+                       : static_cast<storage_of_t<Z>>(static_cast<Z>(vx));
+          ++nnz;
+        }
+        if (iu && !ud) ++a;
+        if (iv && !vd) ++b;
+      }
+    }
+    return nnz;
+  }
+}
+
+}  // namespace detail
+
 /// w<mask> accum= u (+op) v  — union (eWiseAdd) on vectors, using `ctx`'s
 /// workspaces.  The mask probe is pushed down into the merge: positions the
-/// mask makes non-writable are never combined or staged.
+/// mask makes non-writable are never combined or staged.  Dense-
+/// representation operands take positional bitmap kernels; when w aliases u
+/// and u is dense (the relaxation `t = min(t, tReq)`), the update happens
+/// in place at O(nnz(v)).  Results are bit-identical across
+/// representations.
 template <typename W, typename Mask, typename Accum, typename BinaryOp,
           typename U, typename V>
 void ewise_add(Context& ctx, Vector<W>& w, const Mask& mask,
@@ -74,6 +208,26 @@ void ewise_add(Context& ctx, Vector<W>& w, const Mask& mask,
 
   using Z = std::common_type_t<decltype(op(std::declval<U>(), std::declval<V>())), U, V>;
   detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+    if constexpr (std::is_same_v<W, U> && std::is_same_v<Z, W> &&
+                  std::is_same_v<std::decay_t<decltype(probe)>,
+                                 detail::AlwaysTrueProbe> &&
+                  detail::is_no_accum_v<Accum>) {
+      // w := u ⊕ v with w aliasing a dense u: scatter v in place, O(nnz(v)).
+      if (static_cast<const void*>(&w) == static_cast<const void*>(&u) &&
+          w.is_dense()) {
+        detail::ewise_add_dense_inplace(w, op, v);
+        return;
+      }
+    }
+    if (u.is_dense() || v.is_dense()) {
+      auto& stage = ctx.get<detail::DenseKernelStage<Z>>();
+      stage.reset(u.size());
+      const Index nnz =
+          detail::ewise_add_dense_kernel(ctx, stage, probe, op, u, v);
+      detail::masked_write_vector_dense(ctx, w, stage, nnz, probe, accum,
+                                        desc.replace, /*z_prefiltered=*/true);
+      return;
+    }
     Vector<Z> z(u.size());
     auto& zi = z.mutable_indices();
     auto& zv = z.mutable_values();
@@ -206,8 +360,60 @@ void ewise_add(Vector<W>& w, BinaryOp op, const Vector<U>& u,
   ewise_add(default_context(), w, NoMask{}, NoAccumulate{}, op, u, v, desc);
 }
 
+namespace detail {
+
+/// Both-dense intersection kernel: positional bitmap AND into `stage`.
+/// Parallelizes positionally (bit-identical to serial).
+template <typename Z, typename Probe, typename BinaryOp, typename U,
+          typename V>
+Index ewise_mult_dense_kernel(Context& ctx, DenseKernelStage<Z>& stage,
+                              const Probe& probe, BinaryOp op,
+                              const Vector<U>& u, const Vector<V>& v) {
+  const Index n = u.size();
+  Index nnz = 0;
+  if constexpr (std::is_same_v<Probe, AlwaysFalseProbe>) {
+    (void)ctx;
+    (void)op;
+    return 0;
+  } else {
+    auto ub = u.dense_bitmap();
+    auto uv = u.dense_values();
+    auto vb = v.dense_bitmap();
+    auto vv = v.dense_values();
+#if defined(DSG_HAVE_OPENMP)
+    if (n >= ctx.pointwise_parallel_threshold && omp_get_max_threads() > 1) {
+      std::int64_t count = 0;
+#pragma omp parallel for schedule(static) reduction(+ : count)
+      for (std::ptrdiff_t pi = 0; pi < static_cast<std::ptrdiff_t>(n); ++pi) {
+        const auto i = static_cast<Index>(pi);
+        if (ub[i] && vb[i] && probe(i)) {
+          stage.bit[i] = 1;
+          stage.val[i] = op(uv[i], vv[i]);
+          ++count;
+        }
+      }
+      return static_cast<Index>(count);
+    }
+#endif  // DSG_HAVE_OPENMP
+    for (Index i = 0; i < n; ++i) {
+      if (ub[i] && vb[i] && probe(i)) {
+        stage.bit[i] = 1;
+        stage.val[i] = op(uv[i], vv[i]);
+        ++nnz;
+      }
+    }
+    return nnz;
+  }
+}
+
+}  // namespace detail
+
 /// w<mask> accum= u (.op) v  — intersection (eWiseMult) on vectors, using
-/// `ctx`'s workspaces, with the mask pushed down into the merge.
+/// `ctx`'s workspaces, with the mask pushed down into the merge.  Both
+/// operands dense: positional bitmap-AND kernel.  Exactly one dense: the
+/// sparse side is walked and the dense side probed O(1) per entry, so the
+/// intersection costs O(nnz(sparse side)) — no merge over the dense
+/// operand at all.  Results are bit-identical across representations.
 template <typename W, typename Mask, typename Accum, typename BinaryOp,
           typename U, typename V>
 void ewise_mult(Context& ctx, Vector<W>& w, const Mask& mask,
@@ -218,6 +424,50 @@ void ewise_mult(Context& ctx, Vector<W>& w, const Mask& mask,
 
   using Z = decltype(op(std::declval<U>(), std::declval<V>()));
   detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+    if (u.is_dense() && v.is_dense()) {
+      auto& stage = ctx.get<detail::DenseKernelStage<Z>>();
+      stage.reset(u.size());
+      const Index nnz =
+          detail::ewise_mult_dense_kernel(ctx, stage, probe, op, u, v);
+      detail::masked_write_vector_dense(ctx, w, stage, nnz, probe, accum,
+                                        desc.replace, /*z_prefiltered=*/true);
+      return;
+    }
+    if (u.is_dense() != v.is_dense()) {
+      // Walk the sparse side, probe the dense side's bitmap.
+      Vector<Z> z(u.size());
+      auto& zi = z.mutable_indices();
+      auto& zv = z.mutable_values();
+      if (u.is_dense()) {
+        auto ub = u.dense_bitmap();
+        auto uv = u.dense_values();
+        auto vi = v.indices();
+        auto vv = v.values();
+        for (std::size_t k = 0; k < vi.size(); ++k) {
+          const Index i = vi[k];
+          if (ub[i] && probe(i)) {
+            zi.push_back(i);
+            zv.push_back(op(uv[i], vv[k]));
+          }
+        }
+      } else {
+        auto vb = v.dense_bitmap();
+        auto vv = v.dense_values();
+        auto ui = u.indices();
+        auto uv = u.values();
+        for (std::size_t k = 0; k < ui.size(); ++k) {
+          const Index i = ui[k];
+          if (vb[i] && probe(i)) {
+            zi.push_back(i);
+            zv.push_back(op(uv[k], vv[i]));
+          }
+        }
+      }
+      detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                  desc.replace,
+                                  /*z_prefiltered=*/true);
+      return;
+    }
     Vector<Z> z(u.size());
     auto& zi = z.mutable_indices();
     auto& zv = z.mutable_values();

@@ -196,13 +196,40 @@ Vector<Z> vxm_kernel(Context& ctx, const SR& sr, const Vector<U>& u,
 
 /// Core pull kernel: z = A u over semiring `sr` (dot products of CSR rows
 /// with the sparse input vector).  The probe skips non-writable rows before
-/// their dot product is computed.
+/// their dot product is computed.  A dense-representation u replaces the
+/// sorted two-pointer intersection with an O(1) bitmap test per matrix
+/// entry, making each dot product O(row nnz) regardless of u's density.
 template <typename Z, typename SR, typename A, typename U, typename Probe>
 Vector<Z> mxv_kernel(const SR& sr, const Matrix<A>& a, const Vector<U>& u,
                      const Probe& probe) {
   Vector<Z> z(a.nrows());
   auto& zi = z.mutable_indices();
   auto& zv = z.mutable_values();
+
+  if (u.is_dense()) {
+    auto ubit = u.dense_bitmap();
+    auto uval = u.dense_values();
+    for (Index r = 0; r < a.nrows(); ++r) {
+      if (!probe(r)) continue;  // mask push-down
+      auto cols = a.row_indices(r);
+      auto vals = a.row_values(r);
+      bool any = false;
+      Z acc{};
+      for (std::size_t x = 0; x < cols.size(); ++x) {
+        const Index j = cols[x];
+        if (!ubit[j]) continue;
+        const Z p = static_cast<Z>(
+            sr.mult(static_cast<A>(vals[x]), static_cast<U>(uval[j])));
+        acc = any ? sr.add(acc, p) : p;
+        any = true;
+      }
+      if (any) {
+        zi.push_back(r);
+        zv.push_back(acc);
+      }
+    }
+    return z;
+  }
 
   auto ui = u.indices();
   auto uv = u.values();

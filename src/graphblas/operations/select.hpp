@@ -17,9 +17,60 @@
 
 namespace grb {
 
+namespace detail {
+
+/// Dense-representation select kernel: the filter is a positional bitmap
+/// AND — no compaction, no index arrays.  Parallelizes positionally
+/// (bit-identical to serial for any thread count).
+template <typename W, typename Probe, typename Accum, typename Pred,
+          typename U>
+void select_vector_dense(Context& ctx, Vector<W>& w, const Probe& probe,
+                         const Accum& accum, Pred pred, const Vector<U>& u,
+                         const Descriptor& desc) {
+  const Index n = u.size();
+  auto& stage = ctx.get<DenseKernelStage<U>>();
+  stage.reset(n);
+  Index nnz = 0;
+  if constexpr (!std::is_same_v<Probe, AlwaysFalseProbe>) {
+    auto ubit = u.dense_bitmap();
+    auto uval = u.dense_values();
+#if defined(DSG_HAVE_OPENMP)
+    if (n >= ctx.pointwise_parallel_threshold && omp_get_max_threads() > 1) {
+      std::int64_t count = 0;
+#pragma omp parallel for schedule(static) reduction(+ : count)
+      for (std::ptrdiff_t pi = 0; pi < static_cast<std::ptrdiff_t>(n); ++pi) {
+        const auto i = static_cast<Index>(pi);
+        if (ubit[i] && probe(i) && pred(static_cast<U>(uval[i]), i)) {
+          stage.bit[i] = 1;
+          stage.val[i] = uval[i];
+          ++count;
+        }
+      }
+      nnz = static_cast<Index>(count);
+      masked_write_vector_dense(ctx, w, stage, nnz, probe, accum,
+                                desc.replace, /*z_prefiltered=*/true);
+      return;
+    }
+#endif  // DSG_HAVE_OPENMP
+    for (Index i = 0; i < n; ++i) {
+      if (ubit[i] && probe(i) && pred(static_cast<U>(uval[i]), i)) {
+        stage.bit[i] = 1;
+        stage.val[i] = uval[i];
+        ++nnz;
+      }
+    }
+  }
+  masked_write_vector_dense(ctx, w, stage, nnz, probe, accum, desc.replace,
+                            /*z_prefiltered=*/true);
+}
+
+}  // namespace detail
+
 /// w<mask> accum= select(pred, u):  w keeps u's entries where
 /// pred(value, index) holds.  Uses `ctx`'s workspaces; the mask probe is
-/// pushed down so masked-out entries are never tested or staged.
+/// pushed down so masked-out entries are never tested or staged.  A dense-
+/// representation input takes the positional bitmap kernel; results are
+/// bit-identical either way.
 template <typename W, typename Mask, typename Accum, typename Pred,
           typename U>
   requires VectorSelectOpFor<Pred, U>
@@ -29,6 +80,10 @@ void select(Context& ctx, Vector<W>& w, const Mask& mask, const Accum& accum,
   detail::check_size_match(w.size(), u.size(), "select: w vs u");
 
   detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
+    if (u.is_dense()) {
+      detail::select_vector_dense(ctx, w, probe, accum, pred, u, desc);
+      return;
+    }
     Vector<U> z(u.size());
     auto& zi = z.mutable_indices();
     auto& zv = z.mutable_values();

@@ -1,9 +1,29 @@
-// vector.hpp — grb::Vector<T>, a sparse vector with sorted coordinate
-// storage, analogous to GrB_Vector.
+// vector.hpp — grb::Vector<T>, a vector with *two* storage representations,
+// analogous to GrB_Vector with GxB bitmap/sparse switching.
 //
-// Storage is two parallel arrays (indices ascending, values) — the classic
-// compressed sparse vector.  All mutating entry points keep the sort
-// invariant; bulk construction goes through build().
+//   - sparse: two parallel arrays (indices ascending, values) — the classic
+//     compressed sparse vector.  Cheap to iterate and merge when few
+//     positions are stored.
+//   - dense: a contiguous value array of logical length n plus a validity
+//     bitmap (one byte per position).  Point access, mask probing, and
+//     point-wise kernels become O(1) per position with no sorted-merge
+//     overhead — the right shape for the nearly dense tentative-distance
+//     vector of delta-stepping.
+//
+// The representation is a *performance* property, never a semantic one: the
+// stored-element set and values are identical through either form, and
+// to_dense()/to_sparse() convert losslessly in place.  grb::Context
+// auto-switches outputs by density with hysteresis (see
+// Context::manage_representation).
+//
+// Compatibility: every sorted-coordinate accessor (indices()/values()/
+// extract_tuples()) keeps working on a dense vector through a lazily
+// materialized *mirror* of the sparse form, so kernels without a dense fast
+// path fall back to one canonicalizing O(n) conversion instead of being
+// wrong.  Mutating a dense vector invalidates the mirror; the bulk-write
+// entry points (adopt / swap_storage / mutable_indices / mutable_values)
+// switch the vector back to sparse, because their callers install sorted
+// triples.
 #pragma once
 
 #include <algorithm>
@@ -20,6 +40,9 @@
 
 namespace grb {
 
+/// Which physical representation a Vector currently uses.
+enum class StorageKind { kSparse, kDense };
+
 template <typename T>
 class Vector {
  public:
@@ -32,17 +55,22 @@ class Vector {
   explicit Vector(Index n) : size_(n) {}
 
   /// A vector with every position stored, all equal to `fill`.
-  /// This mirrors the dense initialization `t = ∞` in delta-stepping.
+  /// This mirrors the dense initialization `t = ∞` in delta-stepping, so it
+  /// is built directly in the dense representation.
   static Vector full(Index n, const T& fill) {
     Vector v(n);
-    v.ind_.resize(n);
-    std::iota(v.ind_.begin(), v.ind_.end(), Index{0});
-    v.val_.assign(n, fill);
+    v.bit_.assign(n, 1);
+    v.dval_.assign(n, static_cast<storage_type>(fill));
+    v.dnv_ = n;
+    v.kind_ = StorageKind::kDense;
+    v.mirror_valid_ = false;
     return v;
   }
 
   /// Builds from (index, value) tuples; duplicates combined with `dup`.
   /// Indices need not be sorted.  Throws IndexOutOfBounds on bad indices.
+  /// The result is sparse; call to_dense() (or let Context auto-switch) for
+  /// the bitmap form.
   template <typename DupOp = Second<T>>
   static Vector build(Index n, std::span<const Index> indices,
                       std::span<const T> values, DupOp dup = DupOp{}) {
@@ -75,18 +103,66 @@ class Vector {
   Index size() const { return size_; }
 
   /// Number of stored elements (GrB_Vector_nvals).
-  Index nvals() const { return static_cast<Index>(ind_.size()); }
+  Index nvals() const {
+    return kind_ == StorageKind::kDense ? dnv_
+                                        : static_cast<Index>(ind_.size());
+  }
 
-  bool empty() const { return ind_.empty(); }
+  bool empty() const { return nvals() == 0; }
 
-  /// Removes all stored elements; dimension unchanged (GrB_Vector_clear).
-  /// Capacity is retained, so refilling a cleared vector does not allocate.
+  // --- Representation control. ----------------------------------------------
+
+  StorageKind storage_kind() const { return kind_; }
+  bool is_dense() const { return kind_ == StorageKind::kDense; }
+
+  /// Stored-element fraction in [0, 1]; 0 for a zero-dimension vector.
+  double density() const {
+    return size_ == 0 ? 0.0
+                      : static_cast<double>(nvals()) /
+                            static_cast<double>(size_);
+  }
+
+  /// Converts in place to the dense (bitmap) representation.  O(n); no-op
+  /// when already dense.  Logical content is unchanged.
+  void to_dense() {
+    if (kind_ == StorageKind::kDense) return;
+    bit_.assign(size_, 0);
+    dval_.resize(size_);
+    for (std::size_t k = 0; k < ind_.size(); ++k) {
+      const auto i = static_cast<std::size_t>(ind_[k]);
+      bit_[i] = 1;
+      dval_[i] = val_[k];
+    }
+    dnv_ = static_cast<Index>(ind_.size());
+    kind_ = StorageKind::kDense;
+    mirror_valid_ = true;  // ind_/val_ still hold the exact sorted form
+  }
+
+  /// Converts in place to the sorted-coordinate representation.  O(n) when
+  /// dense; no-op when already sparse.  Logical content is unchanged.
+  void to_sparse() {
+    if (kind_ == StorageKind::kSparse) return;
+    ensure_mirror();
+    kind_ = StorageKind::kSparse;
+    bit_.clear();   // capacity retained for the next to_dense()
+    dval_.clear();
+    dnv_ = 0;
+  }
+
+  /// Removes all stored elements; dimension and representation capacity are
+  /// retained (GrB_Vector_clear).  The result is sparse: an empty vector is
+  /// the canonical sparse object.
   void clear() {
     ind_.clear();
     val_.clear();
+    bit_.clear();
+    dval_.clear();
+    dnv_ = 0;
+    kind_ = StorageKind::kSparse;
+    mirror_valid_ = true;
   }
 
-  /// Pre-allocates storage for n elements without changing contents.
+  /// Pre-allocates sparse storage for n elements without changing contents.
   void reserve(Index n) {
     ind_.reserve(n);
     val_.reserve(n);
@@ -95,6 +171,18 @@ class Vector {
   /// Resizes the logical dimension; entries at indices >= n are dropped
   /// (GrB_Vector_resize semantics).
   void resize(Index n) {
+    if (kind_ == StorageKind::kDense) {
+      if (n < size_) {
+        for (Index i = n; i < size_; ++i) {
+          if (bit_[i]) --dnv_;
+        }
+      }
+      bit_.resize(n, 0);
+      dval_.resize(n);
+      mirror_valid_ = false;
+      size_ = n;
+      return;
+    }
     if (n < size_) {
       auto it = std::lower_bound(ind_.begin(), ind_.end(), n);
       auto keep = static_cast<std::size_t>(it - ind_.begin());
@@ -105,9 +193,18 @@ class Vector {
   }
 
   /// Stores v[i] = x, replacing any existing element
-  /// (GrB_Vector_setElement).
+  /// (GrB_Vector_setElement).  O(1) on a dense vector.
   void set_element(Index i, const T& x) {
     detail::check_index(i, size_, "Vector::set_element");
+    if (kind_ == StorageKind::kDense) {
+      if (!bit_[i]) {
+        bit_[i] = 1;
+        ++dnv_;
+      }
+      dval_[i] = static_cast<storage_type>(x);
+      mirror_valid_ = false;
+      return;
+    }
     auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
     auto pos = static_cast<std::size_t>(it - ind_.begin());
     if (it != ind_.end() && *it == i) {
@@ -119,8 +216,17 @@ class Vector {
   }
 
   /// Removes the element at i if present (GrB_Vector_removeElement).
+  /// O(1) on a dense vector.
   void remove_element(Index i) {
     detail::check_index(i, size_, "Vector::remove_element");
+    if (kind_ == StorageKind::kDense) {
+      if (bit_[i]) {
+        bit_[i] = 0;
+        --dnv_;
+        mirror_valid_ = false;
+      }
+      return;
+    }
     auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
     if (it != ind_.end() && *it == i) {
       auto pos = static_cast<std::size_t>(it - ind_.begin());
@@ -129,15 +235,21 @@ class Vector {
     }
   }
 
-  /// True if an element is stored at i.
+  /// True if an element is stored at i.  O(1) on a dense vector.
+  /// Total like the sparse form: out-of-range indices answer false.
   bool has_element(Index i) const {
+    if (kind_ == StorageKind::kDense) return i < size_ && bit_[i] != 0;
     auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
     return it != ind_.end() && *it == i;
   }
 
   /// Returns the stored value at i, or nullopt (GrB_Vector_extractElement,
-  /// with GrB_NO_VALUE mapped to nullopt).
+  /// with GrB_NO_VALUE mapped to nullopt).  O(1) on a dense vector.
   std::optional<T> extract_element(Index i) const {
+    if (kind_ == StorageKind::kDense) {
+      if (i >= size_ || !bit_[i]) return std::nullopt;
+      return static_cast<T>(dval_[i]);
+    }
     auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
     if (it == ind_.end() || *it != i) return std::nullopt;
     return static_cast<T>(val_[static_cast<std::size_t>(it - ind_.begin())]);
@@ -151,27 +263,57 @@ class Vector {
   }
 
   /// Raw sorted views (read-only).  Values are exposed as storage_type
-  /// (identical to T except bool -> unsigned char).
-  std::span<const Index> indices() const { return ind_; }
-  std::span<const storage_type> values() const { return val_; }
+  /// (identical to T except bool -> unsigned char).  On a dense vector this
+  /// serves the lazily materialized sparse mirror (one O(n) build, cached
+  /// until the next mutation) — the canonicalizing fallback for kernels
+  /// without a dense fast path.
+  std::span<const Index> indices() const {
+    ensure_mirror();
+    return ind_;
+  }
+  std::span<const storage_type> values() const {
+    ensure_mirror();
+    return val_;
+  }
+
+  /// Dense-representation views.  Valid only while is_dense(): `bitmap()[i]`
+  /// is nonzero iff position i is stored, and `dense_values()[i]` is then
+  /// its value (unspecified where the bit is clear).
+  std::span<const unsigned char> dense_bitmap() const { return bit_; }
+  std::span<const storage_type> dense_values() const { return dval_; }
 
   /// Dumps to (indices, values) (GrB_Vector_extractTuples).
   void extract_tuples(std::vector<Index>& indices, std::vector<T>& values) const {
+    ensure_mirror();
     indices = ind_;
     values.assign(val_.begin(), val_.end());
   }
 
   /// Invokes f(index, value) over stored elements in ascending index order.
+  /// Works on either representation without conversion.
   template <typename F>
   void for_each(F&& f) const {
+    if (kind_ == StorageKind::kDense) {
+      for (Index i = 0; i < size_; ++i) {
+        if (bit_[i]) f(i, static_cast<T>(dval_[i]));
+      }
+      return;
+    }
     for (std::size_t k = 0; k < ind_.size(); ++k) {
       f(ind_[k], static_cast<T>(val_[k]));
     }
   }
 
-  /// Densifies into a std::vector with `fill` at absent positions.
-  std::vector<T> to_dense(const T& fill = T{}) const {
-    std::vector<T> out(size_, fill);
+  /// Densifies into a std::vector with `fill` at absent positions.  (The
+  /// exported array, not a representation change — see to_dense() for that.)
+  std::vector<T> to_dense_array(const T& fill = T{}) const {
+    std::vector<T> out(static_cast<std::size_t>(size_), fill);
+    if (kind_ == StorageKind::kDense) {
+      for (Index i = 0; i < size_; ++i) {
+        if (bit_[i]) out[static_cast<std::size_t>(i)] = static_cast<T>(dval_[i]);
+      }
+      return out;
+    }
     for (std::size_t k = 0; k < ind_.size(); ++k) {
       out[static_cast<std::size_t>(ind_[k])] = static_cast<T>(val_[k]);
     }
@@ -179,39 +321,134 @@ class Vector {
   }
 
   /// Structural + value equality (same dimension, same stored set).
+  /// Representation-agnostic: a dense vector equals its sparse conversion.
   friend bool operator==(const Vector& a, const Vector& b) {
-    return a.size_ == b.size_ && a.ind_ == b.ind_ && a.val_ == b.val_;
+    if (a.size_ != b.size_ || a.nvals() != b.nvals()) return false;
+    a.ensure_mirror();
+    b.ensure_mirror();
+    return a.ind_ == b.ind_ && a.val_ == b.val_;
   }
 
   // --- Internal bulk access for kernel implementations. ---------------------
   // Kernels in operations/ construct results as sorted triples directly;
-  // adopt() installs them without re-validation beyond debug checks.
+  // adopt() installs them without re-validation beyond debug checks.  All
+  // four sparse bulk-write entry points force the vector back to the sparse
+  // representation (their callers install sorted triples as the new truth).
   void adopt(std::vector<Index>&& indices, std::vector<storage_type>&& values) {
+    discard_dense();
     ind_ = std::move(indices);
     val_ = std::move(values);
   }
-  /// Exchanges storage with caller-owned buffers (sorted triples, like
-  /// adopt).  The caller receives the previous storage, so a reused scratch
-  /// pair and a vector can ping-pong capacity with zero allocation in
-  /// steady state — the write phase in mask.hpp relies on this.
+  /// Exchanges sparse storage with caller-owned buffers (sorted triples,
+  /// like adopt).  The caller receives the previous buffers *for capacity
+  /// reuse only* — on a dense vector they may hold a stale mirror — so a
+  /// reused scratch pair and a vector can ping-pong capacity with zero
+  /// allocation in steady state; the write phase in mask.hpp relies on this.
   void swap_storage(std::vector<Index>& indices,
                     std::vector<storage_type>& values) {
+    discard_dense();
     ind_.swap(indices);
     val_.swap(values);
   }
-  std::vector<Index>& mutable_indices() { return ind_; }
-  std::vector<storage_type>& mutable_values() { return val_; }
+  // Unlike adopt/swap_storage, the element-wise mutable accessors expose
+  // the *live* sparse arrays (callers like BFS rewrite values in place), so
+  // a dense vector is canonicalized — mirror materialized, representation
+  // switched — not discarded.
+  std::vector<Index>& mutable_indices() {
+    to_sparse();
+    return ind_;
+  }
+  std::vector<storage_type>& mutable_values() {
+    to_sparse();
+    return val_;
+  }
+
+  // Dense-representation bulk access, the bitmap counterparts of the above.
+  // swap_dense_storage installs caller-built (bitmap, values, nnz) as the
+  // new dense content and hands the previous dense buffers back for
+  // capacity ping-pong (empty when the vector was sparse).  `bitmap` and
+  // `values` must both have logical-dimension length.
+  void swap_dense_storage(std::vector<unsigned char>& bitmap,
+                          std::vector<storage_type>& values, Index nnz) {
+    bit_.swap(bitmap);
+    dval_.swap(values);
+    dnv_ = nnz;
+    kind_ = StorageKind::kDense;
+    mirror_valid_ = false;
+    ind_.clear();  // capacity retained for the next mirror build
+    val_.clear();
+  }
+  /// In-place dense mutation for kernels (e.g. the O(nnz) relaxation
+  /// scatter).  Valid only while is_dense(); the caller must keep bitmap,
+  /// values, and the stored count consistent and finish with
+  /// set_dense_nvals().
+  std::vector<unsigned char>& mutable_dense_bitmap() {
+    mirror_valid_ = false;
+    return bit_;
+  }
+  std::vector<storage_type>& mutable_dense_values() {
+    mirror_valid_ = false;
+    return dval_;
+  }
+  void set_dense_nvals(Index nnz) {
+    dnv_ = nnz;
+    mirror_valid_ = false;
+  }
 
  private:
+  /// Rebuilds the sorted-coordinate mirror of a dense vector (no-op when
+  /// sparse or already valid).  Const because it only affects the cached
+  /// view, not the logical value; not thread-safe against concurrent first
+  /// reads of the same dense vector (one writer per vector, as everywhere
+  /// else in the substrate).
+  void ensure_mirror() const {
+    if (kind_ == StorageKind::kSparse || mirror_valid_) return;
+    ind_.clear();
+    val_.clear();
+    ind_.reserve(dnv_);
+    val_.reserve(dnv_);
+    for (Index i = 0; i < size_; ++i) {
+      if (bit_[i]) {
+        ind_.push_back(i);
+        val_.push_back(dval_[i]);
+      }
+    }
+    mirror_valid_ = true;
+  }
+
+  /// Drops the dense representation without materializing the mirror — used
+  /// by the sparse bulk-write entry points, whose callers replace the
+  /// content wholesale.
+  void discard_dense() {
+    if (kind_ == StorageKind::kDense) {
+      kind_ = StorageKind::kSparse;
+      bit_.clear();
+      dval_.clear();
+      dnv_ = 0;
+      ind_.clear();  // stale mirror: keep capacity, drop contents
+      val_.clear();
+    }
+    mirror_valid_ = true;
+  }
+
   Index size_ = 0;
-  std::vector<Index> ind_;        // ascending
-  std::vector<storage_type> val_;  // parallel to ind_
+  StorageKind kind_ = StorageKind::kSparse;
+  // Sparse representation; when kind_ == kDense these are the lazily
+  // rebuilt mirror (mutable so const reads can materialize it).
+  mutable std::vector<Index> ind_;         // ascending
+  mutable std::vector<storage_type> val_;  // parallel to ind_
+  mutable bool mirror_valid_ = true;
+  // Dense representation (authoritative when kind_ == kDense).
+  std::vector<unsigned char> bit_;   // validity bitmap, one byte per position
+  std::vector<storage_type> dval_;   // values, length size_
+  Index dnv_ = 0;                    // number of set bits
 };
 
 /// Debug/logging helper.
 template <typename T>
 std::ostream& operator<<(std::ostream& os, const Vector<T>& v) {
-  os << "Vector(n=" << v.size() << ", nvals=" << v.nvals() << ") {";
+  os << "Vector(n=" << v.size() << ", nvals=" << v.nvals()
+     << (v.is_dense() ? ", dense" : "") << ") {";
   bool first = true;
   v.for_each([&](Index i, const T& x) {
     os << (first ? "" : ", ") << i << ":" << x;

@@ -36,7 +36,7 @@ struct SsspStats {
 /// exactly |V| entries and an unreachable vertex is reported as exactly
 /// +infinity (kInfDist) — never omitted, never NaN, never a finite
 /// sentinel.  Every variant (including the GraphBLAS ones, which densify
-/// their sparse t vector with to_dense(kInfDist)) follows this, and
+/// their t vector with to_dense_array(kInfDist)) follows this, and
 /// validate_sssp() accepts exactly this convention and no other.
 struct SsspResult {
   std::vector<double> dist;

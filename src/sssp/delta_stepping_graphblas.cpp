@@ -29,6 +29,10 @@ SsspResult run_graphblas_loop(const grb::Matrix<double>& al,
   t.set_element(source, 0.0);
 
   // Work vectors, kept allocated across iterations like the C listing.
+  // Storage representations are managed by the Context density policy: t
+  // and the boolean filters go dense once half the graph is reached (O(1)
+  // mask probes, positional kernels, in-place min-relaxation), while the
+  // bucket frontiers and request vectors stay sparse.
   grb::Vector<bool> tgeq(n);     // t .>= i*delta (boolean, incl. false)
   grb::Vector<double> tcomp(n);  // t where tgeq true
   grb::Vector<bool> tb(n);       // bucket membership filter tB_i
@@ -122,7 +126,7 @@ SsspResult run_graphblas_loop(const grb::Matrix<double>& al,
   }
 
   SsspResult result;
-  result.dist = t.to_dense(kInfDist);
+  result.dist = t.to_dense_array(kInfDist);
   // Stored-but-unreached cannot happen: t only ever receives finite values.
   result.stats = stats;
   return result;

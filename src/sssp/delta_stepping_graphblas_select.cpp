@@ -91,7 +91,7 @@ SsspResult run_select_loop(const grb::Matrix<double>& al,
   }
 
   SsspResult result;
-  result.dist = t.to_dense(kInfDist);
+  result.dist = t.to_dense_array(kInfDist);
   result.stats = stats;
   return result;
 }

@@ -114,7 +114,7 @@ TEST(Vector, AtOrDefaultsWhenAbsent) {
 TEST(Vector, ToDenseFills) {
   grb::Vector<double> v(4);
   v.set_element(1, 2.0);
-  auto dense = v.to_dense(-5.0);
+  auto dense = v.to_dense_array(-5.0);
   EXPECT_EQ(dense, (std::vector<double>{-5.0, 2.0, -5.0, -5.0}));
 }
 
@@ -157,7 +157,7 @@ TEST(Vector, BoolVectorWorksDespiteVectorBool) {
   EXPECT_EQ(v.nvals(), 2u);  // false is *stored*, storage != value
   EXPECT_TRUE(*v.extract_element(0));
   EXPECT_FALSE(*v.extract_element(3));
-  auto dense = v.to_dense(false);
+  auto dense = v.to_dense_array(false);
   EXPECT_TRUE(dense[0]);
   EXPECT_FALSE(dense[1]);
 }
