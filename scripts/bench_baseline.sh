@@ -15,7 +15,13 @@
 #            additive keys (like spmspv_pointwise) do not bump it.
 #   quick    true when produced by --quick (CI smoke); the checked-in file
 #            must always come from a full (non-quick) run.
-#   commit   short git hash the numbers were measured at.
+#   commit   short git hash of HEAD at *generation* time, with a "-dirty"
+#            suffix when the working tree differed from it.  The checked-in
+#            baseline is normally generated right before the commit that
+#            includes it, so its stamp reads "<parent-hash>-dirty": the
+#            numbers were measured on the dirty tree that *became* that
+#            commit, not on the clean parent.  A stamp with no suffix means
+#            the numbers reproduce a committed state exactly.
 #   host     { machine, nproc } — compare runs on like hardware only.
 #
 # Table keys (each a list of row objects keyed by that table's CSV header):
@@ -33,7 +39,13 @@
 #                  bench_spmspv table 2: point-wise ops over a 75%-dense
 #                  vector, sparse vs dense representation (sparse_ms /
 #                  dense_ms / speedup per op; CI gate: geomean >= 2x,
-#                  outputs verified bit-identical before timing).
+#                  outputs verified bit-identical — sparse vs dense AND
+#                  serial vs OpenMP — before timing).
+#   spmspv_wordpack
+#                  bench_spmspv table 3: the probe-bound dense ops against
+#                  a byte-per-position bitmap reference (byte_ms / word_ms
+#                  / speedup; CI gate: geomean >= 1.3x for the word-packed
+#                  layout).
 #   solver_batch   bench_solver_batch table 1: queries/sec through a warm
 #                  SsspSolver at batch sizes 1/8/64 per graph.
 #   solver_batch_amortization
@@ -146,9 +158,16 @@ def read_tables(path):
     return [rows for _, rows in tables]
 
 def git_head():
+    """HEAD at generation time, "-dirty" appended when the tree has
+    uncommitted changes — see the `commit` schema note in the header."""
     try:
-        return subprocess.check_output(
+        head = subprocess.check_output(
             ["git", "rev-parse", "--short", "HEAD"], text=True).strip()
+        # status --porcelain (not diff-index) so untracked files — new
+        # sources compiled into the measured binaries — also count as dirty.
+        dirty = subprocess.check_output(
+            ["git", "status", "--porcelain"], text=True).strip() != ""
+        return head + ("-dirty" if dirty else "")
     except Exception:
         return "unknown"
 
@@ -171,6 +190,8 @@ doc = {
     "spmspv": spmspv_tables[0] if spmspv_tables else [],
     "spmspv_pointwise":
         spmspv_tables[1] if len(spmspv_tables) > 1 else [],
+    "spmspv_wordpack":
+        spmspv_tables[2] if len(spmspv_tables) > 2 else [],
     # Batched-query scenario: queries/sec at batch sizes 1/8/64 through a
     # warm SsspSolver, the 64-query legacy/warm/batch amortization, and the
     # dense auto-switching on/off record for the graphblas variant.

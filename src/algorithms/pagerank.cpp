@@ -43,7 +43,11 @@ PageRankResult pagerank_graphblas(const grb::Matrix<double>& a,
     }
   }
 
-  auto rank = grb::Vector<double>::full(n, 1.0 / static_cast<double>(n));
+  // Fully-stored vectors are built through the Context policy, so a caller
+  // pinning representations (auto_representation = false) gets the sparse
+  // form here instead of smuggled-in dense kernels.
+  grb::Context& ctx = grb::default_context();
+  auto rank = grb::full_vector(ctx, n, 1.0 / static_cast<double>(n));
   const double teleport = (1.0 - d) / static_cast<double>(n);
 
   PageRankResult result;
@@ -65,7 +69,7 @@ PageRankResult pagerank_graphblas(const grb::Matrix<double>& a,
     grb::Vector<double> next_full(n);
     grb::ewise_add(next_full, grb::NoMask{}, grb::NoAccumulate{},
                    grb::Plus<double>{},
-                   grb::Vector<double>::full(n, base),
+                   grb::full_vector(ctx, n, base),
                    [&] {
                      grb::Vector<double> scaled(n);
                      grb::apply(scaled,

@@ -1,0 +1,96 @@
+// bitmap.hpp — the word-packed validity bitmap shared by the dense Vector
+// representation and every dense kernel.
+//
+// One std::uint64_t word covers 64 consecutive positions: position i lives
+// at bit (i & 63) of word (i >> 6), low bits first, so ascending index
+// order is ascending (word, countr_zero) order.  This is the GxB bitmap
+// layout SuiteSparse:GraphBLAS uses for its bulk mask-AND and popcount-nnz
+// paths, and it is what makes the probe-bound kernels fast:
+//
+//   - presence tests and mask probes read 64 positions per load;
+//   - empty regions are skipped a whole word at a time (word == 0);
+//   - set bits are walked with countr_zero + clear-lowest-set-bit, so a
+//     kernel's per-element cost is proportional to stored elements, not to
+//     the index domain;
+//   - nvals is a popcount sum, not a byte scan.
+//
+// Invariant (everything here relies on it): a bitmap covering a logical
+// dimension n has exactly bitmap_words(n) words and every padding bit at
+// position >= n is zero.  Producers (Vector, the Context stages, the
+// kernels) maintain it; consumers may then AND whole words without
+// tail-clamping, because anything ANDed against a presence word inherits
+// its zero padding.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "graphblas/types.hpp"
+
+namespace grb::detail {
+
+/// One word of the packed validity bitmap: 64 positions per load.
+using BitmapWord = std::uint64_t;
+
+inline constexpr Index kBitmapWordBits = 64;
+
+/// Number of words needed to cover n positions.
+constexpr std::size_t bitmap_words(Index n) {
+  return static_cast<std::size_t>((n + (kBitmapWordBits - 1)) /
+                                  kBitmapWordBits);
+}
+
+/// Mask of the bits a dimension-n bitmap may use in its last word (all ones
+/// when n is word-aligned).  ANDing the last word with this restores the
+/// zero-padding invariant after a bulk fill or a shrink.
+constexpr BitmapWord bitmap_tail_mask(Index n) {
+  const Index r = n % kBitmapWordBits;
+  return r == 0 ? ~BitmapWord{0} : (BitmapWord{1} << r) - 1;
+}
+
+/// True if position i is set.  The caller guarantees i < n.
+inline bool bitmap_test(const BitmapWord* words, Index i) {
+  return (words[i >> 6] >> (i & 63)) & 1u;
+}
+
+/// Sets position i; returns true when the bit was previously clear (so
+/// callers can maintain a stored-element count without a second test).
+inline bool bitmap_set(BitmapWord* words, Index i) {
+  BitmapWord& w = words[i >> 6];
+  const BitmapWord m = BitmapWord{1} << (i & 63);
+  const bool was_clear = (w & m) == 0;
+  w |= m;
+  return was_clear;
+}
+
+/// Clears position i; returns true when the bit was previously set.
+inline bool bitmap_reset(BitmapWord* words, Index i) {
+  BitmapWord& w = words[i >> 6];
+  const BitmapWord m = BitmapWord{1} << (i & 63);
+  const bool was_set = (w & m) != 0;
+  w &= ~m;
+  return was_set;
+}
+
+/// Number of set bits — nvals via popcount, O(n/64).
+inline Index bitmap_count(const std::vector<BitmapWord>& words) {
+  Index n = 0;
+  for (const BitmapWord w : words) {
+    n += static_cast<Index>(std::popcount(w));
+  }
+  return n;
+}
+
+/// Invokes f(i) for every set bit of `word`, ascending, where bit b maps to
+/// index base + b.  countr_zero walks the set bits and w &= w - 1 clears
+/// the lowest one, so the loop costs O(popcount), not O(64).
+template <typename F>
+inline void bitmap_for_each_in_word(BitmapWord word, Index base, F&& f) {
+  while (word != 0) {
+    f(base + static_cast<Index>(std::countr_zero(word)));
+    word &= word - 1;
+  }
+}
+
+}  // namespace grb::detail

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "graphblas/bitmap.hpp"
 #include "graphblas/types.hpp"
 
 namespace grb {
@@ -109,16 +110,17 @@ struct WriteScratch {
   std::vector<S> val;
 };
 
-/// Dense (bitmap + values) staging for kernels that compute a dense-
-/// representation result (apply/select/ewise over dense inputs).  reset()
-/// zeroes the bitmap only; values are guarded by the bits, exactly like
-/// ScatterAccumulator.
+/// Dense (word-packed bitmap + values) staging for kernels that compute a
+/// dense-representation result (apply/select/ewise over dense inputs).
+/// reset() zeroes the bitmap only — bitmap_words(n) words, so the clear
+/// itself reads 64x less memory than the old byte bitmap — while values
+/// are guarded by the bits, exactly like ScatterAccumulator.
 template <typename Z>
 struct DenseKernelStage {
-  std::vector<unsigned char> bit;
+  std::vector<BitmapWord> bit;
   std::vector<storage_of_t<Z>> val;
   void reset(Index n) {
-    bit.assign(n, 0);
+    bit.assign(bitmap_words(n), 0);
     val.resize(n);
   }
 };
@@ -129,10 +131,10 @@ struct DenseKernelStage {
 /// even when Z == W.
 template <typename S>
 struct DenseWriteStage {
-  std::vector<unsigned char> bit;
+  std::vector<BitmapWord> bit;
   std::vector<S> val;
   void reset(Index n) {
-    bit.assign(n, 0);
+    bit.assign(bitmap_words(n), 0);
     val.resize(n);
   }
 };
@@ -208,6 +210,25 @@ class Context {
   /// Density at/below which a dense vector is demoted to sparse.  Must be
   /// strictly below dense_promote_density for the hysteresis band to exist.
   double dense_demote_density = 0.25;
+
+  /// Estimated *output* density below which select/apply over a dense input
+  /// compact straight into the sparse form instead of staging a dense
+  /// result.  The dense stage sweeps the whole index domain twice (kernel +
+  /// write) no matter how few entries survive, so a low-selectivity filter
+  /// — bucket extraction keeping a thin [lo, hi) slice of t — is better
+  /// served by ctz-compaction; the measured crossover on the
+  /// spmspv_pointwise select_range row sits near 40% output density.  The
+  /// kernels sample the input to estimate selectivity (see
+  /// estimate_keep_fraction in select.hpp); results are bit-identical
+  /// either way.  0 disables the compacted path, 1 forces it.
+  double dense_output_crossover = 0.4;
+
+  /// Instrumentation: number of vector write phases that installed a
+  /// dense-representation result (before any policy demotion).  With
+  /// auto_representation = false and no explicitly densified inputs this
+  /// must stay 0 — tests/test_representation.cpp pins the
+  /// bench_solver_batch "representation off" leg with it.
+  std::size_t dense_writes = 0;
 
   /// Applies the density policy to `v` (any type with size/density/
   /// is_dense/to_dense/to_sparse — templated to keep this header free of a

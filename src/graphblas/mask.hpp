@@ -13,9 +13,11 @@
 // test.  `NoMask` means "all positions writable" (complement: none).
 #pragma once
 
+#include <bit>
 #include <type_traits>
 #include <vector>
 
+#include "graphblas/bitmap.hpp"
 #include "graphblas/context.hpp"
 #include "graphblas/descriptor.hpp"
 #include "graphblas/matrix.hpp"
@@ -41,8 +43,9 @@ inline constexpr bool is_no_accum_v =
 
 /// Point query against a vector mask under descriptor flags.  Probing cost
 /// depends on the mask's storage representation:
-///   - dense (bitmap) representation: O(1) bitmap test, no probe structure
-///     to build and no mirror materialization;
+///   - dense (word-packed bitmap) representation: O(1) bit test per point
+///     probe, and — through writable_word — one 64-lane word per bulk
+///     probe, which is the structural-mask fast path of the dense kernels;
 ///   - sparse with every position stored (the fully-populated boolean
 ///     filters of delta-stepping): direct subscript into the value array;
 ///   - sparse otherwise: binary search per probe.
@@ -66,30 +69,75 @@ class VectorMaskProbe {
   }
 
   bool operator()(Index i) const {
-    bool t;
+    return complement_ ? !raw(i) : raw(i);
+  }
+
+  /// Bulk probe: a 64-lane writability word for bitmap word `wd`, correct
+  /// at every lane set in `candidates` (other lanes unspecified — callers
+  /// AND the result against candidate-derived words).  A structural bitmap
+  /// mask answers with one whole-word AND-able load; a value bitmap mask
+  /// additionally clears stored-but-falsy candidate lanes; the sparse modes
+  /// fall back to one raw probe per candidate, exactly the per-position
+  /// cost the point query already paid.
+  BitmapWord writable_word(std::size_t wd, BitmapWord candidates) const {
+    BitmapWord t;
     switch (mode_) {
       case Mode::kBitmap:
-        t = bit_[i] != 0 &&
-            (structural_ || val_[i] != storage_of_t<MaskT>(MaskT(0)));
+        t = bit_[wd];
+        if (!structural_) {
+          bitmap_for_each_in_word(
+              t & candidates, static_cast<Index>(wd) * kBitmapWordBits,
+              [&](Index i) {
+                if (val_[i] == storage_of_t<MaskT>(MaskT(0))) {
+                  t &= ~(BitmapWord{1} << (i & 63));
+                }
+              });
+        }
         break;
       case Mode::kAllStored:
-        t = structural_ || val_[i] != storage_of_t<MaskT>(MaskT(0));
+        if (structural_) {
+          t = ~BitmapWord{0};
+        } else {
+          t = 0;
+          bitmap_for_each_in_word(
+              candidates, static_cast<Index>(wd) * kBitmapWordBits,
+              [&](Index i) {
+                if (val_[i] != storage_of_t<MaskT>(MaskT(0))) {
+                  t |= BitmapWord{1} << (i & 63);
+                }
+              });
+        }
         break;
       default:
-        if (structural_) {
-          t = mask_->has_element(i);
-        } else {
-          auto v = mask_->extract_element(i);
-          t = v.has_value() && *v != MaskT(0);
-        }
+        t = 0;
+        bitmap_for_each_in_word(
+            candidates, static_cast<Index>(wd) * kBitmapWordBits,
+            [&](Index i) {
+              if (raw(i)) t |= BitmapWord{1} << (i & 63);
+            });
     }
-    return complement_ ? !t : t;
+    return complement_ ? ~t : t;
   }
 
  private:
+  /// Mask truth before descriptor complement.
+  bool raw(Index i) const {
+    switch (mode_) {
+      case Mode::kBitmap:
+        return bitmap_test(bit_, i) &&
+               (structural_ || val_[i] != storage_of_t<MaskT>(MaskT(0)));
+      case Mode::kAllStored:
+        return structural_ || val_[i] != storage_of_t<MaskT>(MaskT(0));
+      default:
+        if (structural_) return mask_->has_element(i);
+        auto v = mask_->extract_element(i);
+        return v.has_value() && *v != MaskT(0);
+    }
+  }
+
   enum class Mode { kBitmap, kAllStored, kSearch };
   const Vector<MaskT>* mask_;
-  const unsigned char* bit_ = nullptr;
+  const BitmapWord* bit_ = nullptr;
   const storage_of_t<MaskT>* val_ = nullptr;
   bool complement_;
   bool structural_;
@@ -130,6 +178,41 @@ struct AlwaysFalseProbe {
   constexpr bool operator()(Index) const { return false; }
   constexpr bool operator()(Index, Index) const { return false; }
 };
+
+/// Bulk (64-lane) probe evaluation for bitmap word `wd`: the word-packed
+/// kernels apply the mask one word at a time instead of one position at a
+/// time.  Lanes outside `candidates` are unspecified — every caller ANDs
+/// the result (or its complement) against words derived from candidates,
+/// whose padding/absent lanes are zero, so unspecified lanes never reach
+/// an output.  No-mask probes are whole-word constants; a VectorMaskProbe
+/// answers through its writable_word (one AND-able load for structural
+/// bitmap masks); anything else degrades to one point probe per candidate,
+/// the same cost the positional kernels paid per candidate before.
+template <typename Probe>
+inline BitmapWord probe_writable_word(const Probe& probe, std::size_t wd,
+                                      BitmapWord candidates) {
+  if constexpr (std::is_same_v<Probe, AlwaysTrueProbe>) {
+    (void)probe;
+    (void)wd;
+    (void)candidates;
+    return ~BitmapWord{0};
+  } else if constexpr (std::is_same_v<Probe, AlwaysFalseProbe>) {
+    (void)probe;
+    (void)wd;
+    (void)candidates;
+    return BitmapWord{0};
+  } else if constexpr (requires { probe.writable_word(wd, candidates); }) {
+    return probe.writable_word(wd, candidates);
+  } else {
+    BitmapWord t = 0;
+    bitmap_for_each_in_word(candidates,
+                            static_cast<Index>(wd) * kBitmapWordBits,
+                            [&](Index i) {
+                              if (probe(i)) t |= BitmapWord{1} << (i & 63);
+                            });
+    return t;
+  }
+}
 
 /// Resolves (mask, desc) to a concrete probe type and invokes `f` with it.
 /// Operations use this to build the probe *once* and share it between the
@@ -253,14 +336,20 @@ void masked_write_vector(Context& ctx, Vector<W>& w, Vector<Z>&& z,
 }
 
 /// Dense-result write phase: performs `w<probe> accum= z` where z is a
-/// dense-staged kernel result — `z.bit[i]` marks presence, `z.val[i]` holds
-/// the value, `znnz` counts the set bits.  The stage's buffers are consumed
-/// (swapped into w on the fast path, or recycled by the caller's next
-/// reset); w ends in the dense representation and is then handed to the
-/// Context's density policy, which may demote it.
+/// dense-staged kernel result — bit i of z.bit word i>>6 marks presence,
+/// `z.val[i]` holds the value, `znnz` counts the set bits.  The stage's
+/// buffers are consumed (swapped into w on the fast path, or recycled by
+/// the caller's next reset); w ends in the dense representation and is
+/// then handed to the Context's density policy, which may demote it.
 ///
-/// Semantics are exactly masked_write_vector's, position by position — the
-/// bit-identity tests compare the two on the same inputs.
+/// The merge runs one bitmap word (64 positions) at a time: words where
+/// neither w nor z stores anything are skipped with two loads, the probe
+/// is applied through probe_writable_word (one AND for structural bitmap
+/// masks), the four write categories (take-z / accum-both / keep-w /
+/// drop) are whole-word bit expressions, and only the surviving values are
+/// copied, via ctz iteration.  Semantics are exactly masked_write_vector's,
+/// position by position — the bit-identity tests compare the two on the
+/// same inputs.
 template <typename W, typename Z, typename Probe, typename Accum>
 void masked_write_vector_dense(Context& ctx, Vector<W>& w,
                                DenseKernelStage<Z>& z, Index znnz,
@@ -277,6 +366,7 @@ void masked_write_vector_dense(Context& ctx, Vector<W>& w,
     // ping-pong, like the sparse write scratch).
     (void)replace;
     (void)z_prefiltered;
+    ++ctx.dense_writes;
     w.swap_dense_storage(z.bit, z.val, znnz);
     ctx.manage_representation(w);
     return;
@@ -286,55 +376,93 @@ void masked_write_vector_dense(Context& ctx, Vector<W>& w,
     Index nnz = 0;
 
     const bool w_dense = w.is_dense();
-    auto wbit = w_dense ? w.dense_bitmap() : std::span<const unsigned char>{};
+    auto wbit = w_dense ? w.dense_bitmap() : std::span<const BitmapWord>{};
     auto wdv = w_dense ? w.dense_values()
                        : std::span<const storage_of_t<W>>{};
     auto wi = w_dense ? std::span<const Index>{} : w.indices();
     auto wv = w_dense ? std::span<const storage_of_t<W>>{} : w.values();
     std::size_t a = 0;  // cursor into (wi, wv) when w is sparse
 
-    for (Index i = 0; i < n; ++i) {
-      const bool in_z = z.bit[i] != 0;
-      bool in_w;
-      storage_of_t<W> wx{};
-      if (w_dense) {
-        in_w = wbit[i] != 0;
-        if (in_w) wx = wdv[i];
-      } else {
-        in_w = a < wi.size() && wi[a] == i;
-        if (in_w) wx = wv[a++];
-      }
+    const std::size_t nwords = bitmap_words(n);
+    for (std::size_t wd = 0; wd < nwords; ++wd) {
+      const Index base = static_cast<Index>(wd) * kBitmapWordBits;
+      const Index bound = base + kBitmapWordBits;
+      const BitmapWord zw = z.bit[wd];
 
-      if ((in_z && z_prefiltered) || probe(i)) {
-        if constexpr (is_no_accum_v<Accum>) {
-          if (in_z) {
-            out.bit[i] = 1;
-            out.val[i] = static_cast<W>(static_cast<Z>(z.val[i]));
-            ++nnz;
-          }
-        } else {
-          if (in_w && in_z) {
-            out.bit[i] = 1;
-            out.val[i] = static_cast<W>(accum(wx, z.val[i]));
-            ++nnz;
-          } else if (in_z) {
-            out.bit[i] = 1;
-            out.val[i] = static_cast<W>(static_cast<Z>(z.val[i]));
-            ++nnz;
-          } else if (in_w) {
-            out.bit[i] = 1;
-            out.val[i] = wx;
-            ++nnz;
+      // Presence word for w; a sparse w also remembers its entry range
+      // [a0, a) so values can be read back by cursor below.
+      BitmapWord ww = 0;
+      const std::size_t a0 = a;
+      if (w_dense) {
+        ww = wbit[wd];
+      } else {
+        while (a < wi.size() && wi[a] < bound) {
+          ww |= BitmapWord{1} << (wi[a] & 63);
+          ++a;
+        }
+      }
+      if ((zw | ww) == 0) continue;  // whole-word skip of empty regions
+
+      // Prefiltered z entries are writable by contract, so the probe is
+      // only consulted at w-only lanes then — the word analogue of the old
+      // per-position `(in_z && z_prefiltered) || probe(i)` short-circuit.
+      const BitmapWord pcand = z_prefiltered ? (ww & ~zw) : (zw | ww);
+      const BitmapWord pw =
+          pcand != 0 ? probe_writable_word(probe, wd, pcand) : 0;
+      const BitmapWord writable = z_prefiltered ? (zw | pw) : pw;
+
+      BitmapWord outw;
+      if constexpr (is_no_accum_v<Accum>) {
+        const BitmapWord takez = zw & writable;
+        const BitmapWord keepw = replace ? 0 : (ww & ~writable);
+        outw = takez | keepw;
+        bitmap_for_each_in_word(takez, base, [&](Index i) {
+          out.val[i] = static_cast<W>(static_cast<Z>(z.val[i]));
+        });
+        if (keepw != 0) {
+          if (w_dense) {
+            bitmap_for_each_in_word(keepw, base,
+                                    [&](Index i) { out.val[i] = wdv[i]; });
+          } else {
+            for (std::size_t k = a0; k < a; ++k) {
+              const Index i = wi[k];
+              if (keepw & (BitmapWord{1} << (i & 63))) out.val[i] = wv[k];
+            }
           }
         }
       } else {
-        if (!replace && in_w) {
-          out.bit[i] = 1;
-          out.val[i] = wx;
-          ++nnz;
+        const BitmapWord both = ww & zw & writable;
+        const BitmapWord zonly = zw & ~ww & writable;
+        const BitmapWord wkeep =
+            (ww & ~zw & writable) | (replace ? 0 : (ww & ~writable));
+        outw = both | zonly | wkeep;
+        bitmap_for_each_in_word(zonly, base, [&](Index i) {
+          out.val[i] = static_cast<W>(static_cast<Z>(z.val[i]));
+        });
+        if ((both | wkeep) != 0) {
+          if (w_dense) {
+            bitmap_for_each_in_word(both, base, [&](Index i) {
+              out.val[i] = static_cast<W>(accum(wdv[i], z.val[i]));
+            });
+            bitmap_for_each_in_word(wkeep, base,
+                                    [&](Index i) { out.val[i] = wdv[i]; });
+          } else {
+            for (std::size_t k = a0; k < a; ++k) {
+              const Index i = wi[k];
+              const BitmapWord lane = BitmapWord{1} << (i & 63);
+              if (both & lane) {
+                out.val[i] = static_cast<W>(accum(wv[k], z.val[i]));
+              } else if (wkeep & lane) {
+                out.val[i] = wv[k];
+              }
+            }
+          }
         }
       }
+      out.bit[wd] = outw;
+      nnz += static_cast<Index>(std::popcount(outw));
     }
+    ++ctx.dense_writes;
     w.swap_dense_storage(out.bit, out.val, nnz);
     ctx.manage_representation(w);
   }

@@ -9,9 +9,11 @@
 
 #include <vector>
 
+#include "graphblas/bitmap.hpp"
 #include "graphblas/descriptor.hpp"
 #include "graphblas/mask.hpp"
 #include "graphblas/matrix.hpp"
+#include "graphblas/operations/dense_compact.hpp"
 #include "graphblas/operations/pointwise_parallel.hpp"
 #include "graphblas/types.hpp"
 #include "graphblas/vector.hpp"
@@ -20,11 +22,12 @@ namespace grb {
 
 namespace detail {
 
-/// Dense-representation apply kernel: positional sweep of u's bitmap with
-/// the mask pushed down, staging a dense result.  Branch-predictable, no
-/// index arrays, no sorted merge; parallelizes as a plain positional loop
-/// (writes are per-position, so the result is bit-identical to serial for
-/// any thread count).
+/// Dense-representation apply kernel: word-packed sweep of u's bitmap with
+/// the mask pushed down one 64-lane word at a time (zero words skipped
+/// whole, probe applied via probe_writable_word, op run only at surviving
+/// bits via ctz iteration), staging a dense result.  Parallelizes over
+/// contiguous word ranges — each word is written by exactly one thread, so
+/// the result is bit-identical to serial for any thread count.
 template <typename W, typename Probe, typename Accum, typename UnaryOp,
           typename U>
 void apply_vector_dense(Context& ctx, Vector<W>& w, const Probe& probe,
@@ -38,18 +41,28 @@ void apply_vector_dense(Context& ctx, Vector<W>& w, const Probe& probe,
   if constexpr (!std::is_same_v<Probe, AlwaysFalseProbe>) {
     auto ubit = u.dense_bitmap();
     auto uval = u.dense_values();
+    const std::size_t nwords = ubit.size();
+    auto word_kernel = [&](std::size_t wd) -> Index {
+      const BitmapWord uw = ubit[wd];
+      if (uw == 0) return 0;  // whole-word skip of empty regions
+      const BitmapWord m = uw & probe_writable_word(probe, wd, uw);
+      if (m == 0) return 0;
+      stage.bit[wd] = m;
+      bitmap_for_each_in_word(
+          m, static_cast<Index>(wd) * kBitmapWordBits, [&](Index i) {
+            stage.val[i] =
+                static_cast<storage_of_t<Z>>(op(static_cast<U>(uval[i])));
+          });
+      return static_cast<Index>(std::popcount(m));
+    };
 #if defined(DSG_HAVE_OPENMP)
     if (n >= ctx.pointwise_parallel_threshold && omp_get_max_threads() > 1) {
       std::int64_t count = 0;
 #pragma omp parallel for schedule(static) reduction(+ : count)
-      for (std::ptrdiff_t pi = 0; pi < static_cast<std::ptrdiff_t>(n); ++pi) {
-        const auto i = static_cast<Index>(pi);
-        if (ubit[i] && probe(i)) {  // mask push-down
-          stage.bit[i] = 1;
-          stage.val[i] =
-              static_cast<storage_of_t<Z>>(op(static_cast<U>(uval[i])));
-          ++count;
-        }
+      for (std::ptrdiff_t pw = 0; pw < static_cast<std::ptrdiff_t>(nwords);
+           ++pw) {
+        count += static_cast<std::int64_t>(
+            word_kernel(static_cast<std::size_t>(pw)));
       }
       nnz = static_cast<Index>(count);
       masked_write_vector_dense(ctx, w, stage, nnz, probe, accum,
@@ -57,14 +70,7 @@ void apply_vector_dense(Context& ctx, Vector<W>& w, const Probe& probe,
       return;
     }
 #endif  // DSG_HAVE_OPENMP
-    for (Index i = 0; i < n; ++i) {
-      if (ubit[i] && probe(i)) {  // mask push-down
-        stage.bit[i] = 1;
-        stage.val[i] =
-            static_cast<storage_of_t<Z>>(op(static_cast<U>(uval[i])));
-        ++nnz;
-      }
-    }
+    for (std::size_t wd = 0; wd < nwords; ++wd) nnz += word_kernel(wd);
   }
   masked_write_vector_dense(ctx, w, stage, nnz, probe, accum, desc.replace,
                             /*z_prefiltered=*/true);
@@ -90,6 +96,27 @@ void apply(Context& ctx, Vector<W>& w, const Mask& mask, const Accum& accum,
   using Z = decltype(op(std::declval<U>()));
   detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
     if (u.is_dense()) {
+      // Output structure is u ∧ mask, so when the estimated output density
+      // falls below the crossover the compacted kernel replaces the dense
+      // stage (see dense_compact.hpp); results are bit-identical.
+      if constexpr (!std::is_same_v<std::decay_t<decltype(probe)>,
+                                    detail::AlwaysFalseProbe>) {
+        if (detail::dense_output_prefers_compaction(
+                ctx, u, [&](Index i) { return probe(i); })) {
+          auto uval = u.dense_values();
+          Vector<Z> z(u.size());
+          detail::compact_dense_to_sparse(
+              ctx, z, u, probe, [](Index) { return true; },
+              [&](Index i) {
+                return static_cast<storage_of_t<Z>>(
+                    op(static_cast<U>(uval[i])));
+              });
+          detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                      desc.replace,
+                                      /*z_prefiltered=*/true);
+          return;
+        }
+      }
       detail::apply_vector_dense(ctx, w, probe, accum, op, u, desc);
       return;
     }

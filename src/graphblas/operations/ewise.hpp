@@ -14,8 +14,11 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <span>
 #include <vector>
 
+#include "graphblas/bitmap.hpp"
 #include "graphblas/descriptor.hpp"
 #include "graphblas/mask.hpp"
 #include "graphblas/matrix.hpp"
@@ -65,20 +68,20 @@ namespace detail {
 
 /// In-place dense union: w aliases u, u is dense, every position writable,
 /// no accumulator.  Then `w = u ⊕ v` collapses to scattering v's entries
-/// into w's dense arrays — O(nnz(v)) instead of an O(nnz(u) + nnz(v))
-/// sorted merge.  This is the delta-stepping relaxation `t = min(t, tReq)`
-/// once t has gone dense: cost proportional to the request vector, not to
-/// the distance vector.
+/// into w's word-packed dense arrays — O(nnz(v)) instead of an
+/// O(nnz(u) + nnz(v)) sorted merge.  This is the delta-stepping relaxation
+/// `t = min(t, tReq)` once t has gone dense: cost proportional to the
+/// request vector, not to the distance vector.
 template <typename W, typename BinaryOp, typename V>
 void ewise_add_dense_inplace(Vector<W>& w, BinaryOp op, const Vector<V>& v) {
   auto& bit = w.mutable_dense_bitmap();
   auto& val = w.mutable_dense_values();
   Index nnz = w.nvals();
   v.for_each([&](Index i, const V& x) {
-    if (bit[i]) {
+    if (bitmap_test(bit.data(), i)) {
       val[i] = static_cast<storage_of_t<W>>(op(static_cast<W>(val[i]), x));
     } else {
-      bit[i] = 1;
+      bitmap_set(bit.data(), i);
       val[i] = static_cast<storage_of_t<W>>(static_cast<W>(x));
       ++nnz;
     }
@@ -87,105 +90,139 @@ void ewise_add_dense_inplace(Vector<W>& w, BinaryOp op, const Vector<V>& v) {
 }
 
 /// Dense union kernel: at least one operand is in the dense representation.
-/// Positional sweep over the index domain with the mask pushed down; a
-/// sparse operand rides a cursor.  Fills `stage` and returns the stored
-/// count.  The both-dense case is branch-predictable and parallelizes
-/// positionally (bit-identical to serial).
+/// One pass over the bitmap words with the mask pushed down 64 lanes at a
+/// time; a sparse operand's presence word is assembled from its sorted
+/// entries as the cursor crosses each word, so words where neither side
+/// stores anything cost two loads.  Fills `stage` and returns the stored
+/// count.
+///
+/// Both the both-dense and the mixed dense/sparse shapes parallelize over
+/// contiguous *word* ranges — each chunk rebinds its sparse cursors with
+/// one binary search, and every output word has exactly one writer — so
+/// the result is bit-identical to serial for any thread count.
 template <typename Z, typename Probe, typename BinaryOp, typename U,
           typename V>
 Index ewise_add_dense_kernel(Context& ctx, DenseKernelStage<Z>& stage,
                              const Probe& probe, BinaryOp op,
                              const Vector<U>& u, const Vector<V>& v) {
   const Index n = u.size();
-  Index nnz = 0;
   if constexpr (std::is_same_v<Probe, AlwaysFalseProbe>) {
     (void)ctx;
     (void)op;
+    (void)n;
     return 0;
   } else {
     const bool ud = u.is_dense();
     const bool vd = v.is_dense();
-    if (ud && vd) {
-      auto ub = u.dense_bitmap();
-      auto uv = u.dense_values();
-      auto vb = v.dense_bitmap();
-      auto vv = v.dense_values();
-#if defined(DSG_HAVE_OPENMP)
-      if (n >= ctx.pointwise_parallel_threshold &&
-          omp_get_max_threads() > 1) {
-        std::int64_t count = 0;
-#pragma omp parallel for schedule(static) reduction(+ : count)
-        for (std::ptrdiff_t pi = 0; pi < static_cast<std::ptrdiff_t>(n);
-             ++pi) {
-          const auto i = static_cast<Index>(pi);
-          const bool iu = ub[i] != 0;
-          const bool iv = vb[i] != 0;
-          if ((iu || iv) && probe(i)) {
-            stage.bit[i] = 1;
-            stage.val[i] = iu && iv
-                               ? static_cast<storage_of_t<Z>>(
-                                     static_cast<Z>(op(uv[i], vv[i])))
-                               : iu ? static_cast<storage_of_t<Z>>(
-                                          static_cast<Z>(uv[i]))
-                                    : static_cast<storage_of_t<Z>>(
-                                          static_cast<Z>(vv[i]));
-            ++count;
-          }
-        }
-        return static_cast<Index>(count);
-      }
-#endif  // DSG_HAVE_OPENMP
-      for (Index i = 0; i < n; ++i) {
-        const bool iu = ub[i] != 0;
-        const bool iv = vb[i] != 0;
-        if ((iu || iv) && probe(i)) {
-          stage.bit[i] = 1;
-          stage.val[i] =
-              iu && iv
-                  ? static_cast<storage_of_t<Z>>(
-                        static_cast<Z>(op(uv[i], vv[i])))
-                  : iu ? static_cast<storage_of_t<Z>>(static_cast<Z>(uv[i]))
-                       : static_cast<storage_of_t<Z>>(static_cast<Z>(vv[i]));
-          ++nnz;
-        }
-      }
-      return nnz;
-    }
-    // Mixed: one side dense, the other a sparse cursor.  Serial — the work
-    // is dominated by the O(n) sweep either way.
-    auto ub = ud ? u.dense_bitmap() : std::span<const unsigned char>{};
+    auto ub = ud ? u.dense_bitmap() : std::span<const BitmapWord>{};
     auto udv = ud ? u.dense_values()
                   : std::span<const storage_of_t<U>>{};
     auto ui = ud ? std::span<const Index>{} : u.indices();
     auto usv = ud ? std::span<const storage_of_t<U>>{} : u.values();
-    auto vb = vd ? v.dense_bitmap() : std::span<const unsigned char>{};
+    auto vb = vd ? v.dense_bitmap() : std::span<const BitmapWord>{};
     auto vdv = vd ? v.dense_values()
                   : std::span<const storage_of_t<V>>{};
     auto vi = vd ? std::span<const Index>{} : v.indices();
     auto vsv = vd ? std::span<const storage_of_t<V>>{} : v.values();
-    std::size_t a = 0, b = 0;
-    for (Index i = 0; i < n; ++i) {
-      const bool iu = ud ? ub[i] != 0 : (a < ui.size() && ui[a] == i);
-      const bool iv = vd ? vb[i] != 0 : (b < vi.size() && vi[b] == i);
-      if (iu || iv) {
-        if (probe(i)) {
-          const storage_of_t<U> ux = iu ? (ud ? udv[i] : usv[a])
-                                        : storage_of_t<U>{};
-          const storage_of_t<V> vx = iv ? (vd ? vdv[i] : vsv[b])
-                                        : storage_of_t<V>{};
-          stage.bit[i] = 1;
+    const std::size_t nwords = bitmap_words(n);
+
+    // Merges words [w0, w1) with the sparse-side cursors positioned at the
+    // first entry >= w0 * 64; returns the stored count of the range.
+    auto range_kernel = [&](std::size_t w0, std::size_t w1, std::size_t a,
+                            std::size_t b) -> Index {
+      Index nnz = 0;
+      for (std::size_t wd = w0; wd < w1; ++wd) {
+        const Index base = static_cast<Index>(wd) * kBitmapWordBits;
+        const Index bound = base + kBitmapWordBits;
+        BitmapWord uwp;
+        const std::size_t a0 = a;
+        if (ud) {
+          uwp = ub[wd];
+        } else {
+          uwp = 0;
+          while (a < ui.size() && ui[a] < bound) {
+            uwp |= BitmapWord{1} << (ui[a] & 63);
+            ++a;
+          }
+        }
+        BitmapWord vwp;
+        const std::size_t b0 = b;
+        if (vd) {
+          vwp = vb[wd];
+        } else {
+          vwp = 0;
+          while (b < vi.size() && vi[b] < bound) {
+            vwp |= BitmapWord{1} << (vi[b] & 63);
+            ++b;
+          }
+        }
+        const BitmapWord cand = uwp | vwp;
+        if (cand == 0) continue;  // whole-word skip of empty regions
+        const BitmapWord m = cand & probe_writable_word(probe, wd, cand);
+        if (m == 0) continue;
+        stage.bit[wd] = m;
+        nnz += static_cast<Index>(std::popcount(m));
+        // Values, ascending within the word; sparse sides ride local
+        // cursors over their [·0, ·) entry ranges.
+        std::size_t ka = a0, kb = b0;
+        BitmapWord rest = m;
+        while (rest != 0) {
+          const Index i =
+              base + static_cast<Index>(std::countr_zero(rest));
+          rest &= rest - 1;
+          const BitmapWord lane = BitmapWord{1} << (i & 63);
+          const bool iu = (uwp & lane) != 0;
+          const bool iv = (vwp & lane) != 0;
+          storage_of_t<U> ux{};
+          storage_of_t<V> vx{};
+          if (iu) {
+            if (ud) {
+              ux = udv[i];
+            } else {
+              while (ui[ka] < i) ++ka;
+              ux = usv[ka];
+            }
+          }
+          if (iv) {
+            if (vd) {
+              vx = vdv[i];
+            } else {
+              while (vi[kb] < i) ++kb;
+              vx = vsv[kb];
+            }
+          }
           stage.val[i] =
               iu && iv
                   ? static_cast<storage_of_t<Z>>(static_cast<Z>(op(ux, vx)))
                   : iu ? static_cast<storage_of_t<Z>>(static_cast<Z>(ux))
                        : static_cast<storage_of_t<Z>>(static_cast<Z>(vx));
-          ++nnz;
         }
-        if (iu && !ud) ++a;
-        if (iv && !vd) ++b;
       }
+      return nnz;
+    };
+
+#if defined(DSG_HAVE_OPENMP)
+    if (n >= ctx.pointwise_parallel_threshold && omp_get_max_threads() > 1) {
+      const int chunks = pointwise_chunks(static_cast<std::size_t>(n));
+      std::int64_t total = 0;
+#pragma omp parallel for schedule(static, 1) reduction(+ : total)
+      for (int t = 0; t < chunks; ++t) {
+        const auto [w0, w1] = chunk_range(nwords, t, chunks);
+        const Index lo = static_cast<Index>(w0) * kBitmapWordBits;
+        const std::size_t a =
+            ud ? 0
+               : static_cast<std::size_t>(
+                     std::lower_bound(ui.begin(), ui.end(), lo) - ui.begin());
+        const std::size_t b =
+            vd ? 0
+               : static_cast<std::size_t>(
+                     std::lower_bound(vi.begin(), vi.end(), lo) - vi.begin());
+        total += static_cast<std::int64_t>(range_kernel(w0, w1, a, b));
+      }
+      return static_cast<Index>(total);
     }
-    return nnz;
+#endif  // DSG_HAVE_OPENMP
+    return range_kernel(0, nwords, 0, 0);
   }
 }
 
@@ -216,6 +253,7 @@ void ewise_add(Context& ctx, Vector<W>& w, const Mask& mask,
       if (static_cast<const void*>(&w) == static_cast<const void*>(&u) &&
           w.is_dense()) {
         detail::ewise_add_dense_inplace(w, op, v);
+        ++ctx.dense_writes;  // w stays dense: count it like a dense write
         return;
       }
     }
@@ -362,8 +400,10 @@ void ewise_add(Vector<W>& w, BinaryOp op, const Vector<U>& u,
 
 namespace detail {
 
-/// Both-dense intersection kernel: positional bitmap AND into `stage`.
-/// Parallelizes positionally (bit-identical to serial).
+/// Both-dense intersection kernel: one whole-word bitmap AND per 64
+/// positions into `stage`, op run only at surviving bits (ctz iteration).
+/// Parallelizes over contiguous word ranges (one writer per word),
+/// bit-identical to serial.
 template <typename Z, typename Probe, typename BinaryOp, typename U,
           typename V>
 Index ewise_mult_dense_kernel(Context& ctx, DenseKernelStage<Z>& stage,
@@ -374,34 +414,38 @@ Index ewise_mult_dense_kernel(Context& ctx, DenseKernelStage<Z>& stage,
   if constexpr (std::is_same_v<Probe, AlwaysFalseProbe>) {
     (void)ctx;
     (void)op;
+    (void)n;
     return 0;
   } else {
     auto ub = u.dense_bitmap();
     auto uv = u.dense_values();
     auto vb = v.dense_bitmap();
     auto vv = v.dense_values();
+    const std::size_t nwords = ub.size();
+    auto word_kernel = [&](std::size_t wd) -> Index {
+      const BitmapWord cand = ub[wd] & vb[wd];  // bulk word AND
+      if (cand == 0) return 0;
+      const BitmapWord m = cand & probe_writable_word(probe, wd, cand);
+      if (m == 0) return 0;
+      stage.bit[wd] = m;
+      bitmap_for_each_in_word(
+          m, static_cast<Index>(wd) * kBitmapWordBits,
+          [&](Index i) { stage.val[i] = op(uv[i], vv[i]); });
+      return static_cast<Index>(std::popcount(m));
+    };
 #if defined(DSG_HAVE_OPENMP)
     if (n >= ctx.pointwise_parallel_threshold && omp_get_max_threads() > 1) {
       std::int64_t count = 0;
 #pragma omp parallel for schedule(static) reduction(+ : count)
-      for (std::ptrdiff_t pi = 0; pi < static_cast<std::ptrdiff_t>(n); ++pi) {
-        const auto i = static_cast<Index>(pi);
-        if (ub[i] && vb[i] && probe(i)) {
-          stage.bit[i] = 1;
-          stage.val[i] = op(uv[i], vv[i]);
-          ++count;
-        }
+      for (std::ptrdiff_t pw = 0; pw < static_cast<std::ptrdiff_t>(nwords);
+           ++pw) {
+        count += static_cast<std::int64_t>(
+            word_kernel(static_cast<std::size_t>(pw)));
       }
       return static_cast<Index>(count);
     }
 #endif  // DSG_HAVE_OPENMP
-    for (Index i = 0; i < n; ++i) {
-      if (ub[i] && vb[i] && probe(i)) {
-        stage.bit[i] = 1;
-        stage.val[i] = op(uv[i], vv[i]);
-        ++nnz;
-      }
-    }
+    for (std::size_t wd = 0; wd < nwords; ++wd) nnz += word_kernel(wd);
     return nnz;
   }
 }
@@ -445,7 +489,7 @@ void ewise_mult(Context& ctx, Vector<W>& w, const Mask& mask,
         auto vv = v.values();
         for (std::size_t k = 0; k < vi.size(); ++k) {
           const Index i = vi[k];
-          if (ub[i] && probe(i)) {
+          if (detail::bitmap_test(ub.data(), i) && probe(i)) {
             zi.push_back(i);
             zv.push_back(op(uv[i], vv[k]));
           }
@@ -457,7 +501,7 @@ void ewise_mult(Context& ctx, Vector<W>& w, const Mask& mask,
         auto uv = u.values();
         for (std::size_t k = 0; k < ui.size(); ++k) {
           const Index i = ui[k];
-          if (vb[i] && probe(i)) {
+          if (detail::bitmap_test(vb.data(), i) && probe(i)) {
             zi.push_back(i);
             zv.push_back(op(uv[k], vv[i]));
           }

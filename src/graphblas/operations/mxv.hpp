@@ -217,7 +217,7 @@ Vector<Z> mxv_kernel(const SR& sr, const Matrix<A>& a, const Vector<U>& u,
       Z acc{};
       for (std::size_t x = 0; x < cols.size(); ++x) {
         const Index j = cols[x];
-        if (!ubit[j]) continue;
+        if (!detail::bitmap_test(ubit.data(), j)) continue;
         const Z p = static_cast<Z>(
             sr.mult(static_cast<A>(vals[x]), static_cast<U>(uval[j])));
         acc = any ? sr.add(acc, p) : p;

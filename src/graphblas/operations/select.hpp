@@ -8,9 +8,11 @@
 
 #include <vector>
 
+#include "graphblas/bitmap.hpp"
 #include "graphblas/descriptor.hpp"
 #include "graphblas/mask.hpp"
 #include "graphblas/matrix.hpp"
+#include "graphblas/operations/dense_compact.hpp"
 #include "graphblas/operations/pointwise_parallel.hpp"
 #include "graphblas/types.hpp"
 #include "graphblas/vector.hpp"
@@ -19,9 +21,12 @@ namespace grb {
 
 namespace detail {
 
-/// Dense-representation select kernel: the filter is a positional bitmap
-/// AND — no compaction, no index arrays.  Parallelizes positionally
-/// (bit-identical to serial for any thread count).
+/// Dense-representation select kernel: the filter is a word-packed bitmap
+/// AND — zero words skipped whole, the mask probe applied 64 lanes at a
+/// time via probe_writable_word, the predicate run only at candidate bits
+/// (ctz iteration) — staging a dense result, no compaction, no index
+/// arrays.  Parallelizes over contiguous word ranges (one writer per
+/// word), bit-identical to serial for any thread count.
 template <typename W, typename Probe, typename Accum, typename Pred,
           typename U>
 void select_vector_dense(Context& ctx, Vector<W>& w, const Probe& probe,
@@ -34,17 +39,31 @@ void select_vector_dense(Context& ctx, Vector<W>& w, const Probe& probe,
   if constexpr (!std::is_same_v<Probe, AlwaysFalseProbe>) {
     auto ubit = u.dense_bitmap();
     auto uval = u.dense_values();
+    const std::size_t nwords = ubit.size();
+    auto word_kernel = [&](std::size_t wd) -> Index {
+      const BitmapWord uw = ubit[wd];
+      if (uw == 0) return 0;  // whole-word skip of empty regions
+      const BitmapWord cand = uw & probe_writable_word(probe, wd, uw);
+      if (cand == 0) return 0;
+      BitmapWord m = 0;
+      bitmap_for_each_in_word(
+          cand, static_cast<Index>(wd) * kBitmapWordBits, [&](Index i) {
+            if (pred(static_cast<U>(uval[i]), i)) {
+              m |= BitmapWord{1} << (i & 63);
+              stage.val[i] = uval[i];
+            }
+          });
+      stage.bit[wd] = m;
+      return static_cast<Index>(std::popcount(m));
+    };
 #if defined(DSG_HAVE_OPENMP)
     if (n >= ctx.pointwise_parallel_threshold && omp_get_max_threads() > 1) {
       std::int64_t count = 0;
 #pragma omp parallel for schedule(static) reduction(+ : count)
-      for (std::ptrdiff_t pi = 0; pi < static_cast<std::ptrdiff_t>(n); ++pi) {
-        const auto i = static_cast<Index>(pi);
-        if (ubit[i] && probe(i) && pred(static_cast<U>(uval[i]), i)) {
-          stage.bit[i] = 1;
-          stage.val[i] = uval[i];
-          ++count;
-        }
+      for (std::ptrdiff_t pw = 0; pw < static_cast<std::ptrdiff_t>(nwords);
+           ++pw) {
+        count += static_cast<std::int64_t>(
+            word_kernel(static_cast<std::size_t>(pw)));
       }
       nnz = static_cast<Index>(count);
       masked_write_vector_dense(ctx, w, stage, nnz, probe, accum,
@@ -52,13 +71,7 @@ void select_vector_dense(Context& ctx, Vector<W>& w, const Probe& probe,
       return;
     }
 #endif  // DSG_HAVE_OPENMP
-    for (Index i = 0; i < n; ++i) {
-      if (ubit[i] && probe(i) && pred(static_cast<U>(uval[i]), i)) {
-        stage.bit[i] = 1;
-        stage.val[i] = uval[i];
-        ++nnz;
-      }
-    }
+    for (std::size_t wd = 0; wd < nwords; ++wd) nnz += word_kernel(wd);
   }
   masked_write_vector_dense(ctx, w, stage, nnz, probe, accum, desc.replace,
                             /*z_prefiltered=*/true);
@@ -81,6 +94,27 @@ void select(Context& ctx, Vector<W>& w, const Mask& mask, const Accum& accum,
 
   detail::with_vector_probe(mask, desc, w.size(), [&](const auto& probe) {
     if (u.is_dense()) {
+      // Low-selectivity filters (bucket extraction keeping a thin value
+      // range) produce sparse outputs; below the crossover the compacted
+      // kernel beats the dense stage (see dense_compact.hpp).  Results are
+      // bit-identical either way.
+      if constexpr (!std::is_same_v<std::decay_t<decltype(probe)>,
+                                    detail::AlwaysFalseProbe>) {
+        auto uval = u.dense_values();
+        auto keep = [&](Index i) {
+          return pred(static_cast<U>(uval[i]), i);
+        };
+        if (detail::dense_output_prefers_compaction(
+                ctx, u, [&](Index i) { return probe(i) && keep(i); })) {
+          Vector<U> z(u.size());
+          detail::compact_dense_to_sparse(ctx, z, u, probe, keep,
+                                          [&](Index i) { return uval[i]; });
+          detail::masked_write_vector(ctx, w, std::move(z), probe, accum,
+                                      desc.replace,
+                                      /*z_prefiltered=*/true);
+          return;
+        }
+      }
       detail::select_vector_dense(ctx, w, probe, accum, pred, u, desc);
       return;
     }

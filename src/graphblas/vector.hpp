@@ -4,11 +4,12 @@
 //   - sparse: two parallel arrays (indices ascending, values) — the classic
 //     compressed sparse vector.  Cheap to iterate and merge when few
 //     positions are stored.
-//   - dense: a contiguous value array of logical length n plus a validity
-//     bitmap (one byte per position).  Point access, mask probing, and
-//     point-wise kernels become O(1) per position with no sorted-merge
-//     overhead — the right shape for the nearly dense tentative-distance
-//     vector of delta-stepping.
+//   - dense: a contiguous value array of logical length n plus a
+//     word-packed validity bitmap (64 positions per std::uint64_t word, see
+//     bitmap.hpp).  Point access, mask probing, and point-wise kernels
+//     become O(1) per position with no sorted-merge overhead, bulk kernels
+//     read/AND/popcount 64 positions per load — the right shape for the
+//     nearly dense tentative-distance vector of delta-stepping.
 //
 // The representation is a *performance* property, never a semantic one: the
 // stored-element set and values are identical through either form, and
@@ -35,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "graphblas/bitmap.hpp"
 #include "graphblas/ops.hpp"
 #include "graphblas/types.hpp"
 
@@ -54,16 +56,27 @@ class Vector {
   /// An empty (no stored elements) vector of logical dimension n.
   explicit Vector(Index n) : size_(n) {}
 
-  /// A vector with every position stored, all equal to `fill`.
-  /// This mirrors the dense initialization `t = ∞` in delta-stepping, so it
-  /// is built directly in the dense representation.
-  static Vector full(Index n, const T& fill) {
+  /// A vector with every position stored, all equal to `fill`, built in the
+  /// requested representation.  This mirrors the dense initialization
+  /// `t = ∞` in delta-stepping, so the default is the dense form; callers
+  /// holding a Context should prefer full_vector(ctx, ...), which routes
+  /// the choice through the Context's representation policy instead of
+  /// hard-coding it.
+  static Vector full(Index n, const T& fill,
+                     StorageKind kind = StorageKind::kDense) {
     Vector v(n);
-    v.bit_.assign(n, 1);
-    v.dval_.assign(n, static_cast<storage_type>(fill));
-    v.dnv_ = n;
-    v.kind_ = StorageKind::kDense;
-    v.mirror_valid_ = false;
+    if (kind == StorageKind::kDense) {
+      v.bit_.assign(detail::bitmap_words(n), ~detail::BitmapWord{0});
+      if (!v.bit_.empty()) v.bit_.back() &= detail::bitmap_tail_mask(n);
+      v.dval_.assign(n, static_cast<storage_type>(fill));
+      v.dnv_ = n;
+      v.kind_ = StorageKind::kDense;
+      v.mirror_valid_ = false;
+    } else {
+      v.ind_.resize(n);
+      std::iota(v.ind_.begin(), v.ind_.end(), Index{0});
+      v.val_.assign(n, static_cast<storage_type>(fill));
+    }
     return v;
   }
 
@@ -126,11 +139,11 @@ class Vector {
   /// when already dense.  Logical content is unchanged.
   void to_dense() {
     if (kind_ == StorageKind::kDense) return;
-    bit_.assign(size_, 0);
+    bit_.assign(detail::bitmap_words(size_), 0);
     dval_.resize(size_);
     for (std::size_t k = 0; k < ind_.size(); ++k) {
-      const auto i = static_cast<std::size_t>(ind_[k]);
-      bit_[i] = 1;
+      const Index i = ind_[k];
+      detail::bitmap_set(bit_.data(), i);
       dval_[i] = val_[k];
     }
     dnv_ = static_cast<Index>(ind_.size());
@@ -172,12 +185,14 @@ class Vector {
   /// (GrB_Vector_resize semantics).
   void resize(Index n) {
     if (kind_ == StorageKind::kDense) {
+      bit_.resize(detail::bitmap_words(n), 0);
       if (n < size_) {
-        for (Index i = n; i < size_; ++i) {
-          if (bit_[i]) --dnv_;
-        }
+        // Dropped positions: zero the partial tail word and recount.  The
+        // popcount sweep is O(n/64); growth needs nothing, because the old
+        // tail's padding bits were already zero by invariant.
+        if (!bit_.empty()) bit_.back() &= detail::bitmap_tail_mask(n);
+        dnv_ = detail::bitmap_count(bit_);
       }
-      bit_.resize(n, 0);
       dval_.resize(n);
       mirror_valid_ = false;
       size_ = n;
@@ -197,10 +212,7 @@ class Vector {
   void set_element(Index i, const T& x) {
     detail::check_index(i, size_, "Vector::set_element");
     if (kind_ == StorageKind::kDense) {
-      if (!bit_[i]) {
-        bit_[i] = 1;
-        ++dnv_;
-      }
+      if (detail::bitmap_set(bit_.data(), i)) ++dnv_;
       dval_[i] = static_cast<storage_type>(x);
       mirror_valid_ = false;
       return;
@@ -220,8 +232,7 @@ class Vector {
   void remove_element(Index i) {
     detail::check_index(i, size_, "Vector::remove_element");
     if (kind_ == StorageKind::kDense) {
-      if (bit_[i]) {
-        bit_[i] = 0;
+      if (detail::bitmap_reset(bit_.data(), i)) {
         --dnv_;
         mirror_valid_ = false;
       }
@@ -238,7 +249,9 @@ class Vector {
   /// True if an element is stored at i.  O(1) on a dense vector.
   /// Total like the sparse form: out-of-range indices answer false.
   bool has_element(Index i) const {
-    if (kind_ == StorageKind::kDense) return i < size_ && bit_[i] != 0;
+    if (kind_ == StorageKind::kDense) {
+      return i < size_ && detail::bitmap_test(bit_.data(), i);
+    }
     auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
     return it != ind_.end() && *it == i;
   }
@@ -247,7 +260,9 @@ class Vector {
   /// with GrB_NO_VALUE mapped to nullopt).  O(1) on a dense vector.
   std::optional<T> extract_element(Index i) const {
     if (kind_ == StorageKind::kDense) {
-      if (i >= size_ || !bit_[i]) return std::nullopt;
+      if (i >= size_ || !detail::bitmap_test(bit_.data(), i)) {
+        return std::nullopt;
+      }
       return static_cast<T>(dval_[i]);
     }
     auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
@@ -276,10 +291,12 @@ class Vector {
     return val_;
   }
 
-  /// Dense-representation views.  Valid only while is_dense(): `bitmap()[i]`
-  /// is nonzero iff position i is stored, and `dense_values()[i]` is then
-  /// its value (unspecified where the bit is clear).
-  std::span<const unsigned char> dense_bitmap() const { return bit_; }
+  /// Dense-representation views.  Valid only while is_dense(): the bitmap
+  /// is word-packed (bit i & 63 of word i >> 6 is set iff position i is
+  /// stored — see bitmap.hpp; padding bits past size() are zero), and
+  /// `dense_values()[i]` is then its value (unspecified where the bit is
+  /// clear).
+  std::span<const detail::BitmapWord> dense_bitmap() const { return bit_; }
   std::span<const storage_type> dense_values() const { return dval_; }
 
   /// Dumps to (indices, values) (GrB_Vector_extractTuples).
@@ -294,8 +311,10 @@ class Vector {
   template <typename F>
   void for_each(F&& f) const {
     if (kind_ == StorageKind::kDense) {
-      for (Index i = 0; i < size_; ++i) {
-        if (bit_[i]) f(i, static_cast<T>(dval_[i]));
+      for (std::size_t w = 0; w < bit_.size(); ++w) {
+        detail::bitmap_for_each_in_word(
+            bit_[w], static_cast<Index>(w) * detail::kBitmapWordBits,
+            [&](Index i) { f(i, static_cast<T>(dval_[i])); });
       }
       return;
     }
@@ -309,8 +328,12 @@ class Vector {
   std::vector<T> to_dense_array(const T& fill = T{}) const {
     std::vector<T> out(static_cast<std::size_t>(size_), fill);
     if (kind_ == StorageKind::kDense) {
-      for (Index i = 0; i < size_; ++i) {
-        if (bit_[i]) out[static_cast<std::size_t>(i)] = static_cast<T>(dval_[i]);
+      for (std::size_t w = 0; w < bit_.size(); ++w) {
+        detail::bitmap_for_each_in_word(
+            bit_[w], static_cast<Index>(w) * detail::kBitmapWordBits,
+            [&](Index i) {
+              out[static_cast<std::size_t>(i)] = static_cast<T>(dval_[i]);
+            });
       }
       return out;
     }
@@ -366,9 +389,11 @@ class Vector {
   // Dense-representation bulk access, the bitmap counterparts of the above.
   // swap_dense_storage installs caller-built (bitmap, values, nnz) as the
   // new dense content and hands the previous dense buffers back for
-  // capacity ping-pong (empty when the vector was sparse).  `bitmap` and
-  // `values` must both have logical-dimension length.
-  void swap_dense_storage(std::vector<unsigned char>& bitmap,
+  // capacity ping-pong (empty when the vector was sparse).  `bitmap` must
+  // hold bitmap_words(size()) words with zero padding bits, `values`
+  // logical-dimension length.  Any lazily built sparse mirror is
+  // invalidated: the installed words are the new truth.
+  void swap_dense_storage(std::vector<detail::BitmapWord>& bitmap,
                           std::vector<storage_type>& values, Index nnz) {
     bit_.swap(bitmap);
     dval_.swap(values);
@@ -382,7 +407,7 @@ class Vector {
   /// scatter).  Valid only while is_dense(); the caller must keep bitmap,
   /// values, and the stored count consistent and finish with
   /// set_dense_nvals().
-  std::vector<unsigned char>& mutable_dense_bitmap() {
+  std::vector<detail::BitmapWord>& mutable_dense_bitmap() {
     mirror_valid_ = false;
     return bit_;
   }
@@ -407,11 +432,13 @@ class Vector {
     val_.clear();
     ind_.reserve(dnv_);
     val_.reserve(dnv_);
-    for (Index i = 0; i < size_; ++i) {
-      if (bit_[i]) {
-        ind_.push_back(i);
-        val_.push_back(dval_[i]);
-      }
+    for (std::size_t w = 0; w < bit_.size(); ++w) {
+      detail::bitmap_for_each_in_word(
+          bit_[w], static_cast<Index>(w) * detail::kBitmapWordBits,
+          [&](Index i) {
+            ind_.push_back(i);
+            val_.push_back(dval_[i]);
+          });
     }
     mirror_valid_ = true;
   }
@@ -439,10 +466,28 @@ class Vector {
   mutable std::vector<storage_type> val_;  // parallel to ind_
   mutable bool mirror_valid_ = true;
   // Dense representation (authoritative when kind_ == kDense).
-  std::vector<unsigned char> bit_;   // validity bitmap, one byte per position
-  std::vector<storage_type> dval_;   // values, length size_
-  Index dnv_ = 0;                    // number of set bits
+  std::vector<detail::BitmapWord> bit_;  // word-packed validity bitmap,
+                                         // bitmap_words(size_) words,
+                                         // padding bits zero
+  std::vector<storage_type> dval_;       // values, length size_
+  Index dnv_ = 0;                        // number of set bits
 };
+
+/// Builds a fully-stored vector in the representation `ctx`'s policy picks:
+/// dense while auto-switching is on (density 1.0 always clears the promote
+/// threshold), sparse when the caller pinned representations with
+/// auto_representation = false.  This is how algorithm code should create
+/// its `t = fill` vectors — Vector::full's hard-coded dense default would
+/// smuggle dense kernels into a pinned-sparse Context (the
+/// bench_solver_batch representation "off" leg).  Duck-typed on the Context
+/// like Context::manage_representation, to keep vector.hpp free of a
+/// context.hpp include.
+template <typename T, typename Ctx>
+Vector<T> full_vector(const Ctx& ctx, Index n, const T& fill) {
+  return Vector<T>::full(n, fill,
+                         ctx.auto_representation ? StorageKind::kDense
+                                                 : StorageKind::kSparse);
+}
 
 /// Debug/logging helper.
 template <typename T>

@@ -12,6 +12,7 @@
 #include "graphblas/graphblas.hpp"
 #include "sssp/delta_stepping_graphblas.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/plan.hpp"
 
 namespace {
 
@@ -216,6 +217,98 @@ TEST(Representation, BfsParentsSurviveFrontierAutoPromotion) {
   ASSERT_EQ(parents.size(), n);
   for (Index v = 1; v <= 6; ++v) EXPECT_EQ(parents[v], 0u) << "vertex " << v;
   for (Index v = 7; v <= 11; ++v) EXPECT_EQ(parents[v], 1u) << "vertex " << v;
+}
+
+// ---------------------------------------------------------------------------
+// Word-packed bitmap edge cases: sizes straddling the 64-position word
+// boundary, where tail-masking and the popcount recount can go wrong.
+// ---------------------------------------------------------------------------
+
+TEST(Representation, ResizeAcrossWordBoundaries) {
+  for (Index n : {Index{63}, Index{64}, Index{65}, Index{127}, Index{128}}) {
+    for (bool dense : {false, true}) {
+      // Shrink to every interesting boundary: the stored count must be
+      // recounted (dense: via popcount after tail-masking the last word)
+      // and the content must equal the sparse-truncated reference.
+      for (Index m : {Index{0}, Index{1}, Index{32}, Index{63}, Index{64},
+                      Index{65}, n - 1, n}) {
+        if (m > n) continue;
+        auto v = random_vector(n, 0.7, 100 + n);
+        auto ref = v;  // stays sparse
+        if (dense) v.to_dense();
+        v.resize(m);
+        ref.resize(m);
+        EXPECT_EQ(v.size(), m) << "n=" << n << " m=" << m << " dense=" << dense;
+        EXPECT_EQ(v.nvals(), ref.nvals())
+            << "n=" << n << " m=" << m << " dense=" << dense;
+        expect_identical(v, ref);
+
+        // Grow back past the next word boundary: dimension changes, the
+        // stored set must not (grown positions are absent).
+        const Index g = m + 65;
+        v.resize(g);
+        ref.resize(g);
+        EXPECT_EQ(v.size(), g);
+        EXPECT_EQ(v.nvals(), ref.nvals());
+        EXPECT_FALSE(v.has_element(g - 1));
+        expect_identical(v, ref);
+      }
+
+      // clear() canonicalizes to sparse regardless of word alignment.
+      auto v = random_vector(n, 0.9, 200 + n);
+      if (dense) v.to_dense();
+      v.clear();
+      EXPECT_EQ(v.nvals(), 0u);
+      EXPECT_FALSE(v.is_dense());
+      EXPECT_EQ(v.size(), n);
+    }
+  }
+}
+
+TEST(Representation, RoundTripAtWordBoundarySizes) {
+  for (Index n : {Index{63}, Index{64}, Index{65}, Index{127}, Index{128}}) {
+    auto v = random_vector(n, 0.8, 300 + n);
+    auto original = v;
+    v.to_dense();
+    EXPECT_EQ(v.nvals(), original.nvals()) << "n=" << n;
+    expect_identical(v, original);
+    // The last logical position is exercised explicitly: it lives in the
+    // tail word whose padding bits must stay zero.
+    v.set_element(n - 1, 42.0);
+    v.remove_element(n - 1);
+    EXPECT_FALSE(v.has_element(n - 1));
+    v.to_sparse();
+    original.remove_element(n - 1);
+    expect_identical(v, original);
+  }
+}
+
+TEST(Representation, SwapDenseStorageInvalidatesStaleMirror) {
+  const Index n = 130;  // two full words + a 2-bit tail
+  auto v = random_vector(n, 0.8, 41);
+  v.to_dense();
+  // Materialize the sparse mirror, then install entirely new dense content
+  // behind its back: the old mirror must not leak through any
+  // sorted-coordinate accessor.
+  ASSERT_GT(v.indices().size(), 0u);
+  std::vector<grb::detail::BitmapWord> bm(grb::detail::bitmap_words(n), 0);
+  std::vector<double> vals(n, 0.0);
+  Index nnz = 0;
+  for (Index i = 0; i < n; i += 2) {
+    grb::detail::bitmap_set(bm.data(), i);
+    vals[i] = static_cast<double>(i);
+    ++nnz;
+  }
+  v.swap_dense_storage(bm, vals, nnz);
+  EXPECT_TRUE(v.is_dense());
+  EXPECT_EQ(v.nvals(), nnz);
+  auto idx = v.indices();
+  auto val = v.values();
+  ASSERT_EQ(idx.size(), static_cast<std::size_t>(nnz));
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    EXPECT_EQ(idx[k], static_cast<Index>(2 * k));
+    EXPECT_DOUBLE_EQ(val[k], static_cast<double>(2 * k));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -552,9 +645,14 @@ TEST(RepresentationParity, ReduceExtractAssignOverDense) {
 }
 
 TEST(RepresentationParity, ParallelDenseKernelsMatchSerial) {
-  // Lowering pointwise_parallel_threshold forces the OpenMP positional
-  // kernels (no-op gate when built without OpenMP); results must be
-  // bit-identical to the serial sweep for any thread count.
+  // Lowering pointwise_parallel_threshold forces the OpenMP kernels (no-op
+  // gate when built without OpenMP); results must be bit-identical to the
+  // serial sweep for any thread count.  The dense-output heuristic is
+  // pinned to each of its two paths in turn — crossover 0 forces the
+  // word-packed dense stage, 1 forces the compaction kernel — so both
+  // parallel kernels are exercised deterministically (the sampling
+  // estimator must never decide what this test covers), and the two paths
+  // are pinned against each other at the end.
   const Index n = 5000;
   auto u = random_vector(n, 0.8, 30);
   auto v = random_vector(n, 0.7, 31);
@@ -563,34 +661,148 @@ TEST(RepresentationParity, ParallelDenseKernelsMatchSerial) {
   auto mask = random_mask(n, 0.5, 32);
   mask.to_dense();
 
-  grb::Context serial, parallel;
+  auto op = [](double x) { return x * 2.0; };
+  auto pred = [](double x, Index) { return x < 5.0; };
+
+  grb::Vector<double> apply_by_crossover[2]{grb::Vector<double>(n),
+                                            grb::Vector<double>(n)};
+  grb::Vector<double> select_by_crossover[2]{grb::Vector<double>(n),
+                                             grb::Vector<double>(n)};
+  int leg = 0;
+  for (double crossover : {0.0, 1.0}) {
+    grb::Context serial, parallel;
+    serial.pointwise_parallel_threshold = n + 1;
+    parallel.pointwise_parallel_threshold = 1;
+    serial.dense_output_crossover = crossover;
+    parallel.dense_output_crossover = crossover;
+
+    grb::Vector<double> w1(n), w2(n);
+    grb::apply(serial, w1, mask, grb::NoAccumulate{}, op, u,
+               grb::replace_desc);
+    grb::apply(parallel, w2, mask, grb::NoAccumulate{}, op, u,
+               grb::replace_desc);
+    expect_identical(w1, w2);
+    apply_by_crossover[leg] = w1;
+
+    grb::Vector<double> s1(n), s2(n);
+    grb::select(serial, s1, grb::NoMask{}, grb::NoAccumulate{}, pred, u);
+    grb::select(parallel, s2, grb::NoMask{}, grb::NoAccumulate{}, pred, u);
+    expect_identical(s1, s2);
+    select_by_crossover[leg] = s1;
+
+    grb::Vector<double> a1(n), a2(n), m1(n), m2(n);
+    grb::ewise_add(serial, a1, grb::NoMask{}, grb::NoAccumulate{},
+                   grb::Min<double>{}, u, v);
+    grb::ewise_add(parallel, a2, grb::NoMask{}, grb::NoAccumulate{},
+                   grb::Min<double>{}, u, v);
+    expect_identical(a1, a2);
+    grb::ewise_mult(serial, m1, grb::NoMask{}, grb::NoAccumulate{},
+                    grb::Times<double>{}, u, v);
+    grb::ewise_mult(parallel, m2, grb::NoMask{}, grb::NoAccumulate{},
+                    grb::Times<double>{}, u, v);
+    expect_identical(m1, m2);
+    ++leg;
+  }
+  // Dense stage (crossover 0) and compaction (crossover 1) are the same
+  // logical operation: outputs must match exactly.
+  expect_identical(apply_by_crossover[0], apply_by_crossover[1]);
+  expect_identical(select_by_crossover[0], select_by_crossover[1]);
+}
+
+TEST(RepresentationParity, MixedEwiseAddParallelMatchesSerial) {
+  // The mixed dense/sparse union merge has its own word-blocked OpenMP
+  // kernel (sparse cursors rebound per chunk): pin it against the serial
+  // sweep in both operand orders and against the all-sparse reference.
+  const Index n = 5000;
+  auto dense_side = random_vector(n, 0.8, 35);
+  auto sparse_side = random_vector(n, 0.1, 36);
+  auto ref_u = dense_side;
+  auto ref_v = sparse_side;
+  dense_side.to_dense();
+
+  grb::Context serial, parallel, plain;
   serial.pointwise_parallel_threshold = n + 1;
   parallel.pointwise_parallel_threshold = 1;
 
-  auto op = [](double x) { return x * 2.0; };
-  grb::Vector<double> w1(n), w2(n);
-  grb::apply(serial, w1, mask, grb::NoAccumulate{}, op, u, grb::replace_desc);
-  grb::apply(parallel, w2, mask, grb::NoAccumulate{}, op, u,
-             grb::replace_desc);
-  expect_identical(w1, w2);
+  grb::Vector<double> r(n);
+  grb::ewise_add(plain, r, grb::NoMask{}, grb::NoAccumulate{},
+                 grb::Min<double>{}, ref_u, ref_v);
+  for (bool dense_first : {true, false}) {
+    grb::Vector<double> w1(n), w2(n);
+    if (dense_first) {
+      grb::ewise_add(serial, w1, grb::NoMask{}, grb::NoAccumulate{},
+                     grb::Min<double>{}, dense_side, sparse_side);
+      grb::ewise_add(parallel, w2, grb::NoMask{}, grb::NoAccumulate{},
+                     grb::Min<double>{}, dense_side, sparse_side);
+    } else {
+      grb::ewise_add(serial, w1, grb::NoMask{}, grb::NoAccumulate{},
+                     grb::Min<double>{}, sparse_side, dense_side);
+      grb::ewise_add(parallel, w2, grb::NoMask{}, grb::NoAccumulate{},
+                     grb::Min<double>{}, sparse_side, dense_side);
+    }
+    expect_identical(w1, w2);
+    EXPECT_EQ(w1, r) << "mixed merge disagrees with the sparse reference";
+  }
+}
 
-  auto pred = [](double x, Index) { return x < 5.0; };
-  grb::Vector<double> s1(n), s2(n);
-  grb::select(serial, s1, grb::NoMask{}, grb::NoAccumulate{}, pred, u);
-  grb::select(parallel, s2, grb::NoMask{}, grb::NoAccumulate{}, pred, u);
-  expect_identical(s1, s2);
+TEST(Representation, FullVectorFollowsContextPolicy) {
+  // Vector::full defaults to dense, but full_vector routes the choice
+  // through the Context: a pinned-sparse Context must get the sparse form,
+  // or the "representation off" benchmark leg silently runs dense kernels.
+  grb::Context on, off;
+  off.auto_representation = false;
 
-  grb::Vector<double> a1(n), a2(n), m1(n), m2(n);
-  grb::ewise_add(serial, a1, grb::NoMask{}, grb::NoAccumulate{},
-                 grb::Min<double>{}, u, v);
-  grb::ewise_add(parallel, a2, grb::NoMask{}, grb::NoAccumulate{},
-                 grb::Min<double>{}, u, v);
-  expect_identical(a1, a2);
-  grb::ewise_mult(serial, m1, grb::NoMask{}, grb::NoAccumulate{},
-                  grb::Times<double>{}, u, v);
-  grb::ewise_mult(parallel, m2, grb::NoMask{}, grb::NoAccumulate{},
-                  grb::Times<double>{}, u, v);
-  expect_identical(m1, m2);
+  auto a = grb::full_vector(on, Index{100}, 1.5);
+  EXPECT_TRUE(a.is_dense());
+  auto b = grb::full_vector(off, Index{100}, 1.5);
+  EXPECT_FALSE(b.is_dense());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.nvals(), 100u);
+
+  auto c = grb::Vector<double>::full(100, 1.5, grb::StorageKind::kSparse);
+  EXPECT_FALSE(c.is_dense());
+  expect_identical(b, c);
+
+  // Ops over the policy-built vector keep the off context sparse end to
+  // end: no write phase installs a dense result.
+  grb::Vector<double> w(100);
+  grb::apply(off, w, grb::NoMask{}, grb::NoAccumulate{},
+             grb::Identity<double>{}, b);
+  EXPECT_EQ(off.dense_writes, 0u);
+  EXPECT_FALSE(w.is_dense());
+}
+
+TEST(Representation, AutoOffSsspLegStaysSparseThroughout) {
+  // Regression pin for the bench_solver_batch representation on/off record:
+  // the "off" leg (auto_representation = false, nothing explicitly
+  // densified) must never run a dense write phase, while the "on" leg on
+  // the same plan must — otherwise the two rows measure the same thing.
+  const Index n = 64;
+  std::mt19937_64 rng(22);
+  std::uniform_int_distribution<Index> pick(0, n - 1);
+  std::uniform_real_distribution<double> wd(0.5, 2.0);
+  std::vector<Index> r, c;
+  std::vector<double> vals;
+  for (int k = 0; k < 500; ++k) {
+    r.push_back(pick(rng));
+    c.push_back(pick(rng));
+    vals.push_back(wd(rng));
+  }
+  auto a = grb::Matrix<double>::build(n, n, r, c, vals, grb::Min<double>{});
+  auto plan = dsg::GraphPlan::borrow(a, 1.0);
+  dsg::ExecOptions exec;
+
+  grb::Context ctx_off;
+  ctx_off.auto_representation = false;
+  const auto off = dsg::delta_stepping_graphblas(plan, ctx_off, 0, exec);
+  EXPECT_EQ(ctx_off.dense_writes, 0u)
+      << "the pinned-sparse leg ran dense kernels";
+
+  grb::Context ctx_on;
+  const auto on = dsg::delta_stepping_graphblas(plan, ctx_on, 0, exec);
+  EXPECT_GT(ctx_on.dense_writes, 0u)
+      << "the auto leg never went dense — the record compares nothing";
+  EXPECT_EQ(off.dist, on.dist);
 }
 
 TEST(RepresentationParity, SsspEndToEndWithAutoSwitching) {
