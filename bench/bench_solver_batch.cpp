@@ -26,6 +26,7 @@
 
 #include "bench_common.hpp"
 #include "bench_support/reporter.hpp"
+#include "sssp/async/async_stepping.hpp"
 #include "sssp/bellman_ford.hpp"
 #include "sssp/delta_stepping_buckets.hpp"
 #include "sssp/delta_stepping_capi.hpp"
@@ -67,6 +68,15 @@ SsspResult legacy_call(Algorithm algorithm, const grb::Matrix<double>& a,
       return bellman_ford(a, source);
     case Algorithm::kDijkstra:
       return dijkstra(a, source);
+    case Algorithm::kRhoStepping: {
+      AsyncSteppingOptions async_opt;
+      return rho_stepping(a, source, async_opt);
+    }
+    case Algorithm::kDeltaSteppingAsync: {
+      AsyncSteppingOptions async_opt;
+      async_opt.delta = delta;
+      return delta_stepping_async(a, source, async_opt);
+    }
   }
   std::cerr << "unknown algorithm\n";
   std::exit(2);

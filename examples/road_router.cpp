@@ -59,8 +59,14 @@ int main(int argc, char** argv) {
   const auto route = extract_path(result.parent, from, to);
 
   auto coord = [&](Index v) {
-    return "(" + std::to_string(v % width) + "," + std::to_string(v / width) +
-           ")";
+    // Named-string concat: the `"(" + std::string&&` rvalue operator+ chain
+    // trips a GCC 12 -O3 -Wrestrict false positive under -Werror.
+    std::string s = "(";
+    s += std::to_string(v % width);
+    s += ",";
+    s += std::to_string(v / width);
+    s += ")";
+    return s;
   };
   std::cout << "grid " << width << "x" << height << ", "
             << a->nvals() << " directed road segments\n";

@@ -56,6 +56,16 @@
 #                  bench_solver_batch table 3: the unfused GraphBLAS
 #                  variant with Vector density auto-switching on vs off
 #                  (record only — the dense-path gate is spmspv_pointwise).
+#   async_scaling  bench_fig4_scaling: per-graph, per-engine self-relative
+#                  thread speedups for every registry variant flagged
+#                  `threaded` (openmp / rho_stepping / delta_stepping_async;
+#                  t1_ms plus Nt_speedup columns).  Additive key — does not
+#                  bump the schema.  --check gates: best *async* self-speedup
+#                  at the largest thread count >= best deterministic
+#                  engine's on grid-128x128 / rmat-16; auto-skipped (noted
+#                  on stderr) on hosts with fewer hardware threads than the
+#                  sweep asks for, where "scaling" would measure
+#                  oversubscription contention.
 #
 # Regenerating and gating: run `scripts/bench_baseline.sh` on an idle
 # machine and commit the rewritten BENCH_sssp.json alongside the change
@@ -84,7 +94,7 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
   -DDSG_BUILD_TESTS=OFF -DDSG_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target bench_fig3_fusion bench_delta_sweep bench_spmspv \
-           bench_solver_batch
+           bench_solver_batch bench_fig4_scaling
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -94,11 +104,14 @@ if [[ "$QUICK" -eq 1 ]]; then
   SWEEP_ARGS=(--graphs 2 --deltas "0.5,1,2")
   SPMSPV_ARGS=(--n 65536 --deg 4)
   BATCH_ARGS=(--graphs 3)
+  FIG4_ARGS=(--graphs 3)
 else
   FIG3_ARGS=(--graphs 6)
   SWEEP_ARGS=(--graphs 3)
   SPMSPV_ARGS=()
   BATCH_ARGS=(--graphs 6)
+  # 6 graphs reaches grid-128x128, the first async-scaling gate graph.
+  FIG4_ARGS=(--graphs 6)
 fi
 
 "$BUILD_DIR/bench/bench_fig3_fusion" "${FIG3_ARGS[@]}" --csv \
@@ -115,6 +128,12 @@ fi
 # fails this script (and the CI bench-smoke job).
 "$BUILD_DIR/bench/bench_solver_batch" "${BATCH_ARGS[@]}" --csv --check \
   > "$OUT_DIR/solver_batch.csv"
+# --check is the async-scaling gate (see the async_scaling schema note):
+# best async self-speedup >= best deterministic engine's at the largest
+# thread count on the gate graphs; skipped with a stderr note on hosts too
+# narrow to measure scaling honestly.
+"$BUILD_DIR/bench/bench_fig4_scaling" "${FIG4_ARGS[@]}" --csv --check \
+  > "$OUT_DIR/fig4.csv"
 
 python3 - "$OUT_DIR" "$QUICK" <<'PY'
 import csv, json, platform, os, subprocess, sys
@@ -200,6 +219,9 @@ doc = {
         batch_tables[1] if len(batch_tables) > 1 else [],
     "solver_batch_representation":
         batch_tables[2] if len(batch_tables) > 2 else [],
+    # Registry-driven thread scaling: one row per (graph, threaded engine),
+    # self-relative speedups per thread count.
+    "async_scaling": read_table(os.path.join(out_dir, "fig4.csv")),
 }
 with open("BENCH_sssp.json", "w") as f:
     json.dump(doc, f, indent=2)

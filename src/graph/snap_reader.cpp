@@ -22,7 +22,18 @@ SnapReadResult read_snap(std::istream& in) {
     if (src < 0 || dst < 0) {
       throw grb::InvalidValue("SNAP: negative vertex id in '" + line + "'");
     }
-    ls >> w;  // optional; keeps default 1.0 on failure
+    // The weight column is optional, but "absent" and "present but
+    // garbage" are different cases: a row like "0 1 xyz" must be a parse
+    // error (matching matrix_market.cpp's strictness on its value field),
+    // not a silent unit weight.
+    if (!(ls >> w)) {
+      ls.clear();
+      std::string garbage;
+      if (ls >> garbage) {
+        throw grb::InvalidValue("SNAP: bad weight in '" + line + "'");
+      }
+      w = 1.0;  // column truly absent
+    }
 
     auto intern = [&](Index original) {
       auto [it, inserted] =

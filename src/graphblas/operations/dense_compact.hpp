@@ -32,9 +32,14 @@
 namespace grb::detail {
 
 /// Estimated fraction of u's stored entries that pass `keep(i)`, from up to
-/// ~256 samples spread evenly over the bitmap words (first set bit of each
-/// sampled word).  Deterministic — fixed stride, no RNG — so repeated runs
-/// take the same kernel path.  `u` must be in the dense representation.
+/// ~256 samples spread evenly over the bitmap words.  Within each sampled
+/// word the probed bit *rotates* (the first set bit at or cyclically after
+/// sample-counter mod 64): probing a fixed intra-word position — e.g.
+/// always the first set bit — skews the estimate whenever keep-probability
+/// correlates with i mod 64, which structured inputs (grids, strided
+/// frontiers) routinely produce.  Deterministic — fixed stride, no RNG —
+/// so repeated runs take the same kernel path.  `u` must be in the dense
+/// representation.
 template <typename U, typename Keep>
 double sampled_keep_fraction(const Vector<U>& u, const Keep& keep) {
   auto ubit = u.dense_bitmap();
@@ -42,12 +47,17 @@ double sampled_keep_fraction(const Vector<U>& u, const Keep& keep) {
   if (nwords == 0 || u.nvals() == 0) return 0.0;
   constexpr std::size_t kTargetSamples = 256;
   const std::size_t stride = std::max<std::size_t>(1, nwords / kTargetSamples);
-  std::size_t samples = 0, hits = 0;
-  for (std::size_t wd = 0; wd < nwords; wd += stride) {
+  std::size_t samples = 0, hits = 0, probe = 0;
+  for (std::size_t wd = 0; wd < nwords; wd += stride, ++probe) {
     const BitmapWord word = ubit[wd];
     if (word == 0) continue;
+    // First set bit at or cyclically after the rotating start offset.
+    const int start = static_cast<int>(probe % kBitmapWordBits);
+    const int off =
+        (start + std::countr_zero(std::rotr(word, start))) %
+        static_cast<int>(kBitmapWordBits);
     const Index i = static_cast<Index>(wd) * kBitmapWordBits +
-                    static_cast<Index>(std::countr_zero(word));
+                    static_cast<Index>(off);
     ++samples;
     if (keep(i)) ++hits;
   }

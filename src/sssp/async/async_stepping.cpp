@@ -1,0 +1,443 @@
+// async_stepping.cpp — the shared lock-free engine behind rho_stepping and
+// delta_stepping_async.  See async_stepping.hpp for the execution model and
+// write_min.hpp for the memory-ordering contract.
+//
+// Threading layout: one std::barrier with two arrive_and_wait points per
+// round.  Workers relax between the round start and the first barrier;
+// thread 0 then runs the round bookkeeping (termination test, sparse/dense
+// mode decision, theta computation, buffer swap) alone between the two
+// barriers while the other workers are parked inside the second wait — so
+// the bookkeeping mutates plain (non-atomic) shared state without races,
+// and the barrier's release/acquire edge publishes it to everyone.
+#include "sssp/async/async_stepping.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <barrier>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graphblas/context.hpp"
+#include "sssp/async/write_min.hpp"
+
+namespace dsg {
+
+namespace {
+
+/// Per-thread eager queue depth (the PASGAL local-queue idiom): freshly
+/// improved vertices are relaxed in-round, skipping a frontier round trip.
+constexpr int kLocalQueueSize = 128;
+/// Strided-sampling budget for frontier-size and rho-quantile estimation.
+constexpr Index kSampleTarget = 1024;
+/// Work-stealing grab sizes: list entries per claim (sparse rounds) and
+/// vertex-range width per claim (dense sweeps).
+constexpr Index kGrabSparse = 256;
+constexpr Index kGrabDense = 2048;
+/// Frontier density (estimated) at which the next round switches from the
+/// sparse list traversal to the dense flag sweep.
+constexpr Index kDenseFractionDivisor = 16;
+
+/// O(n) engine state parked in the executing grb::Context so repeated
+/// solves (benchmark reps, batches) reuse capacity.  Invariant between
+/// solves: both flag arrays are all-zero — every round clears the flags it
+/// consumes, and a solve only terminates once the frontier is empty.
+struct AsyncWorkspace {
+  Index n = 0;
+  std::unique_ptr<std::atomic<double>[]> dist;
+  std::unique_ptr<std::atomic<unsigned char>[]> flags0, flags1;
+  std::vector<Index> list0, list1;
+  std::vector<double> samples;  // theta-quantile scratch (coordinator only)
+
+  void ensure(Index n_now) {
+    if (n == n_now && dist) return;
+    n = n_now;
+    dist = std::make_unique<std::atomic<double>[]>(n_now);
+    // Value-initialized: all-zero, satisfying the between-solves invariant.
+    flags0 = std::make_unique<std::atomic<unsigned char>[]>(n_now);
+    flags1 = std::make_unique<std::atomic<unsigned char>[]>(n_now);
+    list0.assign(n_now, 0);
+    list1.assign(n_now, 0);
+  }
+};
+
+enum class Mode { kSparse, kDense };
+
+/// Thread-local round state: the eager queue plus counters merged into the
+/// shared accumulators at the end of every round.
+struct Local {
+  std::array<Index, kLocalQueueSize> queue;
+  int qsize = 0;
+  std::uint64_t processed = 0;
+  double next_min = kInfDist;
+};
+
+struct Engine {
+  // Immutable CSR view + policy, set once before any thread starts.
+  std::span<const Index> row_ptr, col_ind;
+  std::span<const double> val;
+  Index n = 0;
+  bool use_delta = false;  ///< true: delta_stepping_async; false: rho
+  double delta = 1.0;
+  Index rho = 0;
+
+  // Shared concurrent state (atomics: touched by all workers in-round).
+  std::atomic<double>* dist = nullptr;
+  std::atomic<unsigned char>* cur_flags = nullptr;
+  std::atomic<unsigned char>* nxt_flags = nullptr;
+  Index* cur_list = nullptr;
+  Index* nxt_list = nullptr;
+  std::atomic<Index> nxt_cursor{0};     ///< sparse bag append position
+  std::atomic<unsigned char> nxt_nonempty{0};  ///< dense-mode liveness latch
+  std::atomic<double> nxt_min{kInfDist};       ///< min candidate seen for next
+  std::atomic<Index> work_cursor{0};    ///< work-stealing claim position
+  std::atomic<std::uint64_t> processed_round{0};
+
+  // Round configuration: written only by thread 0 between the two round
+  // barriers (all other workers are parked in the second wait), read by
+  // everyone after it — the barrier edge orders the plain accesses.
+  Mode traverse_mode = Mode::kSparse;
+  Mode insert_mode = Mode::kSparse;
+  Index cur_size = 0;  ///< exact in sparse rounds, estimated in dense ones
+  double theta = kInfDist;
+  bool theta_inclusive = false;  ///< rho: process <= theta; delta: < theta
+  bool done = false;
+
+  AsyncWorkspace* ws = nullptr;
+  SsspStats stats;  // coordinator-owned
+
+  // --- shared concurrent bag ----------------------------------------------
+
+  /// Publishes v (at candidate distance dv) into the next frontier.  The
+  /// flag array both deduplicates the sparse append list and *is* the
+  /// frontier in dense rounds.
+  void insert_next(Index v, double dv, Local& loc) {
+    loc.next_min = std::min(loc.next_min, dv);
+    if (insert_mode == Mode::kSparse) {
+      if (nxt_flags[v].exchange(1, std::memory_order_relaxed) == 0) {
+        nxt_list[nxt_cursor.fetch_add(1, std::memory_order_relaxed)] = v;
+      }
+    } else {
+      // Dense rounds skip the list: the flag is idempotent, so a plain
+      // test-and-set (no RMW) avoids cursor contention on huge frontiers.
+      if (nxt_flags[v].load(std::memory_order_relaxed) == 0) {
+        nxt_flags[v].store(1, std::memory_order_relaxed);
+      }
+      if (nxt_nonempty.load(std::memory_order_relaxed) == 0) {
+        nxt_nonempty.store(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // --- relaxation core ----------------------------------------------------
+
+  /// Relaxes u if its distance falls inside this round's theta window,
+  /// else defers it to the next frontier.  Every successful write_min
+  /// re-enqueues its target (locally when there is room, otherwise into
+  /// the shared bag), which is the invariant that makes quiescence the
+  /// min-plus fixed point: no improvement is ever dropped.
+  void handle(Index u, Local& loc) {
+    const double du = dist[u].load(std::memory_order_relaxed);
+    const bool in_window = theta_inclusive ? du <= theta : du < theta;
+    if (!in_window) {
+      insert_next(u, du, loc);
+      return;
+    }
+    ++loc.processed;
+    const Index hi = row_ptr[u + 1];
+    for (Index k = row_ptr[u]; k < hi; ++k) {
+      const Index v = col_ind[k];
+      const double cand = du + val[k];
+      if (async::write_min(dist[v], cand)) {
+        if (loc.qsize < kLocalQueueSize) {
+          loc.queue[static_cast<std::size_t>(loc.qsize++)] = v;
+        } else {
+          insert_next(v, cand, loc);
+        }
+      }
+    }
+  }
+
+  void drain(Local& loc) {
+    while (loc.qsize > 0) handle(loc.queue[static_cast<std::size_t>(--loc.qsize)], loc);
+  }
+
+  /// One worker's share of a round: claim frontier blocks through the
+  /// work cursor until the frontier is exhausted, then merge the local
+  /// counters into the shared round accumulators.
+  void run_round(Local& loc) {
+    if (traverse_mode == Mode::kSparse) {
+      for (;;) {
+        const Index start =
+            work_cursor.fetch_add(kGrabSparse, std::memory_order_relaxed);
+        if (start >= cur_size) break;
+        const Index end = std::min(cur_size, start + kGrabSparse);
+        for (Index i = start; i < end; ++i) {
+          const Index u = cur_list[i];
+          // Clear as we consume: the array must be all-zero by round end
+          // so the swap can reuse it as the next-frontier flags.
+          cur_flags[u].store(0, std::memory_order_relaxed);
+          handle(u, loc);
+          drain(loc);
+        }
+      }
+    } else {
+      for (;;) {
+        const Index start =
+            work_cursor.fetch_add(kGrabDense, std::memory_order_relaxed);
+        if (start >= n) break;
+        const Index end = std::min(n, start + kGrabDense);
+        for (Index u = start; u < end; ++u) {
+          if (cur_flags[u].load(std::memory_order_relaxed) != 0) {
+            cur_flags[u].store(0, std::memory_order_relaxed);
+            handle(u, loc);
+            drain(loc);
+          }
+        }
+      }
+    }
+    processed_round.fetch_add(loc.processed, std::memory_order_relaxed);
+    loc.processed = 0;
+    if (loc.next_min < kInfDist) {
+      async::write_min(nxt_min, loc.next_min);
+      loc.next_min = kInfDist;
+    }
+  }
+
+  // --- round bookkeeping (thread 0 only, between the round barriers) ------
+
+  Index dense_threshold() const {
+    return std::max<Index>(Index{1}, n / kDenseFractionDivisor);
+  }
+
+  /// Sampled frontier-size estimate over the dense flag array: the same
+  /// deterministic strided-probe idiom as Context::dense_output_crossover
+  /// (no RNG, fixed stride), scaled back to the full domain.
+  Index estimate_dense_size() const {
+    const Index stride = std::max<Index>(Index{1}, n / kSampleTarget);
+    Index probes = 0, hits = 0;
+    for (Index v = 0; v < n; v += stride) {
+      ++probes;
+      hits += nxt_flags[v].load(std::memory_order_relaxed) != 0 ? 1u : 0u;
+    }
+    return static_cast<Index>(static_cast<double>(hits) /
+                              static_cast<double>(probes) *
+                              static_cast<double>(n));
+  }
+
+  /// Dense -> sparse transition: materialize the flag array as a list.
+  /// Serial (coordinator-only) O(n); transitions are rare — a frontier
+  /// shrinking back through the density threshold near the end of a solve.
+  Index pack_dense_to_list() {
+    Index count = 0;
+    for (Index v = 0; v < n; ++v) {
+      if (nxt_flags[v].load(std::memory_order_relaxed) != 0) {
+        nxt_list[count++] = v;
+      }
+    }
+    return count;
+  }
+
+  /// theta for the upcoming round, computed against the *current* (just
+  /// swapped-in) frontier.  frontier_min is the smallest candidate
+  /// recorded while the frontier was filled — an upper bound on the true
+  /// minimum (in-round improvements can undercut their recorded value),
+  /// which only coarsens the window: theta stays strictly above the true
+  /// minimum, so the minimum vertex is always processed and settles.
+  double compute_theta(double frontier_min) {
+    if (use_delta) {
+      return (std::floor(frontier_min / delta) + 1.0) * delta;
+    }
+    if (cur_size <= rho) return kInfDist;
+    // rho-quantile of sampled frontier distances (PASGAL's heuristic):
+    // process roughly the rho closest vertices this round.
+    auto& buf = ws->samples;
+    buf.clear();
+    if (traverse_mode == Mode::kSparse) {
+      const Index stride = std::max<Index>(Index{1}, cur_size / kSampleTarget);
+      for (Index i = 0; i < cur_size; i += stride) {
+        buf.push_back(dist[cur_list[i]].load(std::memory_order_relaxed));
+      }
+    } else {
+      const Index stride = std::max<Index>(Index{1}, n / kSampleTarget);
+      for (Index v = 0; v < n; v += stride) {
+        if (cur_flags[v].load(std::memory_order_relaxed) != 0) {
+          buf.push_back(dist[v].load(std::memory_order_relaxed));
+        }
+      }
+    }
+    if (buf.empty()) return kInfDist;
+    std::size_t k = static_cast<std::size_t>(
+        static_cast<double>(rho) / static_cast<double>(cur_size) *
+        static_cast<double>(buf.size()));
+    if (k >= buf.size()) k = buf.size() - 1;
+    std::nth_element(buf.begin(),
+                     buf.begin() + static_cast<std::ptrdiff_t>(k), buf.end());
+    // The quantile is a frontier member's distance, hence >= the true
+    // minimum; the inclusive window (<= theta) then guarantees progress.
+    return buf[k];
+  }
+
+  void coordinate() {
+    ++stats.outer_iterations;
+    const std::uint64_t processed =
+        processed_round.load(std::memory_order_relaxed);
+    stats.relax_requests += processed;
+
+    Index next_size;
+    bool empty;
+    if (insert_mode == Mode::kSparse) {
+      next_size = nxt_cursor.load(std::memory_order_relaxed);
+      empty = next_size == 0;
+    } else {
+      empty = nxt_nonempty.load(std::memory_order_relaxed) == 0;
+      next_size = empty ? Index{0} : estimate_dense_size();
+    }
+    if (empty) {
+      done = true;
+      return;
+    }
+
+    Mode next_mode =
+        next_size >= dense_threshold() ? Mode::kDense : Mode::kSparse;
+    if (insert_mode == Mode::kDense && next_mode == Mode::kSparse) {
+      next_size = pack_dense_to_list();
+    }
+    const double frontier_min = nxt_min.load(std::memory_order_relaxed);
+
+    std::swap(cur_flags, nxt_flags);
+    std::swap(cur_list, nxt_list);
+    cur_size = next_size;
+    traverse_mode = insert_mode = next_mode;
+    nxt_cursor.store(0, std::memory_order_relaxed);
+    nxt_nonempty.store(0, std::memory_order_relaxed);
+    nxt_min.store(kInfDist, std::memory_order_relaxed);
+    work_cursor.store(0, std::memory_order_relaxed);
+    processed_round.store(0, std::memory_order_relaxed);
+
+    // Safety net: a round that processed nothing (cannot happen — theta
+    // always admits the frontier minimum — but cheap to guard) flushes
+    // everything next round rather than spinning.
+    theta = processed == 0 ? kInfDist : compute_theta(frontier_min);
+  }
+
+  void worker(std::barrier<>& bar, int tid) {
+    Local loc;
+    for (;;) {
+      run_round(loc);
+      bar.arrive_and_wait();  // all relaxation for this round is done
+      if (tid == 0) coordinate();
+      bar.arrive_and_wait();  // round bookkeeping published
+      if (done) break;
+    }
+  }
+};
+
+SsspResult run_async(const GraphPlan& plan, grb::Context& ctx, Index source,
+                     const ExecOptions& exec, bool use_delta) {
+  const Index n = plan.num_vertices();
+  grb::detail::check_index(source, n, "sssp: source");
+  const grb::Matrix<double>& a = plan.matrix();
+
+  auto& ws = ctx.get<AsyncWorkspace>();
+  ws.ensure(n);
+
+  Engine eng;
+  eng.row_ptr = a.row_ptr();
+  eng.col_ind = a.col_ind();
+  eng.val = a.raw_values();
+  eng.n = n;
+  eng.use_delta = use_delta;
+  eng.delta = plan.delta();
+  eng.rho = exec.rho > 0 ? exec.rho : std::max<Index>(Index{64}, n / 8);
+  eng.ws = &ws;
+
+  eng.dist = ws.dist.get();
+  for (Index v = 0; v < n; ++v) {
+    eng.dist[v].store(kInfDist, std::memory_order_relaxed);
+  }
+  eng.dist[source].store(0.0, std::memory_order_relaxed);
+
+  eng.cur_flags = ws.flags0.get();
+  eng.nxt_flags = ws.flags1.get();
+  eng.cur_list = ws.list0.data();
+  eng.nxt_list = ws.list1.data();
+  eng.cur_list[0] = source;
+  eng.cur_flags[source].store(1, std::memory_order_relaxed);
+  eng.cur_size = 1;
+  eng.traverse_mode = eng.insert_mode = Mode::kSparse;
+  eng.theta_inclusive = !use_delta;
+  eng.theta = eng.compute_theta(0.0);
+
+  int threads = exec.num_threads > 0
+                    ? exec.num_threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+
+  if (threads == 1) {
+    // Inline serial path: the same rounds, no barrier, no spawn.
+    Local loc;
+    while (!eng.done) {
+      eng.run_round(loc);
+      eng.coordinate();
+    }
+  } else {
+    std::barrier<> bar(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&eng, &bar, t] { eng.worker(bar, t); });
+    }
+    for (auto& th : pool) th.join();  // join: publishes every final store
+  }
+
+  SsspResult result;
+  result.dist.resize(n);
+  for (Index v = 0; v < n; ++v) {
+    result.dist[v] = eng.dist[v].load(std::memory_order_relaxed);
+  }
+  result.stats = eng.stats;
+  return result;
+}
+
+}  // namespace
+
+SsspResult rho_stepping(const GraphPlan& plan, grb::Context& ctx, Index source,
+                        const ExecOptions& exec) {
+  return run_async(plan, ctx, source, exec, /*use_delta=*/false);
+}
+
+SsspResult delta_stepping_async(const GraphPlan& plan, grb::Context& ctx,
+                                Index source, const ExecOptions& exec) {
+  return run_async(plan, ctx, source, exec, /*use_delta=*/true);
+}
+
+SsspResult rho_stepping(const grb::Matrix<double>& a, Index source,
+                        const AsyncSteppingOptions& options) {
+  check_sssp_inputs(a, source);
+  // The plan's validation scan rejects negative weights; its delta is
+  // unused by rho-stepping, so let the heuristic pick one.
+  GraphPlan plan = GraphPlan::borrow(a, kAutoDelta);
+  ExecOptions exec;
+  exec.profile = options.profile;
+  exec.num_threads = options.num_threads;
+  exec.rho = options.rho;
+  return rho_stepping(plan, grb::default_context(), source, exec);
+}
+
+SsspResult delta_stepping_async(const grb::Matrix<double>& a, Index source,
+                                const AsyncSteppingOptions& options) {
+  check_sssp_inputs(a, source);
+  check_delta(options.delta);
+  GraphPlan plan = GraphPlan::borrow(a, options.delta);
+  ExecOptions exec;
+  exec.profile = options.profile;
+  exec.num_threads = options.num_threads;
+  exec.rho = options.rho;
+  return delta_stepping_async(plan, grb::default_context(), source, exec);
+}
+
+}  // namespace dsg

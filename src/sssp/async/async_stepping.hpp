@@ -1,0 +1,86 @@
+// async_stepping.hpp — the lock-free asynchronous relaxation engines:
+// rho-stepping and asynchronous delta-stepping.
+//
+// Both variants share one engine (async_stepping.cpp) built on
+// std::thread + std::atomic + std::barrier — deliberately *not* OpenMP,
+// so ThreadSanitizer can verify the synchronization (libgomp's runtime
+// carries no TSan annotations and reports false positives on correct
+// OpenMP code; see the tsan job in .github/workflows/ci.yml).  The
+// engine runs in coarse rounds:
+//
+//   - distances live in std::atomic<double>, relaxed via the write_min
+//     CAS primitive (see write_min.hpp for the memory-ordering contract);
+//   - each improvement lands in a per-thread local queue of 128 entries,
+//     processed eagerly within the round; overflow and out-of-window
+//     vertices spill into a shared concurrent bag (a flag array + an
+//     atomic-cursor append list, deduplicated by flag exchange);
+//   - the frontier is traversed sparse (work-stealing over the bag's
+//     list) or dense (flag sweep), switched per round by a sampled
+//     frontier-size estimate — the same deterministic strided-sampling
+//     idiom as grb::Context::dense_output_crossover;
+//   - a per-round threshold theta bounds which distances are relaxed now
+//     versus deferred: delta_stepping_async uses the next bucket boundary
+//     (floor(min/delta)+1)*delta, rho_stepping processes everything when
+//     the frontier is at most rho vertices and otherwise the sampled
+//     rho-quantile of frontier distances (the PASGAL heuristic).
+//
+// Determinism contract: the *schedule* (rounds, relaxation order, stats)
+// varies run to run, but the returned distances are bit-identical across
+// thread counts and schedules — quiescence is the unique fp min-plus
+// fixed point (write_min.hpp documents the argument).  The registry
+// flags these variants deterministic = false because their SsspStats are
+// schedule-dependent; SsspResult.dist is not.
+//
+// The per-phase timers (light/heavy/vector_seconds) stay 0: the fused
+// relaxation has no phase structure to attribute time to.
+// stats.outer_iterations counts rounds and stats.relax_requests counts
+// vertices relaxed (frontier members plus local-queue hits), matching
+// the vertex-granular accounting of the deterministic engines.
+#pragma once
+
+#include "sssp/common.hpp"
+#include "sssp/plan.hpp"
+
+namespace grb {
+class Context;
+}
+
+namespace dsg {
+
+/// Options for the legacy one-shot entry points.  The plan-based entry
+/// points take the same knobs through ExecOptions (num_threads, rho) and
+/// GraphPlan (delta).
+struct AsyncSteppingOptions {
+  /// Bucket width for delta_stepping_async (> 0); ignored by
+  /// rho_stepping.
+  double delta = 1.0;
+  /// rho_stepping batch-size target: frontiers at most this large are
+  /// fully processed in one round.  0 selects max(64, n/8) from the
+  /// graph.  Ignored by delta_stepping_async.
+  Index rho = 0;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().  1 runs the
+  /// same engine inline without spawning.
+  int num_threads = 0;
+  /// Accepted for signature symmetry; the async engine keeps the
+  /// per-phase timers at 0 (see the header comment).
+  bool profile = false;
+};
+
+/// PASGAL-style rho-stepping (plan-based core).  Uses ExecOptions::rho
+/// (0 = auto) and ExecOptions::num_threads; the plan's delta is unused.
+SsspResult rho_stepping(const GraphPlan& plan, grb::Context& ctx,
+                        Index source, const ExecOptions& exec);
+
+/// Asynchronous delta-stepping (plan-based core).  Buckets by the plan's
+/// delta but relaxes each bucket lock-free instead of in two-pass
+/// deterministic phases.
+SsspResult delta_stepping_async(const GraphPlan& plan, grb::Context& ctx,
+                                Index source, const ExecOptions& exec);
+
+/// Legacy one-shot entry points (validate, borrow a plan, run once).
+SsspResult rho_stepping(const grb::Matrix<double>& a, Index source,
+                        const AsyncSteppingOptions& options = {});
+SsspResult delta_stepping_async(const grb::Matrix<double>& a, Index source,
+                                const AsyncSteppingOptions& options = {});
+
+}  // namespace dsg

@@ -64,10 +64,13 @@ inline constexpr double kAutoDelta = 0.0;
 struct ExecOptions {
   /// Collect the per-phase timers in SsspStats (small overhead).
   bool profile = false;
-  /// OpenMP variant: thread count (0 = library default).
+  /// OpenMP and async variants: thread count (0 = library default /
+  /// hardware concurrency).
   int num_threads = 0;
   /// OpenMP variant: tasks per vector pass (0 = one per thread).
   int tasks_per_vector = 0;
+  /// rho_stepping: per-round batch-size target (0 = max(64, n/8)).
+  Index rho = 0;
 };
 
 /// One-pass structural statistics collected at plan construction.  These

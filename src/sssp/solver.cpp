@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "sssp/async/async_stepping.hpp"
 #include "sssp/bellman_ford.hpp"
 #include "sssp/delta_stepping_buckets.hpp"
 #include "sssp/delta_stepping_capi.hpp"
@@ -22,20 +23,32 @@ namespace dsg::sssp {
 namespace {
 
 // The registry.  Order matches the Algorithm enum values so enum lookup is
-// an index.  batch_parallel notes:
+// an index.  Fields: {id, name, batch_parallel, deterministic, threaded,
+// run}.  batch_parallel notes:
 //   - capi carries the listing's global operator state (delta/i_global);
-//   - openmp parallelizes internally — nesting a source-level fan-out on
-//     top would oversubscribe.
+//   - openmp and the async variants parallelize internally — nesting a
+//     source-level fan-out on top would oversubscribe.
+// deterministic notes: the async variants return bit-identical *distances*
+// for any schedule, but their stats counters are schedule-dependent (see
+// AlgorithmInfo::deterministic).
 constexpr std::array<AlgorithmInfo, kNumAlgorithms> kRegistry{{
-    {Algorithm::kBuckets, "buckets", true, &delta_stepping_buckets},
-    {Algorithm::kGraphblas, "graphblas", true, &delta_stepping_graphblas},
-    {Algorithm::kGraphblasSelect, "graphblas_select", true,
+    {Algorithm::kBuckets, "buckets", true, true, false,
+     &delta_stepping_buckets},
+    {Algorithm::kGraphblas, "graphblas", true, true, false,
+     &delta_stepping_graphblas},
+    {Algorithm::kGraphblasSelect, "graphblas_select", true, true, false,
      &delta_stepping_graphblas_select},
-    {Algorithm::kCapi, "capi", false, &delta_stepping_capi},
-    {Algorithm::kFused, "fused", true, &delta_stepping_fused},
-    {Algorithm::kOpenmp, "openmp", false, &delta_stepping_openmp},
-    {Algorithm::kBellmanFord, "bellman_ford", true, &bellman_ford},
-    {Algorithm::kDijkstra, "dijkstra", true, &dijkstra},
+    {Algorithm::kCapi, "capi", false, true, false, &delta_stepping_capi},
+    {Algorithm::kFused, "fused", true, true, false, &delta_stepping_fused},
+    {Algorithm::kOpenmp, "openmp", false, true, true,
+     &delta_stepping_openmp},
+    {Algorithm::kBellmanFord, "bellman_ford", true, true, false,
+     &bellman_ford},
+    {Algorithm::kDijkstra, "dijkstra", true, true, false, &dijkstra},
+    {Algorithm::kRhoStepping, "rho_stepping", false, false, true,
+     &rho_stepping},
+    {Algorithm::kDeltaSteppingAsync, "delta_stepping_async", false, false,
+     true, &delta_stepping_async},
 }};
 
 /// Touches the plan state the algorithm will need, so that batched
@@ -61,6 +74,9 @@ void warm_plan(const GraphPlan& plan, Algorithm algorithm) {
     case Algorithm::kBellmanFord:
     case Algorithm::kDijkstra:
       break;  // no Δ-dependent preprocessing
+    case Algorithm::kRhoStepping:
+    case Algorithm::kDeltaSteppingAsync:
+      break;  // raw CSR traversal — no split to warm
   }
 }
 
@@ -101,6 +117,7 @@ ExecOptions SsspSolver::exec_options() const {
   exec.profile = options_.profile;
   exec.num_threads = options_.num_threads;
   exec.tasks_per_vector = options_.tasks_per_vector;
+  exec.rho = options_.rho;
   return exec;
 }
 

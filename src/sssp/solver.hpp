@@ -48,10 +48,12 @@ enum class Algorithm {
   kOpenmp = 5,           ///< task-parallel fused (Sec. VI-C)
   kBellmanFord = 6,      ///< SPFA worklist baseline
   kDijkstra = 7,         ///< binary-heap baseline / oracle
+  kRhoStepping = 8,      ///< lock-free async rho-stepping (PASGAL style)
+  kDeltaSteppingAsync = 9,  ///< lock-free async delta-stepping
 };
 
 /// Number of registered algorithms (contiguous enum values 0..N-1).
-inline constexpr int kNumAlgorithms = 8;
+inline constexpr int kNumAlgorithms = 10;
 
 /// Registry row: how to name, select and run one variant.
 struct AlgorithmInfo {
@@ -60,6 +62,16 @@ struct AlgorithmInfo {
   /// True when independent solves may run on different threads (the
   /// variant is internally serial and free of global state).
   bool batch_parallel;
+  /// True when repeated runs are bit-identical end to end, SsspStats
+  /// included.  The async variants are value-deterministic (distances are
+  /// the unique fp fixed point, identical for any schedule or thread
+  /// count) but their schedules — and therefore their stats counters —
+  /// vary run to run, so they are flagged false.
+  bool deterministic;
+  /// True when the variant parallelizes internally and honors
+  /// ExecOptions::num_threads (the registry-driven scaling bench sweeps
+  /// exactly these variants).
+  bool threaded;
   /// Plan-based core of the variant.
   SsspResult (*run)(const GraphPlan&, grb::Context&, Index,
                     const ExecOptions&);
@@ -87,6 +99,8 @@ struct SolverOptions {
   int num_threads = 0;
   /// Tasks per vector pass for the kOpenmp variant (0 = one per thread).
   int tasks_per_vector = 0;
+  /// Per-round batch-size target for kRhoStepping (0 = max(64, n/8)).
+  Index rho = 0;
 };
 
 /// Distances plus the recovered shortest-path tree.

@@ -176,6 +176,43 @@ TEST(Snap, RejectsMalformedLine) {
   EXPECT_THROW(dsg::read_snap(in), grb::InvalidValue);
 }
 
+TEST(Snap, RejectsGarbageWeight) {
+  // A present-but-unparseable weight column must be a parse error, not a
+  // silent default of 1.0 (the "a b xyz" swallow regression).
+  std::istringstream in("0 1 xyz\n");
+  EXPECT_THROW(dsg::read_snap(in), grb::InvalidValue);
+}
+
+TEST(Snap, RejectsGarbageWeightAfterValidRows) {
+  std::istringstream in(
+      "0 1 2.5\n"
+      "1 2 oops\n");
+  EXPECT_THROW(dsg::read_snap(in), grb::InvalidValue);
+}
+
+TEST(Snap, AbsentWeightStillDefaultsToUnit) {
+  // The companion case the fix must not break: no third column at all
+  // (including trailing whitespace) keeps the documented 1.0 default.
+  std::istringstream in(
+      "0 1\n"
+      "1 2 \n");
+  auto result = dsg::read_snap(in);
+  ASSERT_EQ(result.graph.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(result.graph.edges()[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(result.graph.edges()[1].weight, 1.0);
+}
+
+TEST(Snap, NumericPrefixWeightMatchesMatrixMarketLaxity) {
+  // operator>> stops at the first non-numeric character, so "2.5x" parses
+  // as 2.5 with trailing junk ignored — exactly what matrix_market.cpp
+  // accepts for its value field.  Pinned so the strictness stays *parity*,
+  // not stricter.
+  std::istringstream in("0 1 2.5x\n");
+  auto result = dsg::read_snap(in);
+  ASSERT_EQ(result.graph.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(result.graph.edges()[0].weight, 2.5);
+}
+
 TEST(Snap, RejectsNegativeIds) {
   std::istringstream in("-1 2\n");
   EXPECT_THROW(dsg::read_snap(in), grb::InvalidValue);

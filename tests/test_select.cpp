@@ -117,4 +117,38 @@ TEST(SelectMatrix, DimensionCheck) {
                grb::DimensionMismatch);
 }
 
+// --- Selectivity-sampler regression: position-correlated predicates. --------
+//
+// sampled_keep_fraction used to probe only the FIRST set bit of each
+// sampled word, so any predicate correlated with i mod 64 (structured
+// grids, strided frontiers) was estimated from one intra-word position
+// only — a fully populated vector with keep(i) = (i % 64 < 32) came back
+// as keep-everything (bit 0 always passes).  The rotating probe offset
+// spreads samples across intra-word positions and kills the bias.
+
+TEST(SelectivitySampler, PositionCorrelatedPredicateUnbiased) {
+  const Index n = 64 * 256;
+  grb::Vector<double> u(n);
+  for (Index i = 0; i < n; ++i) u.set_element(i, 1.0);
+  u.to_dense();
+
+  // True keep fraction 1/2, but concentrated in the low half of each word.
+  const auto low_half = [](Index i) { return (i % 64) < 32; };
+  const double est_half = grb::detail::sampled_keep_fraction(u, low_half);
+  EXPECT_NEAR(est_half, 0.5, 0.05);
+
+  // True keep fraction 1/64, all on bit 0 — the old sampler's only probe
+  // position, which made it report 1.0.
+  const auto bit_zero = [](Index i) { return (i % 64) == 0; };
+  const double est_thin = grb::detail::sampled_keep_fraction(u, bit_zero);
+  EXPECT_NEAR(est_thin, 1.0 / 64.0, 0.01);
+
+  // Behavioral consequence: a thin position-correlated filter must choose
+  // the compacted output path (the old estimate of 1.0 forced the dense
+  // stage no matter the crossover).
+  grb::Context ctx;
+  ctx.dense_output_crossover = 0.4;
+  EXPECT_TRUE(grb::detail::dense_output_prefers_compaction(ctx, u, bit_zero));
+}
+
 }  // namespace

@@ -48,7 +48,8 @@ TEST(SolverRegistry, CoversAllAlgorithmsWithStableNames) {
   ASSERT_EQ(registry.size(), static_cast<std::size_t>(sssp::kNumAlgorithms));
   const char* expected[] = {"buckets",  "graphblas", "graphblas_select",
                             "capi",     "fused",     "openmp",
-                            "bellman_ford", "dijkstra"};
+                            "bellman_ford", "dijkstra",
+                            "rho_stepping", "delta_stepping_async"};
   for (std::size_t k = 0; k < registry.size(); ++k) {
     EXPECT_EQ(static_cast<std::size_t>(registry[k].id), k);
     EXPECT_STREQ(registry[k].name, expected[k]);
@@ -70,6 +71,10 @@ TEST(SsspSolver, MatchesLegacyEntryPointsOnAllAlgorithms) {
   // Legacy references, one per registry name (the solver must reproduce
   // these exactly).
   std::vector<std::pair<std::string, std::vector<double>>> legacy;
+  // One slot per registry row, reserved up front: GCC 12's -O3 inliner
+  // otherwise trips -Warray-bounds false positives inside the grown
+  // reallocation path of this pair-of-string-and-vector element type.
+  legacy.reserve(static_cast<std::size_t>(sssp::kNumAlgorithms));
   DeltaSteppingOptions opt;
   opt.delta = delta;
   OpenMpOptions omp_opt;
@@ -84,6 +89,13 @@ TEST(SsspSolver, MatchesLegacyEntryPointsOnAllAlgorithms) {
   legacy.emplace_back("openmp", delta_stepping_openmp(a, source, omp_opt).dist);
   legacy.emplace_back("bellman_ford", bellman_ford(a, source).dist);
   legacy.emplace_back("dijkstra", dijkstra(a, source).dist);
+  // The async engines are value-deterministic (bit-identical distances for
+  // any schedule), so the exact-equality check below holds for them too.
+  AsyncSteppingOptions async_opt;
+  async_opt.delta = delta;
+  legacy.emplace_back("rho_stepping", rho_stepping(a, source, async_opt).dist);
+  legacy.emplace_back("delta_stepping_async",
+                      delta_stepping_async(a, source, async_opt).dist);
 
   for (const auto& [name, want] : legacy) {
     SCOPED_TRACE("algorithm=" + name);

@@ -124,7 +124,13 @@ INSTANTIATE_TEST_SUITE_P(Widths, DeltaSweep,
                          ::testing::Values(0.1, 0.25, 0.5, 1.0, 2.0, 5.0,
                                            20.0, 1e6),
                          [](const auto& info) {
-                           return "d" + std::to_string(info.index);
+                           // Named-string concat (not `"d" + std::string&&`):
+                           // GCC 12 -O3 emits a -Wrestrict false positive
+                           // inside the rvalue operator+'s inlined insert,
+                           // which -Werror turns into a Release build break.
+                           std::string name = "d";
+                           name += std::to_string(info.index);
+                           return name;
                          });
 
 // Monotonicity property: adding an edge can only improve (or keep)

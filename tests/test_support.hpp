@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/edge_list.hpp"
+#include "sssp/async/async_stepping.hpp"
 #include "sssp/bellman_ford.hpp"
 #include "sssp/delta_stepping_buckets.hpp"
 #include "sssp/delta_stepping_capi.hpp"
@@ -172,6 +173,30 @@ inline SsspResult run_capi(const grb::Matrix<double>& a, Index s, double d) {
   o.delta = d;
   return delta_stepping_capi(a, s, o);
 }
+inline SsspResult run_async_delta(const grb::Matrix<double>& a, Index s,
+                                  double d) {
+  AsyncSteppingOptions o;
+  o.delta = d;
+  o.num_threads = 2;
+  return delta_stepping_async(a, s, o);
+}
+inline SsspResult run_async_delta_mt(const grb::Matrix<double>& a, Index s,
+                                     double d) {
+  AsyncSteppingOptions o;
+  o.delta = d;
+  o.num_threads = 4;
+  return delta_stepping_async(a, s, o);
+}
+inline SsspResult run_rho(const grb::Matrix<double>& a, Index s, double) {
+  AsyncSteppingOptions o;
+  o.num_threads = 2;
+  return rho_stepping(a, s, o);
+}
+inline SsspResult run_rho_mt(const grb::Matrix<double>& a, Index s, double) {
+  AsyncSteppingOptions o;
+  o.num_threads = 4;
+  return rho_stepping(a, s, o);
+}
 inline SsspResult run_dijkstra(const grb::Matrix<double>& a, Index s, double) {
   return dijkstra(a, s);
 }
@@ -199,14 +224,22 @@ inline const std::vector<Impl>& delta_stepping_impls() {
       {"openmp_4t", detail::run_openmp_mt},
       {"buckets", detail::run_buckets},
       {"capi", detail::run_capi},
+      // The lock-free async engine at two thread counts.  Its *distances*
+      // honor delta-independence like every other variant (they are the
+      // unique fp fixed point), so it belongs in every parity sweep.
+      {"delta_stepping_async_2t", detail::run_async_delta},
+      {"delta_stepping_async_4t", detail::run_async_delta_mt},
   };
   return impls;
 }
 
-/// Everything, baselines included (delta ignored by the baselines).
+/// Everything, baselines included (delta ignored by the baselines and by
+/// rho_stepping, which schedules by frontier quantiles instead of buckets).
 inline const std::vector<Impl>& all_sssp_impls() {
   static const std::vector<Impl> impls = [] {
     std::vector<Impl> v = delta_stepping_impls();
+    v.push_back({"rho_stepping_2t", detail::run_rho});
+    v.push_back({"rho_stepping_4t", detail::run_rho_mt});
     v.push_back({"dijkstra", detail::run_dijkstra});
     v.push_back({"bellman_ford", detail::run_bellman_ford});
     v.push_back({"bellman_ford_rounds", detail::run_bellman_ford_rounds});
@@ -239,4 +272,27 @@ inline const std::vector<Impl>& all_sssp_impls() {
           ::dsg::validate_sssp(dsg_parity_a, (source), dsg_r.dist);          \
       EXPECT_TRUE(dsg_val.ok) << dsg_val.message;                            \
     }                                                                        \
+  } while (0)
+
+/// Distances-only (schedule-independent) parity: checks ONE distance vector
+/// — however it was produced — against the structural SSSP invariants and a
+/// fresh, self-validated Dijkstra reference.  This is the oracle for the
+/// nondeterministic engines: it never looks at stats, phase counts or any
+/// other schedule artifact, only at the returned distances (which the async
+/// engines guarantee are the unique fp fixed point for every thread count).
+#define DSG_CHECK_DISTANCES_ONLY(matrix, source, dist_vec)                   \
+  do {                                                                       \
+    const auto& dsg_do_a = (matrix);                                         \
+    const auto& dsg_do_d = (dist_vec);                                       \
+    const auto dsg_do_ref = ::dsg::dijkstra(dsg_do_a, (source));             \
+    const auto dsg_do_refval =                                               \
+        ::dsg::validate_sssp(dsg_do_a, (source), dsg_do_ref.dist);           \
+    ASSERT_TRUE(dsg_do_refval.ok) << "dijkstra invalid: "                    \
+                                  << dsg_do_refval.message;                  \
+    const auto dsg_do_cmp =                                                  \
+        ::dsg::compare_distances(dsg_do_ref.dist, dsg_do_d, 1e-9);           \
+    EXPECT_TRUE(dsg_do_cmp.ok) << dsg_do_cmp.message;                        \
+    const auto dsg_do_val =                                                  \
+        ::dsg::validate_sssp(dsg_do_a, (source), dsg_do_d);                  \
+    EXPECT_TRUE(dsg_do_val.ok) << dsg_do_val.message;                        \
   } while (0)
