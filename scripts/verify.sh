@@ -9,4 +9,4 @@ shift || true
 
 cmake -B "$BUILD_DIR" -S . "$@"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 180 -j "$(nproc)"

@@ -40,7 +40,13 @@ typedef enum {
   GrB_INVALID_INDEX = 5,
   GrB_DIMENSION_MISMATCH = 6,
   GrB_OUT_OF_MEMORY = 7,
-  GrB_PANIC = 8
+  GrB_PANIC = 8,
+  /* DSG extensions (values above the GrB_* range): query lifecycle
+   * outcomes of the DsgSolver_*_opts entry points.  Both are "soft"
+   * codes — the distance output IS written (valid upper bounds on the
+   * true distances; unreached vertices are +inf). */
+  DSG_TIMEOUT = 100,  /* the control's deadline expired mid-run  */
+  DSG_CANCELLED = 101 /* DsgQueryControl_cancel was observed     */
 } GrB_Info;
 
 /* --- Opaque object handles. -------------------------------------------- */
@@ -259,6 +265,54 @@ GrB_Info DsgSolver_solve_batch(DsgSolver solver, const GrB_Index* sources,
 
 /* Frees the solver and sets *solver to NULL (NULL-safe like GrB_*_free). */
 GrB_Info DsgSolver_free(DsgSolver* solver);
+
+/* --- Query lifecycle: deadlines and cooperative cancellation. -----------
+ *
+ * A DsgQueryControl carries a deadline and/or a cancel flag into the
+ * _opts solve entry points.  The running query polls it at its natural
+ * round boundaries; on expiry/cancel it stops and the call returns
+ * DSG_TIMEOUT / DSG_CANCELLED with the distances computed so far — valid
+ * upper bounds on the true distances (the solver only ever lowers a
+ * tentative distance), with +inf for vertices not reached yet.
+ *
+ * DsgQueryControl_cancel is safe to call from any thread while a solve
+ * runs; set_timeout/reset must not race a running solve.  One control may
+ * be reused across queries (reset clears both the deadline and the cancel
+ * flag) or shared by every query of a batch. */
+typedef struct DsgQueryControl_opaque* DsgQueryControl;
+
+GrB_Info DsgQueryControl_new(DsgQueryControl* control);
+
+/* Arms a deadline `seconds` from now.  <= 0 means "already expired": the
+ * next solve returns DSG_TIMEOUT at its first poll. */
+GrB_Info DsgQueryControl_set_timeout(DsgQueryControl control, double seconds);
+
+/* Requests cooperative cancellation (thread-safe, observed within one
+ * round by a running solve). */
+GrB_Info DsgQueryControl_cancel(DsgQueryControl control);
+
+/* Clears the deadline and the cancel flag, re-arming the control. */
+GrB_Info DsgQueryControl_reset(DsgQueryControl control);
+
+GrB_Info DsgQueryControl_free(DsgQueryControl* control);
+
+/* DsgSolver_solve under a lifecycle control (NULL control = run to
+ * completion, identical to DsgSolver_solve).  Returns GrB_SUCCESS,
+ * DSG_TIMEOUT or DSG_CANCELLED; dist is written in all three cases. */
+GrB_Info DsgSolver_solve_opts(DsgSolver solver, GrB_Index source,
+                              double* dist, DsgQueryControl control);
+
+/* Failure-isolated batch under an optional shared control: query k writes
+ * dist[k*n .. k*n+n) and statuses[k].  A query that fails (e.g. out of
+ * memory) gets its own error code in statuses[k] and leaves its distance
+ * slice untouched; the other queries complete normally.  The call itself
+ * returns GrB_SUCCESS unless its arguments are invalid — per-query
+ * outcomes live in `statuses` (GrB_SUCCESS / DSG_TIMEOUT / DSG_CANCELLED
+ * / an error code). */
+GrB_Info DsgSolver_solve_batch_opts(DsgSolver solver,
+                                    const GrB_Index* sources, GrB_Index batch,
+                                    double* dist, DsgQueryControl control,
+                                    GrB_Info* statuses);
 
 #ifdef __cplusplus
 }  /* extern "C" */

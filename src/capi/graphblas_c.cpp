@@ -10,6 +10,7 @@
 
 #include "capi/capi_internal.hpp"  // the opaque object layouts
 #include "graphblas/graphblas.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace {
 
@@ -260,14 +261,23 @@ GrB_Info GrB_BinaryOp_free(GrB_BinaryOp* op) {
 
 GrB_Info GrB_Vector_new(GrB_Vector* v, GrB_Index n) {
   if (!v) return GrB_NULL_POINTER;
-  *v = new (std::nothrow) GrB_Vector_opaque{grb::Vector<double>(n)};
-  return *v ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+  // guarded, not bare nothrow-new: the inner grb::Vector construction
+  // allocates and its bad_alloc must map to GrB_OUT_OF_MEMORY, not escape
+  // the extern "C" boundary.
+  *v = nullptr;
+  return guarded([&] {
+    dsg::testing::fault_point("capi/object_new");
+    *v = new GrB_Vector_opaque{grb::Vector<double>(n)};
+  });
 }
 
 GrB_Info GrB_Vector_dup(GrB_Vector* copy, GrB_Vector v) {
   if (!copy || !v) return GrB_NULL_POINTER;
-  *copy = new (std::nothrow) GrB_Vector_opaque{v->impl};
-  return *copy ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+  *copy = nullptr;
+  return guarded([&] {
+    dsg::testing::fault_point("capi/object_new");
+    *copy = new GrB_Vector_opaque{v->impl};
+  });
 }
 
 GrB_Info GrB_Vector_free(GrB_Vector* v) {
@@ -333,14 +343,21 @@ GrB_Info GrB_Vector_extractTuples_FP64(GrB_Index* indices, double* values,
 
 GrB_Info GrB_Matrix_new(GrB_Matrix* a, GrB_Index nrows, GrB_Index ncols) {
   if (!a) return GrB_NULL_POINTER;
-  *a = new (std::nothrow) GrB_Matrix_opaque{grb::Matrix<double>(nrows, ncols)};
-  return *a ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+  // guarded for the same reason as GrB_Vector_new.
+  *a = nullptr;
+  return guarded([&] {
+    dsg::testing::fault_point("capi/object_new");
+    *a = new GrB_Matrix_opaque{grb::Matrix<double>(nrows, ncols)};
+  });
 }
 
 GrB_Info GrB_Matrix_dup(GrB_Matrix* copy, GrB_Matrix a) {
   if (!copy || !a) return GrB_NULL_POINTER;
-  *copy = new (std::nothrow) GrB_Matrix_opaque{a->impl};
-  return *copy ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+  *copy = nullptr;
+  return guarded([&] {
+    dsg::testing::fault_point("capi/object_new");
+    *copy = new GrB_Matrix_opaque{a->impl};
+  });
 }
 
 GrB_Info GrB_Matrix_free(GrB_Matrix* a) {

@@ -10,14 +10,20 @@
 // GrB_Info (the same table as the v1 binding); nothing ever throws across
 // the C boundary.
 #include <algorithm>
+#include <exception>
 #include <new>
 
 #include "capi/capi_internal.hpp"
 #include "capi/graphblas.h"
+#include "sssp/query_control.hpp"
 #include "sssp/solver.hpp"
 
 struct DsgSolver_opaque {
   dsg::sssp::SsspSolver impl;
+};
+
+struct DsgQueryControl_opaque {
+  dsg::QueryControl impl;
 };
 
 namespace {
@@ -39,6 +45,23 @@ GrB_Info guarded(Fn&& fn) {
   } catch (...) {
     return GrB_PANIC;
   }
+}
+
+/// The same exception table as guarded(), applied to a captured exception
+/// (per-query classification for the batch _opts entry point).
+GrB_Info classify(const std::exception_ptr& e) {
+  return guarded([&] { std::rethrow_exception(e); });
+}
+
+/// Maps an interruption status to its DSG_* code (kComplete = GrB_SUCCESS).
+GrB_Info status_code(dsg::SsspStatus status) {
+  switch (status) {
+    case dsg::SsspStatus::kComplete: return GrB_SUCCESS;
+    case dsg::SsspStatus::kDeadlineExpired: return DSG_TIMEOUT;
+    case dsg::SsspStatus::kCancelled: return DSG_CANCELLED;
+    case dsg::SsspStatus::kFailed: return GrB_PANIC;  // unreachable here
+  }
+  return GrB_PANIC;
 }
 
 }  // namespace
@@ -109,6 +132,79 @@ GrB_Info DsgSolver_free(DsgSolver* solver) {
   delete *solver;
   *solver = nullptr;
   return GrB_SUCCESS;
+}
+
+/* --- Query lifecycle. --------------------------------------------------- */
+
+GrB_Info DsgQueryControl_new(DsgQueryControl* control) {
+  if (!control) return GrB_NULL_POINTER;
+  *control = new (std::nothrow) DsgQueryControl_opaque();
+  return *control ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+}
+
+GrB_Info DsgQueryControl_set_timeout(DsgQueryControl control, double seconds) {
+  if (!control) return GrB_NULL_POINTER;
+  control->impl.set_timeout(seconds);
+  return GrB_SUCCESS;
+}
+
+GrB_Info DsgQueryControl_cancel(DsgQueryControl control) {
+  if (!control) return GrB_NULL_POINTER;
+  control->impl.request_cancel();
+  return GrB_SUCCESS;
+}
+
+GrB_Info DsgQueryControl_reset(DsgQueryControl control) {
+  if (!control) return GrB_NULL_POINTER;
+  control->impl.reset();
+  return GrB_SUCCESS;
+}
+
+GrB_Info DsgQueryControl_free(DsgQueryControl* control) {
+  if (!control) return GrB_NULL_POINTER;
+  delete *control;
+  *control = nullptr;
+  return GrB_SUCCESS;
+}
+
+GrB_Info DsgSolver_solve_opts(DsgSolver solver, GrB_Index source,
+                              double* dist, DsgQueryControl control) {
+  if (!solver || !dist) return GrB_NULL_POINTER;
+  GrB_Info soft = GrB_SUCCESS;
+  const GrB_Info hard = guarded([&] {
+    dsg::SsspResult result =
+        control ? solver->impl.solve(source, control->impl)
+                : solver->impl.solve(source);
+    std::copy(result.dist.begin(), result.dist.end(), dist);
+    soft = status_code(result.status);
+  });
+  return hard != GrB_SUCCESS ? hard : soft;
+}
+
+GrB_Info DsgSolver_solve_batch_opts(DsgSolver solver,
+                                    const GrB_Index* sources, GrB_Index batch,
+                                    double* dist, DsgQueryControl control,
+                                    GrB_Info* statuses) {
+  if (!solver || (batch > 0 && (!sources || !dist || !statuses))) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    dsg::sssp::BatchOptions opts;
+    opts.control = control ? &control->impl : nullptr;
+    std::span<const grb::Index> span(sources, batch);
+    std::vector<dsg::sssp::QueryResult> results =
+        solver->impl.solve_batch(span, opts);
+    const std::size_t n = solver->impl.num_vertices();
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      if (!results[k].ok()) {
+        statuses[k] = classify(results[k].exception);
+        continue;  // the failed query's distance slice stays untouched
+      }
+      std::copy(results[k].result.dist.begin(), results[k].result.dist.end(),
+                dist + k * n);
+      statuses[k] = status_code(results[k].result.status);
+    }
+  });
 }
 
 }  // extern "C"

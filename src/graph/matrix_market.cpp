@@ -6,6 +6,7 @@
 #include <sstream>
 #include <string>
 
+#include "graph/parse_util.hpp"
 #include "graphblas/types.hpp"
 
 namespace dsg {
@@ -53,29 +54,51 @@ EdgeList read_matrix_market(std::istream& in) {
   while (std::getline(in, line)) {
     if (!line.empty() && line[0] != '%') break;
   }
+  // Dimensions and coordinates are parsed as full-width Index (64-bit
+  // unsigned), not through a signed intermediate: a value that doesn't fit
+  // must be an error, never a truncation into some other valid dimension.
+  auto parse_dim = [&line](const std::string& tok, const char* what) {
+    Index v = 0;
+    switch (detail::parse_int(tok, v)) {
+      case detail::ParseStatus::kOk:
+        return v;
+      case detail::ParseStatus::kOutOfRange:
+        throw grb::InvalidValue(std::string("MatrixMarket: ") + what +
+                                " out of range in '" + line + "'");
+      case detail::ParseStatus::kInvalid:
+        break;
+    }
+    throw grb::InvalidValue(std::string("MatrixMarket: bad ") + what +
+                            " in '" + line + "'");
+  };
+
   std::istringstream size_line(line);
-  long long nrows = 0, ncols = 0, nnz = 0;
-  if (!(size_line >> nrows >> ncols >> nnz) || nrows < 0 || ncols < 0 ||
-      nnz < 0) {
+  std::string nrows_tok, ncols_tok, nnz_tok;
+  if (!(size_line >> nrows_tok >> ncols_tok >> nnz_tok)) {
     throw grb::InvalidValue("MatrixMarket: bad size line '" + line + "'");
   }
+  const Index nrows = parse_dim(nrows_tok, "size line");
+  const Index ncols = parse_dim(ncols_tok, "size line");
+  const Index nnz = parse_dim(nnz_tok, "size line");
   if (nrows != ncols) {
     throw grb::InvalidValue(
         "MatrixMarket: adjacency matrices must be square, got " +
         std::to_string(nrows) + "x" + std::to_string(ncols));
   }
 
-  EdgeList graph(static_cast<Index>(nrows));
+  EdgeList graph(nrows);
   graph.edges().reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
-  long long seen = 0;
+  Index seen = 0;
   while (seen < nnz && std::getline(in, line)) {
     if (line.empty() || line[0] == '%') continue;
     std::istringstream ls(line);
-    long long r = 0, c = 0;
+    std::string r_tok, c_tok;
     double w = 1.0;
-    if (!(ls >> r >> c)) {
+    if (!(ls >> r_tok >> c_tok)) {
       throw grb::InvalidValue("MatrixMarket: bad entry line '" + line + "'");
     }
+    const Index r = parse_dim(r_tok, "entry coordinate");
+    const Index c = parse_dim(c_tok, "entry coordinate");
     if (!pattern && !(ls >> w)) {
       throw grb::InvalidValue("MatrixMarket: missing value in '" + line + "'");
     }
@@ -83,8 +106,8 @@ EdgeList read_matrix_market(std::istream& in) {
       throw grb::InvalidValue("MatrixMarket: entry out of bounds in '" + line +
                               "'");
     }
-    const Index ri = static_cast<Index>(r - 1);
-    const Index ci = static_cast<Index>(c - 1);
+    const Index ri = r - 1;
+    const Index ci = c - 1;
     graph.edges().push_back({ri, ci, w});
     if (symmetric && ri != ci) {
       graph.edges().push_back({ci, ri, w});

@@ -1,0 +1,45 @@
+// parse_util.hpp — checked integer parsing for the text graph readers.
+//
+// The readers used to extract vertex ids through `long long`, which caps
+// the usable id space at 2^63-1 (grb::Index is 64-bit unsigned) and leaves
+// the overflow outcome to the stream: failbit plus a clamped value, folded
+// into a generic "bad line" error.  These helpers parse tokens straight
+// into the target type with std::from_chars so an out-of-range id or
+// dimension is diagnosed as exactly that — it can never clamp or truncate
+// into a different valid vertex.
+#pragma once
+
+#include <charconv>
+#include <string_view>
+#include <system_error>
+
+namespace dsg::detail {
+
+enum class ParseStatus {
+  kOk,
+  kInvalid,     ///< not a (complete) base-10 literal of the target type
+  kOutOfRange,  ///< syntactically valid but does not fit the target type
+};
+
+/// Parses the whole token as a base-10 integer of type Int.  Trailing
+/// characters make the parse kInvalid (tokens come pre-split, so partial
+/// matches mean garbage like "12x3").
+template <typename Int>
+ParseStatus parse_int(std::string_view token, Int& out) {
+  const char* first = token.data();
+  const char* last = first + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc::result_out_of_range) return ParseStatus::kOutOfRange;
+  if (ec != std::errc{} || ptr != last) return ParseStatus::kInvalid;
+  return ParseStatus::kOk;
+}
+
+/// True when the token looks like a negative number ("-" followed by a
+/// digit) — lets an unsigned-id parser report "negative id" instead of the
+/// generic syntax error.
+inline bool looks_negative(std::string_view token) {
+  return token.size() >= 2 && token[0] == '-' && token[1] >= '0' &&
+         token[1] <= '9';
+}
+
+}  // namespace dsg::detail

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "graph/parse_util.hpp"
 #include "graphblas/types.hpp"
 
 namespace dsg {
@@ -14,14 +15,32 @@ SnapReadResult read_snap(std::istream& in) {
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
-    long long src = 0, dst = 0;
+    std::string src_tok, dst_tok;
     double w = 1.0;
-    if (!(ls >> src >> dst)) {
+    if (!(ls >> src_tok >> dst_tok)) {
       throw grb::InvalidValue("SNAP: bad edge line '" + line + "'");
     }
-    if (src < 0 || dst < 0) {
-      throw grb::InvalidValue("SNAP: negative vertex id in '" + line + "'");
-    }
+    // Ids are parsed as full-width Index (64-bit unsigned), not through a
+    // signed intermediate: an id that doesn't fit must be an error, never a
+    // truncation into some other valid vertex.
+    auto parse_id = [&line](const std::string& tok) {
+      Index id = 0;
+      switch (detail::parse_int(tok, id)) {
+        case detail::ParseStatus::kOk:
+          return id;
+        case detail::ParseStatus::kOutOfRange:
+          throw grb::InvalidValue("SNAP: vertex id out of range in '" + line +
+                                  "'");
+        case detail::ParseStatus::kInvalid:
+          break;
+      }
+      if (detail::looks_negative(tok)) {
+        throw grb::InvalidValue("SNAP: negative vertex id in '" + line + "'");
+      }
+      throw grb::InvalidValue("SNAP: bad edge line '" + line + "'");
+    };
+    const Index src = parse_id(src_tok);
+    const Index dst = parse_id(dst_tok);
     // The weight column is optional, but "absent" and "present but
     // garbage" are different cases: a row like "0 1 xyz" must be a parse
     // error (matching matrix_market.cpp's strictness on its value field),
@@ -41,8 +60,8 @@ SnapReadResult read_snap(std::istream& in) {
       if (inserted) result.original_id.push_back(original);
       return it->second;
     };
-    const Index s = intern(static_cast<Index>(src));
-    const Index d = intern(static_cast<Index>(dst));
+    const Index s = intern(src);
+    const Index d = intern(dst);
     result.graph.edges().push_back({s, d, w});
   }
   result.graph.set_num_vertices(static_cast<Index>(compact.size()));

@@ -17,12 +17,15 @@
 #include <barrier>
 #include <cmath>
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "graphblas/context.hpp"
 #include "sssp/async/write_min.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace dsg {
 
@@ -109,6 +112,28 @@ struct Engine {
   AsyncWorkspace* ws = nullptr;
   SsspStats stats;  // coordinator-owned
 
+  // --- lifecycle + failure containment ------------------------------------
+  // The control is polled only by the coordinator (between the barriers),
+  // which turns expiry/cancel into `done` — the same plain flag every
+  // worker already observes at the round edge, so cancellation needs no
+  // extra synchronization.  A worker that throws records the exception
+  // here (first one wins), keeps the barrier protocol so nobody deadlocks,
+  // and the coordinator shuts the engine down at the next round edge; the
+  // error is rethrown on the coordinating caller after the join.
+  const QueryControl* control = nullptr;
+  SsspStatus status = SsspStatus::kComplete;  // coordinator-owned
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;  // guarded by error_mu until the join
+
+  void record_failure() {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::current_exception();
+    }
+    failed.store(true, std::memory_order_release);
+  }
+
   // --- shared concurrent bag ----------------------------------------------
 
   /// Publishes v (at candidate distance dv) into the next frontier.  The
@@ -169,6 +194,7 @@ struct Engine {
   /// work cursor until the frontier is exhausted, then merge the local
   /// counters into the shared round accumulators.
   void run_round(Local& loc) {
+    testing::fault_point("async/round");
     if (traverse_mode == Mode::kSparse) {
       for (;;) {
         const Index start =
@@ -282,6 +308,20 @@ struct Engine {
   }
 
   void coordinate() {
+    // A recorded worker failure ends the solve at this round edge; the
+    // acquire pairs with record_failure's release so the error_ptr write
+    // is visible to the post-join rethrow.
+    if (failed.load(std::memory_order_acquire)) {
+      done = true;
+      return;
+    }
+    testing::fault_point("async/coordinate");
+    if (status == SsspStatus::kComplete) status = poll_control(control);
+    if (status != SsspStatus::kComplete) {
+      // Stop cooperatively: dist holds write_min upper bounds at any cut.
+      done = true;
+      return;
+    }
     ++stats.outer_iterations;
     const std::uint64_t processed =
         processed_round.load(std::memory_order_relaxed);
@@ -327,9 +367,26 @@ struct Engine {
   void worker(std::barrier<>& bar, int tid) {
     Local loc;
     for (;;) {
-      run_round(loc);
+      try {
+        run_round(loc);
+      } catch (...) {
+        // Record and keep going to the barrier: peers may still be inside
+        // run_round, and abandoning the protocol would deadlock them.  The
+        // local round state is reset so nothing half-drained carries over.
+        record_failure();
+        loc.qsize = 0;
+        loc.processed = 0;
+        loc.next_min = kInfDist;
+      }
       bar.arrive_and_wait();  // all relaxation for this round is done
-      if (tid == 0) coordinate();
+      if (tid == 0) {
+        try {
+          coordinate();
+        } catch (...) {
+          record_failure();
+          done = true;
+        }
+      }
       bar.arrive_and_wait();  // round bookkeeping published
       if (done) break;
     }
@@ -371,18 +428,30 @@ SsspResult run_async(const GraphPlan& plan, grb::Context& ctx, Index source,
   eng.traverse_mode = eng.insert_mode = Mode::kSparse;
   eng.theta_inclusive = !use_delta;
   eng.theta = eng.compute_theta(0.0);
+  eng.control = exec.control;
 
   int threads = exec.num_threads > 0
                     ? exec.num_threads
                     : static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
 
-  if (threads == 1) {
-    // Inline serial path: the same rounds, no barrier, no spawn.
+  // Pre-run poll: a deadline of 0 (or an already-cancelled control) returns
+  // before any thread spawns, with the init-state upper bounds.
+  eng.status = poll_control(exec.control);
+  if (eng.status != SsspStatus::kComplete) {
+    eng.done = true;
+  } else if (threads == 1) {
+    // Inline serial path: the same rounds, no barrier, no spawn.  Errors
+    // are parked like the threaded path's so the workspace scrub below
+    // runs before the rethrow.
     Local loc;
-    while (!eng.done) {
-      eng.run_round(loc);
-      eng.coordinate();
+    try {
+      while (!eng.done) {
+        eng.run_round(loc);
+        eng.coordinate();
+      }
+    } catch (...) {
+      eng.record_failure();
     }
   } else {
     std::barrier<> bar(threads);
@@ -394,12 +463,25 @@ SsspResult run_async(const GraphPlan& plan, grb::Context& ctx, Index source,
     for (auto& th : pool) th.join();  // join: publishes every final store
   }
 
+  // An interrupted or failed run stops with frontier flags still set
+  // (normal termination only happens on an empty frontier).  Scrub both
+  // arrays to restore the workspace's between-solves all-zero invariant
+  // before returning or rethrowing.
+  if (eng.error || eng.status != SsspStatus::kComplete) {
+    for (Index v = 0; v < n; ++v) {
+      ws.flags0[v].store(0, std::memory_order_relaxed);
+      ws.flags1[v].store(0, std::memory_order_relaxed);
+    }
+  }
+  if (eng.error) std::rethrow_exception(eng.error);
+
   SsspResult result;
   result.dist.resize(n);
   for (Index v = 0; v < n; ++v) {
     result.dist[v] = eng.dist[v].load(std::memory_order_relaxed);
   }
   result.stats = eng.stats;
+  result.status = eng.status;
   return result;
 }
 

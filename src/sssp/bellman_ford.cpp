@@ -3,11 +3,19 @@
 #include <deque>
 #include <vector>
 
+#include "testing/fault_injection.hpp"
+
 namespace dsg {
 
-SsspResult bellman_ford(const grb::Matrix<double>& a, Index source) {
-  check_sssp_inputs(a, source);
+namespace {
+
+/// SPFA worklist core.  The control is polled every kPollStride dequeues
+/// (the loop has no round structure).  dist is relax-only, so any
+/// interruption cut is a valid upper bound.
+SsspResult bellman_ford_impl(const grb::Matrix<double>& a, Index source,
+                             const QueryControl* control) {
   const Index n = a.nrows();
+  constexpr std::uint64_t kPollStride = 1024;
 
   SsspResult result;
   result.dist.assign(n, kInfDist);
@@ -19,7 +27,11 @@ SsspResult bellman_ford(const grb::Matrix<double>& a, Index source) {
   queue.push_back(source);
   in_queue[source] = 1;
 
-  while (!queue.empty()) {
+  std::uint64_t dequeues = 0;
+  SsspStatus status = poll_control(control);
+  while (status == SsspStatus::kComplete && !queue.empty()) {
+    if (++dequeues % kPollStride == 0) status = poll_control(control);
+    testing::fault_point("bellman_ford/relax");
     const Index u = queue.front();
     queue.pop_front();
     in_queue[u] = 0;
@@ -44,12 +56,21 @@ SsspResult bellman_ford(const grb::Matrix<double>& a, Index source) {
       }
     }
   }
+  result.status = status;
   return result;
 }
 
+}  // namespace
+
+SsspResult bellman_ford(const grb::Matrix<double>& a, Index source) {
+  check_sssp_inputs(a, source);
+  return bellman_ford_impl(a, source, nullptr);
+}
+
 SsspResult bellman_ford(const GraphPlan& plan, grb::Context&, Index source,
-                        const ExecOptions&) {
-  return bellman_ford(plan.matrix(), source);
+                        const ExecOptions& exec) {
+  grb::detail::check_index(source, plan.num_vertices(), "sssp: source");
+  return bellman_ford_impl(plan.matrix(), source, exec.control);
 }
 
 SsspResult bellman_ford_rounds(const grb::Matrix<double>& a, Index source) {

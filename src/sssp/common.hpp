@@ -8,6 +8,7 @@
 
 #include "graphblas/matrix.hpp"
 #include "graphblas/types.hpp"
+#include "sssp/query_control.hpp"
 
 namespace dsg {
 
@@ -41,6 +42,10 @@ struct SsspStats {
 struct SsspResult {
   std::vector<double> dist;
   SsspStats stats;
+  /// How the run ended.  Anything other than kComplete means the query was
+  /// interrupted (deadline/cancel) and dist holds valid *upper bounds* on
+  /// the true distances — see query_control.hpp for the contract.
+  SsspStatus status = SsspStatus::kComplete;
 };
 
 /// Options shared by all delta-stepping variants.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graphblas/context.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace dsg {
 
@@ -109,9 +110,15 @@ SsspResult delta_stepping_buckets(const GraphPlan& plan, grb::Context&,
 
   relax(source, 0.0);
 
+  // Lifecycle: poll once before the loop (a deadline of 0 returns
+  // immediately with the init-state upper bounds) and at every bucket
+  // boundary.  tent is relax-only, so it is a valid upper bound at any cut.
+  SsspStatus status = poll_control(exec.control);
+
   std::vector<std::pair<Index, double>> requests;
   Index i = 0;
-  while (!buckets.all_empty()) {
+  while (status == SsspStatus::kComplete && !buckets.all_empty()) {
+    testing::fault_point("buckets/round");
     // Advance to the next non-empty bucket.  The cyclic array caps the
     // probe distance at num_buckets.
     while (buckets.logical_bucket_empty(i)) ++i;
@@ -155,11 +162,13 @@ SsspResult delta_stepping_buckets(const GraphPlan& plan, grb::Context&,
     if (exec.profile) stats.heavy_seconds += seconds_since(heavy_start);
 
     ++i;
+    status = poll_control(exec.control);
   }
 
   SsspResult result;
   result.dist = std::move(tent);
   result.stats = stats;
+  result.status = status;
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "capi/graphblas.h"
+#include "testing/fault_injection.hpp"
 
 namespace dsg {
 
@@ -60,6 +61,17 @@ struct CapiPlanHandles {
     GrB_UnaryOp_free(&op_delta_igeq);
     GrB_UnaryOp_free(&op_delta_irange);
     GrB_Descriptor_free(&clear_desc);
+  }
+};
+
+/// Frees a fixed set of GrB_Vector handles on scope exit, so the plan core
+/// cannot leak them when a fault point (or a C-API call) throws mid-loop.
+/// GrB_Vector_free nulls the handle, so the normal-path explicit frees and
+/// this guard compose safely.
+struct VectorGuard {
+  std::vector<GrB_Vector*> vecs;
+  ~VectorGuard() {
+    for (GrB_Vector* v : vecs) GrB_Vector_free(v);
   }
 };
 
@@ -279,7 +291,7 @@ SsspResult delta_stepping_capi(const grb::Matrix<double>& a_in, Index source,
 }
 
 SsspResult delta_stepping_capi(const GraphPlan& plan, grb::Context&,
-                               Index source, const ExecOptions&) {
+                               Index source, const ExecOptions& exec) {
   const GrB_Index n = plan.num_vertices();
   grb::detail::check_index(source, n, "sssp: source");
   SsspStats stats;
@@ -294,6 +306,7 @@ SsspResult delta_stepping_capi(const GraphPlan& plan, grb::Context&,
   GrB_Vector tless = nullptr, tB = nullptr, tgeq = nullptr, tcomp = nullptr;
   GrB_Vector s = nullptr;
   GrB_Vector_new(&t, n);
+  VectorGuard guard{{&t, &tmasked, &tReq, &tless, &tB, &tgeq, &tcomp, &s}};
   GrB_Vector_new(&tmasked, n);
   GrB_Vector_new(&tReq, n);
   GrB_Vector_new(&tless, n);
@@ -305,13 +318,18 @@ SsspResult delta_stepping_capi(const GraphPlan& plan, grb::Context&,
   // t[src] = 0                                        (line 8)
   GrB_Vector_setElement_FP64(t, 0.0, source);
 
-  // init i = 0; loop (lines 23-69) — identical to the legacy body.
+  // init i = 0; loop (lines 23-69) — identical to the legacy body, plus the
+  // lifecycle poll at each bucket boundary (t is min-only: any cut is a
+  // valid upper bound, and the sparse extraction below fills the rest with
+  // +inf exactly as a completed run does for unreached vertices).
   i_global = 0.0;
   GrB_Vector_apply(tgeq, GrB_NULL, GrB_NULL, h.op_delta_igeq, t, GrB_NULL);
   GrB_Vector_apply(tcomp, tgeq, GrB_NULL, GrB_IDENTITY_BOOL, t, GrB_NULL);
   GrB_Index tcomp_size = 0;
   GrB_Vector_nvals(&tcomp_size, tcomp);
-  while (tcomp_size > 0) {
+  SsspStatus status = poll_control(exec.control);
+  while (status == SsspStatus::kComplete && tcomp_size > 0) {
+    testing::fault_point("capi/round");
     ++stats.outer_iterations;
     GrB_Vector_clear(s);
 
@@ -351,6 +369,7 @@ SsspResult delta_stepping_capi(const GraphPlan& plan, grb::Context&,
     GrB_Vector_apply(tcomp, tgeq, GrB_NULL, GrB_IDENTITY_BOOL, t,
                      h.clear_desc);
     GrB_Vector_nvals(&tcomp_size, tcomp);
+    status = poll_control(exec.control);
   }
 
   SsspResult result;
@@ -366,15 +385,8 @@ SsspResult delta_stepping_capi(const GraphPlan& plan, grb::Context&,
     }
   }
   result.stats = stats;
-
-  GrB_Vector_free(&t);
-  GrB_Vector_free(&tmasked);
-  GrB_Vector_free(&tReq);
-  GrB_Vector_free(&tless);
-  GrB_Vector_free(&tB);
-  GrB_Vector_free(&tgeq);
-  GrB_Vector_free(&tcomp);
-  GrB_Vector_free(&s);
+  result.status = status;
+  // The vectors are freed by `guard` on return.
   return result;
 }
 

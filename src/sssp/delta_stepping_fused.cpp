@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graphblas/context.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace dsg {
 
@@ -67,7 +68,14 @@ SsspResult delta_stepping_fused(const GraphPlan& plan, grb::Context& ctx,
     return count;
   };
 
-  while (count_remaining(static_cast<double>(i) * delta) > 0) {
+  // Lifecycle: poll before the loop (deadline 0 ⇒ init-state upper bounds)
+  // and at every bucket boundary.  t is min-only, so any cut is a valid
+  // upper bound.
+  SsspStatus status = poll_control(exec.control);
+
+  while (status == SsspStatus::kComplete &&
+         count_remaining(static_cast<double>(i) * delta) > 0) {
+    testing::fault_point("fused/round");
     ++stats.outer_iterations;
     const double lo = static_cast<double>(i) * delta;
     const double hi = lo + delta;
@@ -142,11 +150,13 @@ SsspResult delta_stepping_fused(const GraphPlan& plan, grb::Context& ctx,
     if (exec.profile) stats.heavy_seconds += seconds_since(heavy_start);
 
     ++i;
+    status = poll_control(exec.control);
   }
 
   SsspResult result;
   result.dist = std::move(t);
   result.stats = stats;
+  result.status = status;
   return result;
 }
 

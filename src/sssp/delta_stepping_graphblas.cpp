@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "graphblas/graphblas.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace dsg {
 
@@ -20,7 +21,7 @@ double seconds_since(Clock::time_point start) {
 SsspResult run_graphblas_loop(const grb::Matrix<double>& al,
                               const grb::Matrix<double>& ah, Index n,
                               double delta, grb::Context& ctx, Index source,
-                              bool profile) {
+                              bool profile, const QueryControl* control) {
   SsspStats stats;  // setup_seconds filled in by the caller (0 when planned)
   const auto minplus = grb::min_plus_semiring<double>();
 
@@ -48,7 +49,11 @@ SsspResult run_graphblas_loop(const grb::Matrix<double>& al,
              grb::GreaterEqualThreshold<double>{0.0}, t);
   grb::apply(ctx, tcomp, tgeq, grb::NoAccumulate{}, grb::Identity<double>{}, t,
              grb::replace_desc);
-  while (tcomp.nvals() > 0) {
+  // Lifecycle: poll before the loop and per bucket.  t is min-only
+  // (Min eWiseAdd), so any cut of it is a valid upper bound.
+  SsspStatus status = poll_control(control);
+  while (status == SsspStatus::kComplete && tcomp.nvals() > 0) {
+    testing::fault_point("graphblas/round");
     ++stats.outer_iterations;
     const double lo = static_cast<double>(i) * delta;
     const double hi = lo + delta;
@@ -123,12 +128,14 @@ SsspResult run_graphblas_loop(const grb::Matrix<double>& al,
     grb::apply(ctx, tcomp, tgeq, grb::NoAccumulate{}, grb::Identity<double>{},
                t, grb::replace_desc);
     if (profile) stats.vector_seconds += seconds_since(vec_start);
+    status = poll_control(control);
   }
 
   SsspResult result;
   result.dist = t.to_dense_array(kInfDist);
   // Stored-but-unreached cannot happen: t only ever receives finite values.
   result.stats = stats;
+  result.status = status;
   return result;
 }
 
@@ -141,7 +148,8 @@ SsspResult delta_stepping_graphblas(const GraphPlan& plan, grb::Context& ctx,
   // A_L / A_H prebuilt by the plan — paid once per graph, not per query.
   // stats.setup_seconds stays 0.
   return run_graphblas_loop(plan.light_matrix(), plan.heavy_matrix(), n,
-                            plan.delta(), ctx, source, exec.profile);
+                            plan.delta(), ctx, source, exec.profile,
+                            exec.control);
 }
 
 SsspResult delta_stepping_graphblas(const grb::Matrix<double>& a, Index source,
@@ -171,8 +179,8 @@ SsspResult delta_stepping_graphblas(const grb::Matrix<double>& a, Index source,
   grb::apply(ah, ab, grb::NoAccumulate{}, grb::Identity<double>{}, a);
   const double setup_seconds = seconds_since(setup_start);
 
-  SsspResult result =
-      run_graphblas_loop(al, ah, n, delta, ctx, source, options.profile);
+  SsspResult result = run_graphblas_loop(al, ah, n, delta, ctx, source,
+                                         options.profile, nullptr);
   result.stats.setup_seconds = setup_seconds;
   return result;
 }

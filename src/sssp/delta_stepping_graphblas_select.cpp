@@ -6,6 +6,7 @@
 #include <chrono>
 
 #include "graphblas/graphblas.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace dsg {
 
@@ -23,7 +24,7 @@ double seconds_since(Clock::time_point start) {
 SsspResult run_select_loop(const grb::Matrix<double>& al,
                            const grb::Matrix<double>& ah, Index n,
                            double delta, grb::Context& ctx, Index source,
-                           bool profile) {
+                           bool profile, const QueryControl* control) {
   SsspStats stats;  // setup_seconds filled in by the caller (0 when planned)
   const auto minplus = grb::min_plus_semiring<double>();
 
@@ -39,7 +40,11 @@ SsspResult run_select_loop(const grb::Matrix<double>& al,
 
   Index i = 0;
   grb::select(ctx, tcomp, grb::GreaterEqualThreshold<double>{0.0}, t);
-  while (tcomp.nvals() > 0) {
+  // Lifecycle: poll before the loop and per bucket; t is min-only, so any
+  // cut is a valid upper bound.
+  SsspStatus status = poll_control(control);
+  while (status == SsspStatus::kComplete && tcomp.nvals() > 0) {
+    testing::fault_point("graphblas_select/round");
     ++stats.outer_iterations;
     const double lo = static_cast<double>(i) * delta;
     const double hi = lo + delta;
@@ -88,11 +93,13 @@ SsspResult run_select_loop(const grb::Matrix<double>& al,
                 grb::GreaterEqualThreshold<double>{static_cast<double>(i) *
                                                    delta},
                 t, grb::replace_desc);
+    status = poll_control(control);
   }
 
   SsspResult result;
   result.dist = t.to_dense_array(kInfDist);
   result.stats = stats;
+  result.status = status;
   return result;
 }
 
@@ -105,7 +112,8 @@ SsspResult delta_stepping_graphblas_select(const GraphPlan& plan,
   grb::detail::check_index(source, n, "sssp: source");
   // A_L / A_H prebuilt by the plan; stats.setup_seconds stays 0.
   return run_select_loop(plan.light_matrix(), plan.heavy_matrix(), n,
-                         plan.delta(), ctx, source, exec.profile);
+                         plan.delta(), ctx, source, exec.profile,
+                         exec.control);
 }
 
 SsspResult delta_stepping_graphblas_select(
@@ -130,7 +138,7 @@ SsspResult delta_stepping_graphblas_select(
   const double setup_seconds = seconds_since(setup_start);
 
   SsspResult result =
-      run_select_loop(al, ah, n, delta, ctx, source, options.profile);
+      run_select_loop(al, ah, n, delta, ctx, source, options.profile, nullptr);
   result.stats.setup_seconds = setup_seconds;
   return result;
 }

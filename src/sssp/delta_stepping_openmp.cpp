@@ -6,6 +6,7 @@
 
 #include "graphblas/context.hpp"
 #include "sssp/delta_stepping_fused.hpp"
+#include "testing/fault_injection.hpp"
 
 #if defined(DSG_HAVE_OPENMP)
 #include <omp.h>
@@ -199,7 +200,7 @@ namespace {
 /// is used — inputs must already be validated by the caller.
 SsspResult delta_stepping_openmp_impl(
     const grb::Matrix<double>& a, Index source, const OpenMpOptions& options,
-    const detail::LightHeavySplit* prebuilt) {
+    const detail::LightHeavySplit* prebuilt, const QueryControl* control) {
   const Index n = a.nrows();
   const double delta = options.delta;
   SsspStats stats;
@@ -216,9 +217,20 @@ SsspResult delta_stepping_openmp_impl(
   double* treq = treq_vec.data();
   unsigned char* s = s_vec.data();
 
+  // Lifecycle + failure containment.  The whole loop lives inside one
+  // parallel region; an exception escaping the `omp single` structured
+  // block would std::terminate, so the body is bracketed by a try/catch
+  // that parks the error in an exception_ptr for rethrow after the region.
+  // Cancellation/deadline need no throw: the single-executor thread polls
+  // at bucket boundaries and falls out of the loop cleanly (t is min-only,
+  // so the cut is a valid upper bound).
+  SsspStatus status = poll_control(control);
+  std::exception_ptr error;
+
 #pragma omp parallel
 #pragma omp single
   {
+    try {
     int num_tasks = options.tasks_per_vector;
     if (num_tasks <= 0) num_tasks = omp_get_num_threads();
 
@@ -261,7 +273,9 @@ SsspResult delta_stepping_openmp_impl(
     };
 
     Index i = 0;
-    while (count_remaining(static_cast<double>(i) * delta) > 0) {
+    while (status == SsspStatus::kComplete &&
+           count_remaining(static_cast<double>(i) * delta) > 0) {
+      testing::fault_point("openmp/round");
       ++stats.outer_iterations;
       const double lo = static_cast<double>(i) * delta;
       const double hi = lo + delta;
@@ -320,12 +334,19 @@ SsspResult delta_stepping_openmp_impl(
       if (options.profile) stats.heavy_seconds += seconds_since(heavy_start);
 
       ++i;
+      status = poll_control(control);
+    }
+    } catch (...) {
+      error = std::current_exception();
     }
   }  // omp single / parallel
+
+  if (error) std::rethrow_exception(error);
 
   SsspResult result;
   result.dist = std::move(t_vec);
   result.stats = stats;
+  result.status = status;
   return result;
 }
 
@@ -336,7 +357,7 @@ SsspResult delta_stepping_openmp(const grb::Matrix<double>& a, Index source,
   check_sssp_inputs(a, source);
   check_nonnegative_weights(a);
   check_delta(options.delta);
-  return delta_stepping_openmp_impl(a, source, options, nullptr);
+  return delta_stepping_openmp_impl(a, source, options, nullptr, nullptr);
 }
 
 SsspResult delta_stepping_openmp(const GraphPlan& plan, grb::Context&,
@@ -348,7 +369,7 @@ SsspResult delta_stepping_openmp(const GraphPlan& plan, grb::Context&,
   options.num_threads = exec.num_threads;
   options.tasks_per_vector = exec.tasks_per_vector;
   return delta_stepping_openmp_impl(plan.matrix(), source, options,
-                                    &plan.light_heavy());
+                                    &plan.light_heavy(), exec.control);
 }
 
 #endif  // DSG_HAVE_OPENMP

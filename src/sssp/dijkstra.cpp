@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "testing/fault_injection.hpp"
+
 namespace dsg {
 
 namespace {
@@ -11,11 +13,17 @@ namespace {
 /// (distance, vertex) min-heap entry; lazy deletion via distance check.
 using HeapEntry = std::pair<double, Index>;
 
+/// Polling cadence: the heap loop has no round structure, so the control
+/// is checked every kPollStride settled vertices (cheap enough to keep
+/// cancel latency low, rare enough not to tax steady_clock).
+constexpr std::uint64_t kPollStride = 1024;
+
 /// Core; inputs must be validated by the caller (the public wrappers
 /// validate per call, the plan-based entry relies on the plan's one-time
 /// validation).
 SsspResult dijkstra_impl(const grb::Matrix<double>& a, Index source,
-                         std::vector<Index>* parent) {
+                         std::vector<Index>* parent,
+                         const QueryControl* control) {
   const Index n = a.nrows();
   SsspResult result;
   result.dist.assign(n, kInfDist);
@@ -25,11 +33,17 @@ SsspResult dijkstra_impl(const grb::Matrix<double>& a, Index source,
   result.dist[source] = 0.0;
   heap.push({0.0, source});
 
-  while (!heap.empty()) {
+  // dist is relax-only, so any interruption cut is a valid upper bound.
+  SsspStatus status = poll_control(control);
+  while (status == SsspStatus::kComplete && !heap.empty()) {
     const auto [d, u] = heap.top();
     heap.pop();
     if (d > result.dist[u]) continue;  // stale entry
     ++result.stats.outer_iterations;   // settled vertices
+    if (result.stats.outer_iterations % kPollStride == 0) {
+      status = poll_control(control);
+    }
+    testing::fault_point("dijkstra/settle");
 
     auto cols = a.row_indices(u);
     auto vals = a.row_values(u);
@@ -44,6 +58,7 @@ SsspResult dijkstra_impl(const grb::Matrix<double>& a, Index source,
       }
     }
   }
+  result.status = status;
   return result;
 }
 
@@ -52,20 +67,20 @@ SsspResult dijkstra_impl(const grb::Matrix<double>& a, Index source,
 SsspResult dijkstra(const grb::Matrix<double>& a, Index source) {
   check_sssp_inputs(a, source);
   check_nonnegative_weights(a);
-  return dijkstra_impl(a, source, nullptr);
+  return dijkstra_impl(a, source, nullptr, nullptr);
 }
 
 SsspResult dijkstra(const GraphPlan& plan, grb::Context&, Index source,
-                    const ExecOptions&) {
+                    const ExecOptions& exec) {
   grb::detail::check_index(source, plan.num_vertices(), "sssp: source");
-  return dijkstra_impl(plan.matrix(), source, nullptr);
+  return dijkstra_impl(plan.matrix(), source, nullptr, exec.control);
 }
 
 SsspResult dijkstra_with_parents(const grb::Matrix<double>& a, Index source,
                                  std::vector<Index>& parent) {
   check_sssp_inputs(a, source);
   check_nonnegative_weights(a);
-  return dijkstra_impl(a, source, &parent);
+  return dijkstra_impl(a, source, &parent, nullptr);
 }
 
 }  // namespace dsg

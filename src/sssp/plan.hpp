@@ -71,6 +71,11 @@ struct ExecOptions {
   int tasks_per_vector = 0;
   /// rho_stepping: per-round batch-size target (0 = max(64, n/8)).
   Index rho = 0;
+  /// Optional query lifecycle control (deadline + cooperative cancel).
+  /// Null = run to completion unconditionally.  Cores poll it at their
+  /// round/bucket boundaries; on expiry/cancel they stop and return the
+  /// distances computed so far with the matching SsspResult::status.
+  const QueryControl* control = nullptr;
 };
 
 /// One-pass structural statistics collected at plan construction.  These

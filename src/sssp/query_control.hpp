@@ -1,0 +1,124 @@
+// query_control.hpp — the query lifecycle layer: deadlines, cooperative
+// cancellation, and the status lattice every SSSP core reports through.
+//
+// A QueryControl is the handle a *caller* holds on a running query.  The
+// solver cores never block on it and never lock: they poll() at their
+// natural round/bucket boundaries (cheap — one relaxed atomic load, plus a
+// steady_clock read when a deadline is armed) and, when the control says
+// stop, they exit their loop and return the distances computed so far.
+//
+// Partial-result contract: every core maintains its tentative-distance
+// state as a monotonically improving upper bound (write_min / relax-only
+// updates — no core ever writes a value below the true distance), so an
+// interrupted run's distances are always *valid upper bounds* on the true
+// shortest paths: dist[source] == 0, dist[v] >= d*(v) for every v, with
+// +inf meaning "not reached yet".  Status tells the caller how to read
+// them:
+//
+//   kComplete        exact shortest-path distances
+//   kDeadlineExpired upper bounds; the deadline fired first
+//   kCancelled       upper bounds; request_cancel() was observed
+//   kFailed          batch isolation only: the query threw (no distances)
+//
+// Sharing and thread-safety: one QueryControl may be watched by many
+// worker threads of one solve, or shared across every query of a batch
+// (cancel the control, the whole batch winds down).  request_cancel() is
+// safe from any thread at any time.  The deadline fields are plain data:
+// arm them before handing the control to a solve (the thread that starts
+// the solve publishes them via the spawn/dispatch happens-before edge) and
+// do not move the deadline while a solve is in flight.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace dsg {
+
+/// How a query run ended.  Ordered as a severity lattice: kComplete beats
+/// everything, cancellation/deadline return usable partial results, and
+/// kFailed (batch isolation only) returns none.
+enum class SsspStatus : int {
+  kComplete = 0,
+  kDeadlineExpired = 1,
+  kCancelled = 2,
+  kFailed = 3,
+};
+
+/// Stable display name ("complete", "deadline_expired", ...).
+inline const char* to_string(SsspStatus status) {
+  switch (status) {
+    case SsspStatus::kComplete: return "complete";
+    case SsspStatus::kDeadlineExpired: return "deadline_expired";
+    case SsspStatus::kCancelled: return "cancelled";
+    case SsspStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+class QueryControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  QueryControl() = default;
+  // Not copyable or movable: workers hold a pointer to the atomic flag.
+  QueryControl(const QueryControl&) = delete;
+  QueryControl& operator=(const QueryControl&) = delete;
+
+  /// Arms an absolute deadline.  Arm before starting the solve.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Arms a deadline `seconds` from now.  0 (or negative) means "already
+  /// expired": the solve returns kDeadlineExpired at its first poll, with
+  /// the initial upper bounds (source 0, everything else +inf).
+  void set_timeout(double seconds) {
+    set_deadline(Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(seconds)));
+  }
+
+  void clear_deadline() { has_deadline_ = false; }
+
+  /// Requests cooperative cancellation.  Safe from any thread; observed at
+  /// the next round/bucket boundary of the running solve.
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Re-arms the control for another query (clears cancel and deadline).
+  void reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    has_deadline_ = false;
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  bool deadline_expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// The solver-side check: kComplete means "keep going".  Cancellation
+  /// wins over an expired deadline when both hold (it is the stronger,
+  /// caller-initiated signal).
+  SsspStatus poll() const {
+    if (cancel_requested()) return SsspStatus::kCancelled;
+    if (deadline_expired()) return SsspStatus::kDeadlineExpired;
+    return SsspStatus::kComplete;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+/// Null-tolerant poll, for the ExecOptions::control pointer (null = the
+/// query runs to completion unconditionally).
+inline SsspStatus poll_control(const QueryControl* control) {
+  return control ? control->poll() : SsspStatus::kComplete;
+}
+
+}  // namespace dsg

@@ -13,6 +13,7 @@
 #include "sssp/delta_stepping_openmp.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/paths.hpp"
+#include "testing/fault_injection.hpp"
 
 #if defined(DSG_HAVE_OPENMP)
 #include <omp.h>
@@ -123,20 +124,67 @@ ExecOptions SsspSolver::exec_options() const {
 
 SsspResult SsspSolver::solve(Index source) {
   const AlgorithmInfo& info = algorithm_info(options_.algorithm);
+  testing::fault_point("solver/solve");
   return info.run(plan_, ctx_, source, exec_options());
+}
+
+SsspResult SsspSolver::solve(Index source, const QueryControl& control) {
+  const AlgorithmInfo& info = algorithm_info(options_.algorithm);
+  testing::fault_point("solver/solve");
+  ExecOptions exec = exec_options();
+  exec.control = &control;
+  return info.run(plan_, ctx_, source, exec);
 }
 
 std::vector<SsspResult> SsspSolver::solve_batch(
     std::span<const Index> sources) {
-  // Validate every source before launching anything: a bad index must not
-  // surface mid-batch (or from inside a parallel region).
-  for (Index s : sources) {
-    grb::detail::check_index(s, plan_.num_vertices(), "solve_batch: source");
+  BatchOptions batch;
+  batch.rethrow_errors = true;
+  std::vector<QueryResult> isolated = solve_batch(sources, batch);
+  std::vector<SsspResult> results;
+  results.reserve(isolated.size());
+  for (QueryResult& q : isolated) results.push_back(std::move(q.result));
+  return results;
+}
+
+std::vector<QueryResult> SsspSolver::solve_batch(
+    std::span<const Index> sources, const BatchOptions& batch) {
+  if (batch.rethrow_errors) {
+    // Legacy contract: a bad index must not surface mid-batch (or from
+    // inside a parallel region) — validate everything before launching.
+    // Isolation mode instead turns a bad source into that query's failure.
+    for (Index s : sources) {
+      grb::detail::check_index(s, plan_.num_vertices(), "solve_batch: source");
+    }
   }
 
   const AlgorithmInfo& info = algorithm_info(options_.algorithm);
-  const ExecOptions exec = exec_options();
-  std::vector<SsspResult> results(sources.size());
+  ExecOptions exec = exec_options();
+  exec.control = batch.control;
+  std::vector<QueryResult> results(sources.size());
+
+  // Per-query body: every exception stays inside its own slot.  The fault
+  // point is keyed by source so tests can poison one specific query
+  // regardless of OpenMP scheduling.
+  auto run_one = [&](std::size_t k, grb::Context& query_ctx) {
+    QueryResult& out = results[k];
+    try {
+      const Index s = sources[k];
+      grb::detail::check_index(s, plan_.num_vertices(), "solve_batch: source");
+      testing::fault_point("solver/batch_query", s);
+      out.result = info.run(plan_, query_ctx, s, exec);
+    } catch (const std::exception& e) {
+      out.exception = std::current_exception();
+      out.result = SsspResult{};
+      out.result.status = SsspStatus::kFailed;
+      out.error = e.what();
+    } catch (...) {
+      out.exception = std::current_exception();
+      out.result = SsspResult{};
+      out.result.status = SsspStatus::kFailed;
+      out.error = "unknown error";
+    }
+  };
 
 #if defined(DSG_HAVE_OPENMP)
   if (info.batch_parallel && sources.size() > 1 &&
@@ -144,32 +192,29 @@ std::vector<SsspResult> SsspSolver::solve_batch(
     // Source-level fan-out.  Each thread executes on its own thread-local
     // Context, so workspaces never cross threads; every solve is an
     // independent deterministic run, so results match the serial loop
-    // bit-for-bit.  Exceptions cannot cross the region: capture the first
-    // and rethrow after the join.
-    std::exception_ptr first_error = nullptr;
+    // bit-for-bit.  Exceptions cannot cross the region: run_one contains
+    // each inside its query's slot.
     const int threads = options_.num_threads > 0
                             ? options_.num_threads
                             : omp_get_max_threads();
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
     for (std::int64_t k = 0;
          k < static_cast<std::int64_t>(sources.size()); ++k) {
-      try {
-        results[static_cast<std::size_t>(k)] =
-            info.run(plan_, grb::default_context(),
-                     sources[static_cast<std::size_t>(k)], exec);
-      } catch (...) {
-#pragma omp critical(dsg_solver_batch_error)
-        if (!first_error) first_error = std::current_exception();
-      }
+      run_one(static_cast<std::size_t>(k), grb::default_context());
     }
-    if (first_error) std::rethrow_exception(first_error);
-    return results;
-  }
+  } else
 #endif
+  {
+    // Serial round-robin over the solver's own warm workspace.
+    for (std::size_t k = 0; k < sources.size(); ++k) {
+      run_one(k, ctx_);
+    }
+  }
 
-  // Serial round-robin over the solver's own warm workspace.
-  for (std::size_t k = 0; k < sources.size(); ++k) {
-    results[k] = info.run(plan_, ctx_, sources[k], exec);
+  if (batch.rethrow_errors) {
+    for (QueryResult& q : results) {
+      if (q.exception) std::rethrow_exception(q.exception);
+    }
   }
   return results;
 }

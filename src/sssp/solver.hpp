@@ -26,8 +26,10 @@
 // parallelizes internally and is safe to call from one thread.
 #pragma once
 
+#include <exception>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -110,6 +112,33 @@ struct SsspPathResult {
   SsspStats stats;
 };
 
+/// Outcome of one query in a failure-isolated batch (see
+/// solve_batch(sources, BatchOptions)).
+struct QueryResult {
+  /// The query's result.  When the query failed, dist is empty and
+  /// result.status == SsspStatus::kFailed; an interrupted query
+  /// (deadline/cancel) is a *success* carrying partial upper bounds.
+  SsspResult result;
+  /// The failing exception's message; empty on success.
+  std::string error;
+  /// The failing exception itself, for callers that need its type (the C
+  /// API classifies it into an error code); null on success.
+  std::exception_ptr exception;
+  bool ok() const { return error.empty(); }
+};
+
+/// Options for the failure-isolated batch entry point.
+struct BatchOptions {
+  /// Shared lifecycle control for every query of the batch (null = none).
+  /// Cancelling it winds the whole batch down: in-flight queries return
+  /// their partial upper bounds, not-yet-started ones their init state.
+  const QueryControl* control = nullptr;
+  /// true restores the legacy contract: the first query failure (lowest
+  /// source index) aborts the whole call by rethrowing.  The
+  /// vector-of-results overload is implemented on top of this.
+  bool rethrow_errors = false;
+};
+
 class SsspSolver {
  public:
   /// Owning constructors: move a matrix in (or share one via shared_ptr)
@@ -136,11 +165,27 @@ class SsspSolver {
   /// preprocessing was paid at construction (see plan().setup_seconds()).
   SsspResult solve(Index source);
 
+  /// One query under a lifecycle control: the run observes the control's
+  /// deadline/cancel at its round boundaries and, when interrupted,
+  /// returns distances-so-far (valid upper bounds) with the matching
+  /// result.status.  Arm the control's deadline before calling;
+  /// request_cancel() may come from any thread while this runs.
+  SsspResult solve(Index source, const QueryControl& control);
+
   /// Many queries against the shared plan.  Results are element-identical
   /// to calling solve() per source in order (duplicate sources included —
   /// warm-workspace reuse leaks no state between queries).  Internally
   /// serial variants fan out across OpenMP threads when available.
+  /// First query failure rethrows and discards the batch (the legacy
+  /// contract); use the BatchOptions overload for per-query isolation.
   std::vector<SsspResult> solve_batch(std::span<const Index> sources);
+
+  /// Failure-isolated batch: one query throwing (or naming an out-of-range
+  /// source) marks only its own QueryResult as failed; the other N-1
+  /// queries complete normally.  With batch.rethrow_errors the legacy
+  /// throwing contract applies instead.
+  std::vector<QueryResult> solve_batch(std::span<const Index> sources,
+                                       const BatchOptions& batch);
 
   /// One query plus shortest-path-tree recovery over the plan's matrix.
   SsspPathResult solve_with_paths(Index source);

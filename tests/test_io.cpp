@@ -122,6 +122,43 @@ TEST(MatrixMarket, RejectsTruncatedFile) {
   EXPECT_THROW(dsg::read_matrix_market(in), grb::InvalidValue);
 }
 
+TEST(MatrixMarket, RejectsOutOfRangeDimension) {
+  // 2^64 does not fit Index; the old long-long parse path clamped instead
+  // of diagnosing.  Must be an InvalidValue, never a truncated dimension.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "18446744073709551616 18446744073709551616 0\n");
+  EXPECT_THROW(dsg::read_matrix_market(in), grb::InvalidValue);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeEntryCoordinate) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "18446744073709551616 1 1.0\n");
+  EXPECT_THROW(dsg::read_matrix_market(in), grb::InvalidValue);
+}
+
+TEST(MatrixMarket, RejectsNegativeDimension) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "-3 -3 0\n");
+  EXPECT_THROW(dsg::read_matrix_market(in), grb::InvalidValue);
+}
+
+TEST(MatrixMarket, AcceptsFullWidthCoordinatesUpToDimension) {
+  // Ids above 2^63 are valid Index values; the reader must not funnel them
+  // through a signed 64-bit intermediate.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "9223372036854775810 9223372036854775810 1\n"
+      "9223372036854775809 1 1.0\n");
+  auto g = dsg::read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 9223372036854775810ull);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edges()[0].src, 9223372036854775808ull);
+}
+
 TEST(MatrixMarket, WriteReadRoundTrip) {
   EdgeList g(4);
   g.add_edge(0, 1, 1.25);
@@ -216,6 +253,29 @@ TEST(Snap, NumericPrefixWeightMatchesMatrixMarketLaxity) {
 TEST(Snap, RejectsNegativeIds) {
   std::istringstream in("-1 2\n");
   EXPECT_THROW(dsg::read_snap(in), grb::InvalidValue);
+}
+
+TEST(Snap, RejectsOutOfRangeIds) {
+  // 2^64 does not fit Index; the old long-long parse path clamped instead
+  // of diagnosing.  Must be an InvalidValue, never a truncated id.
+  std::istringstream in("18446744073709551616 2\n");
+  EXPECT_THROW(dsg::read_snap(in), grb::InvalidValue);
+}
+
+TEST(Snap, RejectsGarbageIds) {
+  std::istringstream in("12x3 2\n");
+  EXPECT_THROW(dsg::read_snap(in), grb::InvalidValue);
+}
+
+TEST(Snap, AcceptsFullWidthIds) {
+  // Ids above 2^63 are valid Index values; the reader must not funnel them
+  // through a signed 64-bit intermediate.  They compact like any other id.
+  std::istringstream in("18446744073709551615 7\n");
+  auto result = dsg::read_snap(in);
+  EXPECT_EQ(result.graph.num_vertices(), 2u);
+  ASSERT_EQ(result.original_id.size(), 2u);
+  EXPECT_EQ(result.original_id[0], 18446744073709551615ull);
+  EXPECT_EQ(result.original_id[1], 7u);
 }
 
 TEST(Snap, WriteReadRoundTrip) {
