@@ -1,0 +1,22 @@
+// Bad fixture: one unguarded C-API entry next to a correctly guarded one.
+// Only the unguarded definition may be flagged.
+namespace {
+template <typename F>
+int guarded(F&& f) noexcept {
+  try {
+    f();
+    return 0;
+  } catch (...) {
+    return 1;
+  }
+}
+}  // namespace
+
+extern "C" int GrB_ok_entry(int* out) {
+  return guarded([&] { *out = 1; });
+}
+
+extern "C" int GrB_bad_entry(int* out) {
+  *out = *(new int(7));  // may throw bad_alloc straight across the C ABI
+  return 0;
+}

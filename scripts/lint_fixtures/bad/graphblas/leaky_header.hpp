@@ -1,0 +1,6 @@
+// Bad fixture: header hygiene violations.
+#pragma once
+
+#include "impl.cpp"
+
+using namespace std;

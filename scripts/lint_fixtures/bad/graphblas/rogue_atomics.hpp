@@ -1,0 +1,16 @@
+// Bad fixture: raw std::atomic outside the allowlist.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class RogueFlag {
+ public:
+  void set() { flag_.store(true, std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace fixture

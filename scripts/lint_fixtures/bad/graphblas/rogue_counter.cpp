@@ -1,0 +1,15 @@
+// Bad fixture: RMW atomics in a translation unit off the allowlist.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<long> g_count{0};
+
+void bump() { g_count.fetch_add(1, std::memory_order_relaxed); }
+
+bool try_claim(std::atomic<int>& slot) {
+  int expected = 0;
+  return slot.compare_exchange_strong(expected, 1);
+}
+
+}  // namespace fixture

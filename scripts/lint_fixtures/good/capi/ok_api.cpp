@@ -1,0 +1,33 @@
+// Good fixture: every C-API entry routes through guarded().
+#include <exception>
+
+namespace {
+template <typename F>
+int guarded(F&& f) noexcept {
+  try {
+    f();
+    return 0;
+  } catch (...) {
+    return 1;
+  }
+}
+}  // namespace
+
+extern "C" int GrB_fixture_entry(int* out) {
+  if (out == nullptr) return 2;
+  return guarded([&] { *out = 42; });
+}
+
+extern "C" int DsgFixture_entry(void) {
+  return guarded([] {});
+}
+
+// A *call* to a GrB_-prefixed function inside a helper must not be mistaken
+// for an unguarded definition.
+namespace {
+int helper(int* out) { return GrB_fixture_entry(out); }
+}  // namespace
+
+extern "C" int GxB_fixture_entry(int* out) {
+  return guarded([&] { helper(out); });
+}

@@ -1,0 +1,14 @@
+// Good fixture: a hygienic header.  Mentions of std::atomic in comments
+// and strings must NOT trip the atomics-confinement rule.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+// "std::atomic<int> in a comment is fine; so is memory_order_relaxed."
+inline std::string motto() {
+  return "std::atomic is spelled here only inside a string literal";
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Good fixture: this path is on the atomics allowlist, so raw atomics are
+// legal here.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class Flag {
+ public:
+  void set() { flag_.store(true, std::memory_order_release); }
+  bool get() const { return flag_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace fixture

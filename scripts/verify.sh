@@ -1,11 +1,29 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build everything, run the full CTest suite.
-# Usage: scripts/verify.sh [build-dir] [extra cmake args...]
+#
+# Usage:
+#   scripts/verify.sh [build-dir] [extra cmake args...]   build + ctest
+#   scripts/verify.sh --static                            static gate only
+#   scripts/verify.sh --audit [build-dir]                 build + ctest with
+#                                                         DSG_AUDIT_INVARIANTS
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
-shift || true
+case "${1:-}" in
+  --static)
+    exec scripts/check_static.sh
+    ;;
+  --audit)
+    shift
+    BUILD_DIR="${1:-build-audit}"
+    shift || true
+    set -- "$@" -DDSG_AUDIT_INVARIANTS=ON
+    ;;
+  *)
+    BUILD_DIR="${1:-build}"
+    shift || true
+    ;;
+esac
 
 cmake -B "$BUILD_DIR" -S . "$@"
 cmake --build "$BUILD_DIR" -j "$(nproc)"

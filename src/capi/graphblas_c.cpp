@@ -183,78 +183,83 @@ GrB_Semiring GxB_LOR_LAND_BOOL = &kLorLandBool;
 
 GrB_Info GrB_Descriptor_new(GrB_Descriptor* desc) {
   if (!desc) return GrB_NULL_POINTER;
-  *desc = new (std::nothrow) GrB_Descriptor_opaque{};
-  return *desc ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+  *desc = nullptr;
+  return guarded([&] { *desc = new GrB_Descriptor_opaque{}; });
 }
 
 GrB_Info GrB_Descriptor_set(GrB_Descriptor desc, GrB_Desc_Field field,
                             GrB_Desc_Value value) {
   if (!desc) return GrB_NULL_POINTER;
-  switch (field) {
-    case GrB_OUTP:
-      if (value == GrB_REPLACE) {
-        desc->impl.replace = true;
-      } else if (value == GrB_DEFAULT) {
-        desc->impl.replace = false;
-      } else {
-        return GrB_INVALID_VALUE;
-      }
-      return GrB_SUCCESS;
-    case GrB_MASK:
-      if (value == GrB_COMP) {
-        desc->impl.mask_complement = true;
-      } else if (value == GrB_STRUCTURE) {
-        desc->impl.mask_structure = true;
-      } else if (value == GrB_DEFAULT) {
-        desc->impl.mask_complement = false;
-        desc->impl.mask_structure = false;
-      } else {
-        return GrB_INVALID_VALUE;
-      }
-      return GrB_SUCCESS;
-    case GrB_INP0:
-      desc->impl.transpose_in0 = (value == GrB_TRAN);
-      return GrB_SUCCESS;
-    case GrB_INP1:
-      desc->impl.transpose_in1 = (value == GrB_TRAN);
-      return GrB_SUCCESS;
-  }
-  return GrB_INVALID_VALUE;
+  return guarded([&] {
+    switch (field) {
+      case GrB_OUTP:
+        if (value == GrB_REPLACE) {
+          desc->impl.replace = true;
+        } else if (value == GrB_DEFAULT) {
+          desc->impl.replace = false;
+        } else {
+          throw grb::InvalidValue("GrB_Descriptor_set: bad GrB_OUTP value");
+        }
+        return;
+      case GrB_MASK:
+        if (value == GrB_COMP) {
+          desc->impl.mask_complement = true;
+        } else if (value == GrB_STRUCTURE) {
+          desc->impl.mask_structure = true;
+        } else if (value == GrB_DEFAULT) {
+          desc->impl.mask_complement = false;
+          desc->impl.mask_structure = false;
+        } else {
+          throw grb::InvalidValue("GrB_Descriptor_set: bad GrB_MASK value");
+        }
+        return;
+      case GrB_INP0:
+        desc->impl.transpose_in0 = (value == GrB_TRAN);
+        return;
+      case GrB_INP1:
+        desc->impl.transpose_in1 = (value == GrB_TRAN);
+        return;
+    }
+    throw grb::InvalidValue("GrB_Descriptor_set: unknown field");
+  });
 }
 
 GrB_Info GrB_Descriptor_free(GrB_Descriptor* desc) {
   if (!desc) return GrB_NULL_POINTER;
-  delete *desc;
-  *desc = nullptr;
-  return GrB_SUCCESS;
+  return guarded([&] {
+    delete *desc;
+    *desc = nullptr;
+  });
 }
 
 // --- User operators. ---------------------------------------------------------------
 
 GrB_Info GrB_UnaryOp_new(GrB_UnaryOp* op, double (*fn)(double)) {
   if (!op || !fn) return GrB_NULL_POINTER;
-  *op = new (std::nothrow) GrB_UnaryOp_opaque{fn};
-  return *op ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+  *op = nullptr;
+  return guarded([&] { *op = new GrB_UnaryOp_opaque{fn}; });
 }
 
 GrB_Info GrB_UnaryOp_free(GrB_UnaryOp* op) {
   if (!op) return GrB_NULL_POINTER;
-  delete *op;
-  *op = nullptr;
-  return GrB_SUCCESS;
+  return guarded([&] {
+    delete *op;
+    *op = nullptr;
+  });
 }
 
 GrB_Info GrB_BinaryOp_new(GrB_BinaryOp* op, double (*fn)(double, double)) {
   if (!op || !fn) return GrB_NULL_POINTER;
-  *op = new (std::nothrow) GrB_BinaryOp_opaque{fn};
-  return *op ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+  *op = nullptr;
+  return guarded([&] { *op = new GrB_BinaryOp_opaque{fn}; });
 }
 
 GrB_Info GrB_BinaryOp_free(GrB_BinaryOp* op) {
   if (!op) return GrB_NULL_POINTER;
-  delete *op;
-  *op = nullptr;
-  return GrB_SUCCESS;
+  return guarded([&] {
+    delete *op;
+    *op = nullptr;
+  });
 }
 
 // --- Vector object management. -------------------------------------------------------
@@ -282,27 +287,25 @@ GrB_Info GrB_Vector_dup(GrB_Vector* copy, GrB_Vector v) {
 
 GrB_Info GrB_Vector_free(GrB_Vector* v) {
   if (!v) return GrB_NULL_POINTER;
-  delete *v;
-  *v = nullptr;
-  return GrB_SUCCESS;
+  return guarded([&] {
+    delete *v;
+    *v = nullptr;
+  });
 }
 
 GrB_Info GrB_Vector_size(GrB_Index* n, GrB_Vector v) {
   if (!n || !v) return GrB_NULL_POINTER;
-  *n = v->impl.size();
-  return GrB_SUCCESS;
+  return guarded([&] { *n = v->impl.size(); });
 }
 
 GrB_Info GrB_Vector_nvals(GrB_Index* nvals, GrB_Vector v) {
   if (!nvals || !v) return GrB_NULL_POINTER;
-  *nvals = v->impl.nvals();
-  return GrB_SUCCESS;
+  return guarded([&] { *nvals = v->impl.nvals(); });
 }
 
 GrB_Info GrB_Vector_clear(GrB_Vector v) {
   if (!v) return GrB_NULL_POINTER;
-  v->impl.clear();
-  return GrB_SUCCESS;
+  return guarded([&] { v->impl.clear(); });
 }
 
 GrB_Info GrB_Vector_setElement_FP64(GrB_Vector v, double x, GrB_Index i) {
@@ -313,11 +316,22 @@ GrB_Info GrB_Vector_setElement_FP64(GrB_Vector v, double x, GrB_Index i) {
 GrB_Info GrB_Vector_extractElement_FP64(double* x, GrB_Vector v,
                                         GrB_Index i) {
   if (!x || !v) return GrB_NULL_POINTER;
-  if (i >= v->impl.size()) return GrB_INVALID_INDEX;
-  auto value = v->impl.extract_element(i);
-  if (!value) return GrB_NO_VALUE;
-  *x = *value;
-  return GrB_SUCCESS;
+  // GrB_NO_VALUE / GrB_INVALID_INDEX are soft outcomes, not exceptions:
+  // report them through `soft` unless the guarded body failed harder.
+  GrB_Info soft = GrB_SUCCESS;
+  const GrB_Info hard = guarded([&] {
+    if (i >= v->impl.size()) {
+      soft = GrB_INVALID_INDEX;
+      return;
+    }
+    auto value = v->impl.extract_element(i);
+    if (!value) {
+      soft = GrB_NO_VALUE;
+      return;
+    }
+    *x = *value;
+  });
+  return hard != GrB_SUCCESS ? hard : soft;
 }
 
 GrB_Info GrB_Vector_removeElement(GrB_Vector v, GrB_Index i) {
@@ -328,15 +342,21 @@ GrB_Info GrB_Vector_removeElement(GrB_Vector v, GrB_Index i) {
 GrB_Info GrB_Vector_extractTuples_FP64(GrB_Index* indices, double* values,
                                        GrB_Index* count, GrB_Vector v) {
   if (!indices || !values || !count || !v) return GrB_NULL_POINTER;
-  if (*count < v->impl.nvals()) return GrB_INVALID_VALUE;
-  GrB_Index k = 0;
-  v->impl.for_each([&](grb::Index i, const double& x) {
-    indices[k] = i;
-    values[k] = x;
-    ++k;
+  GrB_Info soft = GrB_SUCCESS;
+  const GrB_Info hard = guarded([&] {
+    if (*count < v->impl.nvals()) {
+      soft = GrB_INVALID_VALUE;
+      return;
+    }
+    GrB_Index k = 0;
+    v->impl.for_each([&](grb::Index i, const double& x) {
+      indices[k] = i;
+      values[k] = x;
+      ++k;
+    });
+    *count = k;
   });
-  *count = k;
-  return GrB_SUCCESS;
+  return hard != GrB_SUCCESS ? hard : soft;
 }
 
 // --- Matrix object management. ---------------------------------------------------------
@@ -362,33 +382,30 @@ GrB_Info GrB_Matrix_dup(GrB_Matrix* copy, GrB_Matrix a) {
 
 GrB_Info GrB_Matrix_free(GrB_Matrix* a) {
   if (!a) return GrB_NULL_POINTER;
-  delete *a;
-  *a = nullptr;
-  return GrB_SUCCESS;
+  return guarded([&] {
+    delete *a;
+    *a = nullptr;
+  });
 }
 
 GrB_Info GrB_Matrix_nrows(GrB_Index* nrows, GrB_Matrix a) {
   if (!nrows || !a) return GrB_NULL_POINTER;
-  *nrows = a->impl.nrows();
-  return GrB_SUCCESS;
+  return guarded([&] { *nrows = a->impl.nrows(); });
 }
 
 GrB_Info GrB_Matrix_ncols(GrB_Index* ncols, GrB_Matrix a) {
   if (!ncols || !a) return GrB_NULL_POINTER;
-  *ncols = a->impl.ncols();
-  return GrB_SUCCESS;
+  return guarded([&] { *ncols = a->impl.ncols(); });
 }
 
 GrB_Info GrB_Matrix_nvals(GrB_Index* nvals, GrB_Matrix a) {
   if (!nvals || !a) return GrB_NULL_POINTER;
-  *nvals = a->impl.nvals();
-  return GrB_SUCCESS;
+  return guarded([&] { *nvals = a->impl.nvals(); });
 }
 
 GrB_Info GrB_Matrix_clear(GrB_Matrix a) {
   if (!a) return GrB_NULL_POINTER;
-  a->impl.clear();
-  return GrB_SUCCESS;
+  return guarded([&] { a->impl.clear(); });
 }
 
 GrB_Info GrB_Matrix_setElement_FP64(GrB_Matrix a, double x, GrB_Index row,
@@ -400,13 +417,20 @@ GrB_Info GrB_Matrix_setElement_FP64(GrB_Matrix a, double x, GrB_Index row,
 GrB_Info GrB_Matrix_extractElement_FP64(double* x, GrB_Matrix a,
                                         GrB_Index row, GrB_Index col) {
   if (!x || !a) return GrB_NULL_POINTER;
-  if (row >= a->impl.nrows() || col >= a->impl.ncols()) {
-    return GrB_INVALID_INDEX;
-  }
-  auto value = a->impl.extract_element(row, col);
-  if (!value) return GrB_NO_VALUE;
-  *x = *value;
-  return GrB_SUCCESS;
+  GrB_Info soft = GrB_SUCCESS;
+  const GrB_Info hard = guarded([&] {
+    if (row >= a->impl.nrows() || col >= a->impl.ncols()) {
+      soft = GrB_INVALID_INDEX;
+      return;
+    }
+    auto value = a->impl.extract_element(row, col);
+    if (!value) {
+      soft = GrB_NO_VALUE;
+      return;
+    }
+    *x = *value;
+  });
+  return hard != GrB_SUCCESS ? hard : soft;
 }
 
 GrB_Info GrB_Matrix_build_FP64(GrB_Matrix a, const GrB_Index* rows,

@@ -89,20 +89,18 @@ GrB_Info DsgSolver_new(DsgSolver* solver, GrB_Matrix a,
 
 GrB_Info DsgSolver_nrows(GrB_Index* n, DsgSolver solver) {
   if (!n || !solver) return GrB_NULL_POINTER;
-  *n = solver->impl.num_vertices();
-  return GrB_SUCCESS;
+  return guarded([&] { *n = solver->impl.num_vertices(); });
 }
 
 GrB_Info DsgSolver_delta(double* delta, DsgSolver solver) {
   if (!delta || !solver) return GrB_NULL_POINTER;
-  *delta = solver->impl.delta();
-  return GrB_SUCCESS;
+  return guarded([&] { *delta = solver->impl.delta(); });
 }
 
 GrB_Info DsgSolver_algorithm_name(const char** name, DsgSolver solver) {
   if (!name || !solver) return GrB_NULL_POINTER;
-  *name = dsg::sssp::algorithm_info(solver->impl.algorithm()).name;
-  return GrB_SUCCESS;
+  return guarded(
+      [&] { *name = dsg::sssp::algorithm_info(solver->impl.algorithm()).name; });
 }
 
 GrB_Info DsgSolver_solve(DsgSolver solver, GrB_Index source, double* dist) {
@@ -129,42 +127,41 @@ GrB_Info DsgSolver_solve_batch(DsgSolver solver, const GrB_Index* sources,
 
 GrB_Info DsgSolver_free(DsgSolver* solver) {
   if (!solver) return GrB_NULL_POINTER;
-  delete *solver;
-  *solver = nullptr;
-  return GrB_SUCCESS;
+  return guarded([&] {
+    delete *solver;
+    *solver = nullptr;
+  });
 }
 
 /* --- Query lifecycle. --------------------------------------------------- */
 
 GrB_Info DsgQueryControl_new(DsgQueryControl* control) {
   if (!control) return GrB_NULL_POINTER;
-  *control = new (std::nothrow) DsgQueryControl_opaque();
-  return *control ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+  *control = nullptr;
+  return guarded([&] { *control = new DsgQueryControl_opaque(); });
 }
 
 GrB_Info DsgQueryControl_set_timeout(DsgQueryControl control, double seconds) {
   if (!control) return GrB_NULL_POINTER;
-  control->impl.set_timeout(seconds);
-  return GrB_SUCCESS;
+  return guarded([&] { control->impl.set_timeout(seconds); });
 }
 
 GrB_Info DsgQueryControl_cancel(DsgQueryControl control) {
   if (!control) return GrB_NULL_POINTER;
-  control->impl.request_cancel();
-  return GrB_SUCCESS;
+  return guarded([&] { control->impl.request_cancel(); });
 }
 
 GrB_Info DsgQueryControl_reset(DsgQueryControl control) {
   if (!control) return GrB_NULL_POINTER;
-  control->impl.reset();
-  return GrB_SUCCESS;
+  return guarded([&] { control->impl.reset(); });
 }
 
 GrB_Info DsgQueryControl_free(DsgQueryControl* control) {
   if (!control) return GrB_NULL_POINTER;
-  delete *control;
-  *control = nullptr;
-  return GrB_SUCCESS;
+  return guarded([&] {
+    delete *control;
+    *control = nullptr;
+  });
 }
 
 GrB_Info DsgSolver_solve_opts(DsgSolver solver, GrB_Index source,

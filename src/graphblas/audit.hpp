@@ -1,0 +1,206 @@
+// audit.hpp — the debug invariant auditor: machine-checked statements of
+// the representation invariants the kernels rely on.
+//
+// Two halves:
+//
+//   1. The *checkers* — always-compiled free functions over raw spans
+//      (check_bitmap, check_sorted_coords, check_csr, check_light_heavy).
+//      They throw grb::audit::AuditError on violation and cost at most
+//      O(n) (most are O(n/64) or O(nnz)).  Tests call them directly on
+//      deliberately corrupted data (tests/test_audit.cpp), and the
+//      higher-level hooks below are thin compositions of them.
+//
+//   2. The *hooks* — call sites guarded by DSG_AUDIT_INVARIANTS (a global
+//      CMake option so every TU agrees; see the top-level CMakeLists).
+//      With audits on, Vector::check_invariants runs at the end of every
+//      vector write phase (Context::manage_representation) and GraphPlan
+//      audits its CSR and light/heavy split on materialization.  With
+//      audits off the hooks compile to nothing.
+//
+// The invariants audited here are exactly the ones a single corrupted bit
+// silently poisons at serving scale:
+//
+//   - bitmap zero padding: a set padding bit past size() makes every
+//     whole-word AND/popcount kernel over-count (bitmap.hpp's contract);
+//   - popcount == nvals: the cached stored-element count drives density
+//     policy and extraction sizing;
+//   - sorted-unique sparse coordinates: every merge kernel assumes a
+//     strictly ascending coordinate stream;
+//   - sparse-mirror consistency: a stale mirror served after a dense
+//     mutation would hand kernels data from a previous write phase;
+//   - CSR monotone row offsets + in-range ascending columns: the row
+//     slices handed out by Matrix are only as valid as row_ptr;
+//   - exact light/heavy partition: a misfiled edge makes delta-stepping
+//     silently wrong (light relaxations assume w <= delta).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "graphblas/bitmap.hpp"
+#include "graphblas/types.hpp"
+
+namespace grb::audit {
+
+/// An audited invariant does not hold.  Deliberately not a grb::Error:
+/// API-boundary code maps grb::Error to recoverable GrB_Info codes, while
+/// an AuditError means the *library state* is corrupt — it should reach a
+/// test harness or terminate, never be swallowed as a bad-input code.
+class AuditError : public std::logic_error {
+ public:
+  explicit AuditError(const std::string& what)
+      : std::logic_error("invariant violated: " + what) {}
+};
+
+[[noreturn]] inline void fail(const char* where, const std::string& what) {
+  throw AuditError(std::string(where) + ": " + what);
+}
+
+/// Bitmap well-formedness for logical dimension n: exactly bitmap_words(n)
+/// words, zero padding past position n, and popcount == nvals.  O(n/64).
+inline void check_bitmap(std::span<const detail::BitmapWord> words, Index n,
+                         Index nvals, const char* where) {
+  if (words.size() != detail::bitmap_words(n)) {
+    fail(where, "bitmap holds " + std::to_string(words.size()) +
+                    " words, dimension " + std::to_string(n) + " needs " +
+                    std::to_string(detail::bitmap_words(n)));
+  }
+  if (!words.empty()) {
+    const detail::BitmapWord pad = words.back() & ~detail::bitmap_tail_mask(n);
+    if (pad != 0) {
+      fail(where, "tail word has nonzero padding bits past position " +
+                      std::to_string(n));
+    }
+  }
+  Index count = 0;
+  for (const detail::BitmapWord w : words) {
+    count += static_cast<Index>(std::popcount(w));
+  }
+  if (count != nvals) {
+    fail(where, "bitmap popcount " + std::to_string(count) +
+                    " != stored count " + std::to_string(nvals));
+  }
+}
+
+/// Sparse-coordinate well-formedness: strictly ascending (sorted, no
+/// duplicates), all below the logical dimension, and the values array has
+/// matching length.  O(nnz).
+inline void check_sorted_coords(std::span<const Index> ind, Index n,
+                                std::size_t values_len, const char* where) {
+  if (ind.size() != values_len) {
+    fail(where, "coordinate/value length mismatch: " +
+                    std::to_string(ind.size()) + " vs " +
+                    std::to_string(values_len));
+  }
+  for (std::size_t k = 0; k < ind.size(); ++k) {
+    if (ind[k] >= n) {
+      fail(where, "coordinate " + std::to_string(ind[k]) + " >= dimension " +
+                      std::to_string(n));
+    }
+    if (k > 0 && ind[k] <= ind[k - 1]) {
+      fail(where, "coordinates not strictly ascending at position " +
+                      std::to_string(k) + " (" + std::to_string(ind[k - 1]) +
+                      " then " + std::to_string(ind[k]) + ")");
+    }
+  }
+}
+
+/// CSR structural well-formedness: nrows+1 monotone non-decreasing row
+/// offsets starting at 0 and ending at nnz, column indices in range and
+/// strictly ascending within each row, values parallel to columns.
+/// O(nrows + nnz).
+inline void check_csr(std::span<const Index> row_ptr,
+                      std::span<const Index> col_ind, std::size_t values_len,
+                      Index nrows, Index ncols, const char* where) {
+  if (nrows == 0 && row_ptr.empty()) {
+    // Degenerate default-constructed CSR: no offsets array yet.
+    if (!col_ind.empty() || values_len != 0) {
+      fail(where, "entries stored without row offsets");
+    }
+    return;
+  }
+  if (row_ptr.size() != static_cast<std::size_t>(nrows) + 1) {
+    fail(where, "row_ptr holds " + std::to_string(row_ptr.size()) +
+                    " offsets, expected nrows+1 = " +
+                    std::to_string(nrows + 1));
+  }
+  if (row_ptr.front() != 0) {
+    fail(where, "row_ptr[0] = " + std::to_string(row_ptr.front()) + ", not 0");
+  }
+  if (static_cast<std::size_t>(row_ptr.back()) != col_ind.size()) {
+    fail(where, "row_ptr[nrows] = " + std::to_string(row_ptr.back()) +
+                    " != nnz = " + std::to_string(col_ind.size()));
+  }
+  if (col_ind.size() != values_len) {
+    fail(where, "column/value length mismatch: " +
+                    std::to_string(col_ind.size()) + " vs " +
+                    std::to_string(values_len));
+  }
+  for (Index r = 0; r < nrows; ++r) {
+    if (row_ptr[r + 1] < row_ptr[r]) {
+      fail(where, "row offsets not monotone at row " + std::to_string(r) +
+                      " (" + std::to_string(row_ptr[r]) + " then " +
+                      std::to_string(row_ptr[r + 1]) + ")");
+    }
+    for (Index k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_ind[k] >= ncols) {
+        fail(where, "row " + std::to_string(r) + " column " +
+                        std::to_string(col_ind[k]) + " >= ncols " +
+                        std::to_string(ncols));
+      }
+      if (k > row_ptr[r] && col_ind[k] <= col_ind[k - 1]) {
+        fail(where, "row " + std::to_string(r) +
+                        " columns not strictly ascending at slot " +
+                        std::to_string(k));
+      }
+    }
+  }
+}
+
+/// Exact light/heavy partition of a weighted CSR graph at bucket width
+/// delta: every light weight is in (0, delta], every heavy weight is
+/// > delta, and per row the partition covers exactly the positive-weight
+/// entries of the original matrix (zero-weight self-loop entries belong to
+/// neither half).  O(nnz).
+inline void check_light_heavy(
+    std::span<const Index> a_ptr, std::span<const double> a_val,
+    std::span<const Index> light_ptr, std::span<const double> light_val,
+    std::span<const Index> heavy_ptr, std::span<const double> heavy_val,
+    double delta, const char* where) {
+  const std::size_t nrows = a_ptr.empty() ? 0 : a_ptr.size() - 1;
+  if (light_ptr.size() != a_ptr.size() || heavy_ptr.size() != a_ptr.size()) {
+    fail(where, "light/heavy row offsets do not match the matrix dimension");
+  }
+  for (std::size_t k = 0; k < light_val.size(); ++k) {
+    if (!(light_val[k] > 0.0 && light_val[k] <= delta)) {
+      fail(where, "light slot " + std::to_string(k) + " holds weight " +
+                      std::to_string(light_val[k]) + " outside (0, " +
+                      std::to_string(delta) + "]");
+    }
+  }
+  for (std::size_t k = 0; k < heavy_val.size(); ++k) {
+    if (!(heavy_val[k] > delta)) {
+      fail(where, "heavy slot " + std::to_string(k) + " holds weight " +
+                      std::to_string(heavy_val[k]) + " <= delta " +
+                      std::to_string(delta));
+    }
+  }
+  for (std::size_t r = 0; r < nrows; ++r) {
+    Index expected = 0;
+    for (Index k = a_ptr[r]; k < a_ptr[r + 1]; ++k) {
+      if (a_val[k] > 0.0) ++expected;
+    }
+    const Index got = (light_ptr[r + 1] - light_ptr[r]) +
+                      (heavy_ptr[r + 1] - heavy_ptr[r]);
+    if (got != expected) {
+      fail(where, "row " + std::to_string(r) + " partitions " +
+                      std::to_string(got) + " edges, matrix has " +
+                      std::to_string(expected) + " positive-weight edges");
+    }
+  }
+}
+
+}  // namespace grb::audit

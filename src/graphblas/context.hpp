@@ -235,6 +235,13 @@ class Context {
   /// vector.hpp include).
   template <typename Vec>
   void manage_representation(Vec& v) const {
+#ifdef DSG_AUDIT_INVARIANTS
+    // Every vector write phase ends here, making this the natural audit
+    // boundary: the result the next kernel will consume is checked before
+    // any representation change, and the converted form after (conversion
+    // bugs would otherwise hide behind a clean pre-image).
+    v.check_invariants("write-phase result");
+#endif
     if (!auto_representation || v.size() == 0) return;
     const double d = v.density();
     if (v.is_dense()) {
@@ -242,6 +249,9 @@ class Context {
     } else if (d >= dense_promote_density) {
       v.to_dense();
     }
+#ifdef DSG_AUDIT_INVARIANTS
+    v.check_invariants("post-conversion");
+#endif
   }
 
  private:

@@ -154,7 +154,7 @@ class MatrixMaskProbe {
         structural_(desc.mask_structure) {}
 
   bool operator()(Index r, Index c) const {
-    bool t;
+    bool t = false;
     auto v = mask_->extract_element(r, c);
     if (structural_) {
       t = v.has_value();
@@ -269,7 +269,7 @@ void masked_write_vector(Context& ctx, Vector<W>& w, const Vector<Z>& z,
   std::size_t a = 0, b = 0;
   while (a < wi.size() || b < zi.size()) {
     bool in_w = false, in_z = false;
-    Index i;
+    Index i = 0;
     if (a < wi.size() && (b >= zi.size() || wi[a] <= zi[b])) {
       i = wi[a];
       in_w = true;
@@ -507,7 +507,7 @@ void masked_write_matrix(Matrix<W>& w, const Matrix<Z>& z, const Probe& probe,
     std::size_t a = 0, b = 0;
     while (a < wi.size() || b < zi.size()) {
       bool in_w = false, in_z = false;
-      Index c;
+      Index c = 0;
       if (a < wi.size() && (b >= zi.size() || wi[a] <= zi[b])) {
         c = wi[a];
         in_w = true;

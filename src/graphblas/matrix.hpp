@@ -8,9 +8,9 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <span>
@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "graphblas/audit.hpp"
 #include "graphblas/ops.hpp"
 #include "graphblas/types.hpp"
 
@@ -37,26 +38,22 @@ class Matrix {
 
   // Copies share the transpose snapshot (it matches the copied data and
   // each object invalidates only its own cache on mutation); moves
-  // transfer it.  Spelled out because the atomic cache slot is neither
-  // copyable nor movable by default.
+  // transfer it.  Spelled out because the cache mutex is neither copyable
+  // nor movable.
   Matrix(const Matrix& o)
       : nrows_(o.nrows_),
         ncols_(o.ncols_),
         row_ptr_(o.row_ptr_),
         col_ind_(o.col_ind_),
-        val_(o.val_) {
-    transpose_cache_.store(o.transpose_cache_.load(std::memory_order_acquire),
-                           std::memory_order_release);
-  }
+        val_(o.val_),
+        transpose_cache_(o.transpose_snapshot()) {}
   Matrix(Matrix&& o) noexcept
       : nrows_(o.nrows_),
         ncols_(o.ncols_),
         row_ptr_(std::move(o.row_ptr_)),
         col_ind_(std::move(o.col_ind_)),
-        val_(std::move(o.val_)) {
-    transpose_cache_.store(o.transpose_cache_.exchange(nullptr),
-                           std::memory_order_release);
-  }
+        val_(std::move(o.val_)),
+        transpose_cache_(o.take_transpose_snapshot()) {}
   Matrix& operator=(const Matrix& o) {
     if (this != &o) {
       nrows_ = o.nrows_;
@@ -64,9 +61,7 @@ class Matrix {
       row_ptr_ = o.row_ptr_;
       col_ind_ = o.col_ind_;
       val_ = o.val_;
-      transpose_cache_.store(
-          o.transpose_cache_.load(std::memory_order_acquire),
-          std::memory_order_release);
+      set_transpose_snapshot(o.transpose_snapshot());
     }
     return *this;
   }
@@ -77,8 +72,7 @@ class Matrix {
       row_ptr_ = std::move(o.row_ptr_);
       col_ind_ = std::move(o.col_ind_);
       val_ = std::move(o.val_);
-      transpose_cache_.store(o.transpose_cache_.exchange(nullptr),
-                             std::memory_order_release);
+      set_transpose_snapshot(o.take_transpose_snapshot());
     }
     return *this;
   }
@@ -259,23 +253,20 @@ class Matrix {
   /// what operations with a transpose descriptor use: the paper's algorithms
   /// pass A_L / A_H unchanged through thousands of calls, and rebuilding an
   /// O(nnz + n) transpose per call dwarfed the actual kernel work.  The
-  /// lazy fill is an atomic first-writer-wins install, so concurrent
-  /// read-only use of a shared matrix stays safe (as it was before
-  /// caching); racing a *mutation* against readers is UB, as for any
-  /// container.  Losers of the install race briefly build a duplicate
-  /// transpose and discard it.
+  /// lazy fill is mutex-guarded — the substrate confines raw atomics to the
+  /// audited async allowlist (scripts/lint_dsg.py), and an uncontended lock
+  /// around a pointer copy is noise next to any kernel — so concurrent
+  /// read-only use of a shared matrix stays safe, the build happens exactly
+  /// once, and later calls are a lock + pointer read.  Racing a *mutation*
+  /// against readers is UB, as for any container.  The returned reference
+  /// is stable until the next mutation: invalidation only drops the owning
+  /// shared_ptr held here, and readers of a quiescent matrix hold none.
   const Matrix& transpose_cached() const {
-    auto cached = transpose_cache_.load(std::memory_order_acquire);
-    if (!cached) {
-      auto built = std::make_shared<const Matrix>(transposed());
-      if (transpose_cache_.compare_exchange_strong(
-              cached, built, std::memory_order_acq_rel,
-              std::memory_order_acquire)) {
-        cached = std::move(built);
-      }
-      // On failure `cached` was reloaded with the winning pointer.
+    std::lock_guard<std::mutex> lock(transpose_mu_);
+    if (!transpose_cache_) {
+      transpose_cache_ = std::make_shared<const Matrix>(transposed());
     }
-    return *cached;
+    return *transpose_cache_;
   }
 
   friend bool operator==(const Matrix& a, const Matrix& b) {
@@ -296,9 +287,27 @@ class Matrix {
   std::span<const Index> col_ind() const { return col_ind_; }
   std::span<const storage_type> raw_values() const { return val_; }
 
+  /// Audits the CSR structure (monotone row offsets, in-range ascending
+  /// columns, parallel values — see audit.hpp).  Throws
+  /// grb::audit::AuditError on violation; O(nrows + nnz).
+  void check_invariants(const char* where) const {
+    audit::check_csr(row_ptr_, col_ind_, val_.size(), nrows_, ncols_, where);
+  }
+
  private:
-  void invalidate_transpose() {
-    transpose_cache_.store(nullptr, std::memory_order_release);
+  void invalidate_transpose() { set_transpose_snapshot(nullptr); }
+
+  std::shared_ptr<const Matrix> transpose_snapshot() const {
+    std::lock_guard<std::mutex> lock(transpose_mu_);
+    return transpose_cache_;
+  }
+  std::shared_ptr<const Matrix> take_transpose_snapshot() noexcept {
+    std::lock_guard<std::mutex> lock(transpose_mu_);
+    return std::move(transpose_cache_);
+  }
+  void set_transpose_snapshot(std::shared_ptr<const Matrix> snap) noexcept {
+    std::lock_guard<std::mutex> lock(transpose_mu_);
+    transpose_cache_ = std::move(snap);
   }
 
   Index nrows_ = 0;
@@ -307,8 +316,9 @@ class Matrix {
   std::vector<Index> col_ind_;     // ascending within each row
   std::vector<storage_type> val_;  // parallel to col_ind_
   // Derived state, excluded from operator== (it never disagrees with the
-  // CSR arrays while valid).
-  mutable std::atomic<std::shared_ptr<const Matrix>> transpose_cache_;
+  // CSR arrays while valid).  Guarded by transpose_mu_.
+  mutable std::mutex transpose_mu_;
+  mutable std::shared_ptr<const Matrix> transpose_cache_;
 };
 
 template <typename T>

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "graphblas/audit.hpp"
 #include "graphblas/bitmap.hpp"
 #include "graphblas/ops.hpp"
 #include "graphblas/types.hpp"
@@ -418,6 +419,54 @@ class Vector {
   void set_dense_nvals(Index nnz) {
     dnv_ = nnz;
     mirror_valid_ = false;
+  }
+
+  // --- Invariant audit (see audit.hpp). -------------------------------------
+
+  /// True while the lazily materialized sparse mirror of a dense vector is
+  /// current.  Audit/introspection only: kernels go through indices()/
+  /// values(), which materialize on demand.
+  bool mirror_is_valid() const {
+    return kind_ == StorageKind::kDense && mirror_valid_;
+  }
+
+  /// Audits every representation invariant this vector's kernels rely on:
+  /// sorted-unique in-range sparse coordinates, bitmap word count / zero
+  /// tail padding / popcount == nvals, and (when a dense vector's sparse
+  /// mirror is marked valid) mirror-vs-bitmap consistency.  Throws
+  /// grb::audit::AuditError on violation; O(n) worst case.  Always
+  /// compiled; DSG_AUDIT_INVARIANTS only controls the automatic write-phase
+  /// call sites (Context::manage_representation).
+  void check_invariants(const char* where) const {
+    if (kind_ == StorageKind::kSparse) {
+      audit::check_sorted_coords(ind_, size_, val_.size(), where);
+      return;
+    }
+    audit::check_bitmap(bit_, size_, dnv_, where);
+    if (dval_.size() != static_cast<std::size_t>(size_)) {
+      audit::fail(where, "dense values length " + std::to_string(dval_.size()) +
+                             " != dimension " + std::to_string(size_));
+    }
+    if (mirror_valid_) {
+      audit::check_sorted_coords(ind_, size_, val_.size(), where);
+      if (ind_.size() != static_cast<std::size_t>(dnv_)) {
+        audit::fail(where, "sparse mirror holds " +
+                               std::to_string(ind_.size()) +
+                               " entries, bitmap stores " +
+                               std::to_string(dnv_));
+      }
+      for (std::size_t k = 0; k < ind_.size(); ++k) {
+        const Index i = ind_[k];
+        if (!detail::bitmap_test(bit_.data(), i)) {
+          audit::fail(where, "stale mirror: coordinate " + std::to_string(i) +
+                                 " not set in the bitmap");
+        }
+        if (val_[k] != dval_[i]) {
+          audit::fail(where, "stale mirror: value mismatch at coordinate " +
+                                 std::to_string(i));
+        }
+      }
+    }
   }
 
  private:

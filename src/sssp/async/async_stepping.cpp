@@ -327,8 +327,8 @@ struct Engine {
         processed_round.load(std::memory_order_relaxed);
     stats.relax_requests += processed;
 
-    Index next_size;
-    bool empty;
+    Index next_size = 0;
+    bool empty = false;
     if (insert_mode == Mode::kSparse) {
       next_size = nxt_cursor.load(std::memory_order_relaxed);
       empty = next_size == 0;

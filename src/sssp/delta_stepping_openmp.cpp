@@ -1,11 +1,11 @@
 #include "sssp/delta_stepping_openmp.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <vector>
 
 #include "graphblas/context.hpp"
 #include "sssp/delta_stepping_fused.hpp"
+#include "sssp/query_control.hpp"  // RelaxedCounter (audited; no raw atomics here)
 #include "testing/fault_injection.hpp"
 
 #if defined(DSG_HAVE_OPENMP)
@@ -262,12 +262,13 @@ SsspResult delta_stepping_openmp_impl(
       }
     };
 
-    // Outer condition: count of reached vertices with t >= i*delta.
+    // Outer condition: count of reached vertices with t >= i*delta.  The
+    // audited relaxed counter is enough: the taskwait inside tasked_for
+    // orders every add before the load below.
     auto count_remaining = [&](double lo) {
-      std::atomic<Index> count{0};
+      RelaxedCounter<Index> count;
       tasked_for(n, num_tasks, [&](Index begin, Index end, std::size_t) {
-        count.fetch_add(count_ge_range(t, begin, end, lo),
-                        std::memory_order_relaxed);
+        count.add(count_ge_range(t, begin, end, lo));
       });
       return count.load();
     };

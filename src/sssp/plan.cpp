@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "graphblas/audit.hpp"
+
 namespace dsg {
 
 namespace {
@@ -153,6 +155,11 @@ void GraphPlan::init(double delta) {
   delta_was_auto_ = !(delta > 0.0);
   delta_ = delta_was_auto_ ? auto_delta(stats_) : delta;
   scan_seconds_ = seconds_since(start);
+#ifdef DSG_AUDIT_INVARIANTS
+  // The construction scan just walked the whole matrix, so the extra
+  // O(|V| + |E|) structural audit disappears into the same cache traffic.
+  check_invariants();
+#endif
 }
 
 double GraphPlan::auto_delta(const PlanStats& stats) {
@@ -173,9 +180,30 @@ const detail::LightHeavySplit& GraphPlan::light_heavy() const {
   return derived<SplitSlot>([&] {
            auto slot = std::make_shared<SplitSlot>();
            slot->split = detail::split_light_heavy(*a_, delta_);
+#ifdef DSG_AUDIT_INVARIANTS
+           audit_split(slot->split);
+#endif
            return slot;
          })
       .split;
+}
+
+void GraphPlan::check_invariants() const {
+  a_->check_invariants("GraphPlan adjacency matrix");
+  if (const SplitSlot* slot = peek_derived<SplitSlot>()) {
+    audit_split(slot->split);
+  }
+}
+
+void GraphPlan::audit_split(const detail::LightHeavySplit& s) const {
+  const Index n = a_->nrows();
+  grb::audit::check_csr(s.light_ptr, s.light_ind, s.light_val.size(), n, n,
+                        "GraphPlan light split");
+  grb::audit::check_csr(s.heavy_ptr, s.heavy_ind, s.heavy_val.size(), n, n,
+                        "GraphPlan heavy split");
+  grb::audit::check_light_heavy(a_->row_ptr(), a_->raw_values(), s.light_ptr,
+                                s.light_val, s.heavy_ptr, s.heavy_val, delta_,
+                                "GraphPlan light/heavy partition");
 }
 
 namespace {

@@ -138,6 +138,16 @@ class GraphPlan {
   /// per-query caller used to pay on every call.
   double setup_seconds() const;
 
+  /// Audits the plan's structural invariants (see graphblas/audit.hpp):
+  /// the adjacency CSR (monotone offsets, in-range ascending columns) and —
+  /// when already materialized — the light/heavy split (every light weight
+  /// in (0, Δ], every heavy weight > Δ, per-row partition exactly covering
+  /// the positive-weight edges).  Lazily materialized state that has not
+  /// been built yet is not forced.  Throws grb::audit::AuditError on
+  /// violation; O(|V| + |E|).  Always compiled; with DSG_AUDIT_INVARIANTS
+  /// the plan audits itself at construction and at split materialization.
+  void check_invariants() const;
+
   /// Algorithm-specific derived state, built once per plan: returns the
   /// plan-owned T, constructing it via `make()` on first request (mutex
   /// guarded, so concurrent first use is safe).  The build time is added
@@ -163,6 +173,21 @@ class GraphPlan {
  private:
   struct Borrowed {};  // tag: non-owning shared_ptr
   GraphPlan(Borrowed, const grb::Matrix<double>& a, double delta);
+
+  /// Audits one materialized light/heavy split against the matrix and Δ.
+  void audit_split(const detail::LightHeavySplit& s) const;
+
+  /// The derived slot of type T if already materialized, else nullptr —
+  /// lets check_invariants audit lazily built state without forcing it.
+  template <typename T>
+  const T* peek_derived() const {
+    std::lock_guard<std::mutex> lock(lazy_->mu);
+    const std::type_index key(typeid(T));
+    for (auto& slot : lazy_->slots) {
+      if (slot.first == key) return static_cast<const T*>(slot.second.get());
+    }
+    return nullptr;
+  }
 
   void init(double delta);
 

@@ -121,4 +121,51 @@ inline SsspStatus poll_control(const QueryControl* control) {
   return control ? control->poll() : SsspStatus::kComplete;
 }
 
+// ---------------------------------------------------------------------------
+// Audited lock-free primitives.
+//
+// scripts/lint_dsg.py confines raw std::atomic access (and memory_order
+// spellings) to this header plus the async relaxation engine
+// (sssp/async/write_min.hpp, sssp/async/async_stepping.cpp) — the three
+// places whose ordering arguments have been audited and are documented
+// in docs/ARCHITECTURE.md.  Code anywhere else that needs a lock-free
+// counter or a publication latch routes through these wrappers instead of
+// spelling its own orderings; extending the raw-atomics allowlist requires
+// editing the lint and re-auditing (see "Correctness tooling" in the docs).
+// ---------------------------------------------------------------------------
+
+/// Relaxed monotonic event counter for cross-thread statistics (e.g. the
+/// OpenMP core's remaining-vertices tally).  Relaxed is sufficient when the
+/// count itself is the entire message: increments commute, no other data is
+/// published through it, and totals are read after the joining construct's
+/// ordering edge (omp barrier / thread join) has already ordered the adds.
+/// Do NOT use it as a ready flag — that is PublishedFlag's job.
+template <typename T>
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+
+  void add(T delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  T load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<T> value_{};
+};
+
+/// Release/acquire publication latch: publish(true) after preparing shared
+/// state makes that state visible to any thread that observes the flag via
+/// observe().  peek() is the relaxed fast path for gates that re-check
+/// under a lock before touching the published state (the fault-injection
+/// active gate) — it may race, but never admits a reader to unpublished
+/// data on its own.
+class PublishedFlag {
+ public:
+  void publish(bool value) { flag_.store(value, std::memory_order_release); }
+  bool observe() const { return flag_.load(std::memory_order_acquire); }
+  bool peek() const { return flag_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
 }  // namespace dsg

@@ -1,18 +1,22 @@
 #include "testing/fault_injection.hpp"
 
-#include <atomic>
 #include <cstring>
 #include <mutex>
 #include <new>
 #include <thread>
 #include <unordered_map>
 
+#include "sssp/query_control.hpp"  // PublishedFlag, the audited latch
+
 namespace dsg::testing {
 namespace {
 
-// Fast-path gate: fault_point() bails on one relaxed load when no table is
-// installed, so production builds pay nothing measurable.
-std::atomic<bool> g_active{false};
+// Fast-path gate: fault_point() bails on one relaxed peek when no table is
+// installed, so production builds pay nothing measurable.  The
+// release/acquire publication pairs install_faults()'s table write with
+// concurrent observers; the racy peek() fast path re-checks g_state under
+// g_mutex before touching it.
+PublishedFlag g_active;
 
 struct FaultState {
   std::uint64_t seed = 0;
@@ -62,20 +66,20 @@ void install_faults(std::uint64_t seed, std::vector<FaultSpec> specs) {
   std::lock_guard<std::mutex> lock(g_mutex);
   delete g_state;
   g_state = new FaultState{seed, std::move(specs), {}};
-  g_active.store(true, std::memory_order_release);
+  g_active.publish(true);
 }
 
 void clear_faults() {
   std::lock_guard<std::mutex> lock(g_mutex);
-  g_active.store(false, std::memory_order_release);
+  g_active.publish(false);
   delete g_state;
   g_state = nullptr;
 }
 
-bool faults_active() { return g_active.load(std::memory_order_acquire); }
+bool faults_active() { return g_active.observe(); }
 
 void fault_point(const char* name, std::uint64_t key) {
-  if (!g_active.load(std::memory_order_relaxed)) return;
+  if (!g_active.peek()) return;
 
   FaultSpec::Action action{};
   std::chrono::microseconds delay{};

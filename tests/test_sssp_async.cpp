@@ -158,9 +158,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(AsyncCase{"grid", 1.0}, AsyncCase{"grid", 8.0},
                       AsyncCase{"rmat", 0.5}, AsyncCase{"rmat", 64.0},
                       AsyncCase{"islands", 1.0}),
-    [](const auto& info) {
-      return std::string(info.param.graph) + "_k" +
-             std::to_string(static_cast<int>(info.param.knob * 10));
+    [](const auto& param_info) {
+      return std::string(param_info.param.graph) + "_k" +
+             std::to_string(static_cast<int>(param_info.param.knob * 10));
     });
 
 // ---------------------------------------------------------------------------

@@ -70,9 +70,10 @@ TEST_P(SuiteParity, AllImplementationsAgreeOnSuiteGraph) {
 
 INSTANTIATE_TEST_SUITE_P(Graphs, SuiteParity,
                          ::testing::Values(0u, 1u, 2u, 3u),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            // gtest parameter names must be [A-Za-z0-9_].
-                           std::string name = dsg::quick_suite(4)[info.param].name;
+                           std::string name =
+                               dsg::quick_suite(4)[param_info.param].name;
                            for (char& c : name) {
                              if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
                            }

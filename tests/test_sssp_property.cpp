@@ -123,13 +123,13 @@ TEST_P(DeltaSweep, DistancesIndependentOfDelta) {
 INSTANTIATE_TEST_SUITE_P(Widths, DeltaSweep,
                          ::testing::Values(0.1, 0.25, 0.5, 1.0, 2.0, 5.0,
                                            20.0, 1e6),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            // Named-string concat (not `"d" + std::string&&`):
                            // GCC 12 -O3 emits a -Wrestrict false positive
                            // inside the rvalue operator+'s inlined insert,
                            // which -Werror turns into a Release build break.
                            std::string name = "d";
-                           name += std::to_string(info.index);
+                           name += std::to_string(param_info.index);
                            return name;
                          });
 

@@ -17,7 +17,9 @@ class AllImpls : public ::testing::TestWithParam<Impl> {};
 
 INSTANTIATE_TEST_SUITE_P(Sssp, AllImpls,
                          ::testing::ValuesIn(dsg::test::all_sssp_impls()),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& param_info) {
+                           return param_info.param.name;
+                         });
 
 TEST_P(AllImpls, DiamondDigraph) {
   auto r = GetParam().fn(dsg::test::diamond_graph().to_matrix(), 0, 3.0);
