@@ -2,30 +2,40 @@
 // exists for: many SSSP queries against one graph (routing services,
 // all-pairs sampling).
 //
-// Two measurements:
+// Three measurements:
 //   1. throughput table: queries/sec through one warm SsspSolver at batch
 //      sizes 1 / 8 / 64 on the standard suite;
 //   2. amortization check on a fig3-scale graph (rmat-13): total time of
 //      64 legacy free-function calls (each re-paying plan setup) vs 64
-//      warm solve() calls vs one solve_batch(64).
+//      warm solve() calls vs one solve_batch(64);
+//   3. serving closed loop on the same graph: fixed client concurrency
+//      driving an SsspServer (pool + LRU result cache), half the traffic
+//      drawn from a small hot source set, one leg with the cache on and
+//      one with it off — qps and client-observed p50/p99 latency.
 //
-// With --check the amortization numbers become a gate (used by the CI
-// Release bench smoke):
+// With --check the amortization and serving numbers become gates (used by
+// the CI Release bench smoke):
 //   - solve_batch(64)  <  2x the 64 warm solves (batching adds no
-//     meaningful overhead beyond the solves themselves), and
+//     meaningful overhead beyond the solves themselves),
 //   - 64 legacy calls  >= 1.5x solve_batch(64) (plan + workspace
-//     amortization pays).
+//     amortization pays), and
+//   - serving cache-on qps >= 1.5x cache-off qps at >= 50% repeated
+//     sources (the result cache pays under realistic skewed traffic).
 //
 // Flags: --quick / --graphs N, --csv, --algo NAME (default fused),
 //        --delta D (default 1.0, suite graphs are unit-weight), --check.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "bench_support/reporter.hpp"
+#include "serving/server.hpp"
 #include "sssp/async/async_stepping.hpp"
 #include "sssp/bellman_ford.hpp"
 #include "sssp/delta_stepping_buckets.hpp"
@@ -268,6 +278,160 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- 4. Serving: sustained closed-loop traffic through SsspServer. ------
+  // Fixed concurrency (4 clients, each submit-then-wait, so exactly 4
+  // queries in flight), 32 queries per client against the shared rmat-13
+  // plan.  Every even-indexed query draws from an 8-source hot set, so
+  // >= 50% of traffic repeats a recent source — the skew a routing service
+  // actually sees.  Two legs, identical traffic: cache on vs cache off.
+  double serving_qps_on = 0.0;
+  double serving_qps_off = 0.0;
+  std::uint64_t serving_hits_on = 0;
+  std::uint64_t serving_min_hits = 0;
+  {
+    constexpr int kClients = 4;
+    constexpr std::size_t kQueriesPerClient = 32;
+    constexpr std::size_t kQueries = kClients * kQueriesPerClient;
+    constexpr std::size_t kHotSources = 4;
+
+    auto serving_plan = std::make_shared<const GraphPlan>(big_a, delta);
+    const auto source_for = [big_n](int client, std::size_t q) -> Index {
+      const std::size_t global =
+          static_cast<std::size_t>(client) * kQueriesPerClient + q;
+      if (q % 2 == 0) {
+        // Hot half: cycles through kHotSources sources, staggered per
+        // client so concurrent clients mostly target different sources
+        // (fewer duplicate-miss races — the cache has no coalescing).
+        const std::size_t hot =
+            (static_cast<std::size_t>(client) + q / 2) % kHotSources;
+        return static_cast<Index>((hot * 409 + 1) %
+                                  static_cast<std::size_t>(big_n));
+      }
+      return static_cast<Index>((global * 7919 + 13) %
+                                static_cast<std::size_t>(big_n));
+    };
+
+    struct LegResult {
+      double total_ms = 0.0;
+      double qps = 0.0;
+      double p50_ms = 0.0;
+      double p99_ms = 0.0;
+      serving::ServerStats stats;
+      std::string algorithm;
+    };
+    const auto run_leg = [&](std::size_t cache_capacity) -> LegResult {
+      serving::ServerOptions opt;
+      opt.num_workers = 2;
+      opt.queue_capacity = 8;
+      opt.cache_capacity = cache_capacity;  // 0 disables the cache
+      serving::SsspServer server{serving_plan, opt};
+
+      // Untimed warm query (cache-bypassing, so both legs start equal);
+      // validated, so the serving numbers come from correct output.
+      {
+        serving::SsspServer::Query warm;
+        warm.source = source_for(0, 1);
+        warm.bypass_cache = true;
+        const auto result = server.wait(server.submit(warm));
+        const auto report =
+            validate_sssp(*big_a, warm.source, result.result.dist);
+        if (!report.ok) {
+          std::cerr << "VALIDATION FAILED (serving): " << report.message
+                    << "\n";
+          std::exit(1);
+        }
+      }
+
+      std::vector<std::vector<double>> latencies(kClients);
+      std::vector<std::string> errors(kClients);
+      WallTimer leg_timer;
+      std::vector<std::thread> clients;
+      clients.reserve(kClients);
+      for (int t = 0; t < kClients; ++t) {
+        clients.emplace_back([&, t] {
+          auto& samples = latencies[static_cast<std::size_t>(t)];
+          samples.reserve(kQueriesPerClient);
+          for (std::size_t q = 0; q < kQueriesPerClient; ++q) {
+            WallTimer query_timer;
+            const auto result = server.wait(server.submit(source_for(t, q)));
+            samples.push_back(query_timer.milliseconds());
+            if (!result.ok() ||
+                result.result.status != SsspStatus::kComplete) {
+              errors[static_cast<std::size_t>(t)] =
+                  "query (" + std::to_string(t) + ", " + std::to_string(q) +
+                  ") did not complete: " +
+                  (result.ok() ? "bad status" : result.error);
+              return;
+            }
+          }
+        });
+      }
+      for (auto& client : clients) client.join();
+      const double total_ms = leg_timer.milliseconds();
+      for (const auto& error : errors) {
+        if (!error.empty()) {
+          std::cerr << "SERVING LEG FAILED: " << error << "\n";
+          std::exit(1);
+        }
+      }
+
+      std::vector<double> all;
+      all.reserve(kQueries);
+      for (const auto& per_client : latencies) {
+        all.insert(all.end(), per_client.begin(), per_client.end());
+      }
+      std::sort(all.begin(), all.end());
+      const auto pct = [&all](double p) {
+        const double pos = p * static_cast<double>(all.size() - 1);
+        return all[static_cast<std::size_t>(pos + 0.5)];
+      };
+      LegResult leg;
+      leg.total_ms = total_ms;
+      leg.qps = total_ms > 0.0
+                    ? 1000.0 * static_cast<double>(kQueries) / total_ms
+                    : 0.0;
+      leg.p50_ms = pct(0.50);
+      leg.p99_ms = pct(0.99);
+      leg.stats = server.stats();
+      leg.algorithm = sssp::algorithm_info(server.default_algorithm()).name;
+      return leg;
+    };
+
+    const LegResult on = run_leg(256);
+    const LegResult off = run_leg(0);
+    serving_qps_on = on.qps;
+    serving_qps_off = off.qps;
+    serving_hits_on = on.stats.cache.hits;
+    // Hot half minus its first pass, minus slack for concurrent duplicate
+    // misses (two in-flight misses on one source both count as misses).
+    serving_min_hits = kQueries / 2 - kHotSources - 8;
+
+    TableReporter serving_table(
+        "SOLVER-BATCH serving: " + big.name + " closed loop, " +
+        std::to_string(kClients) + " clients x " +
+        std::to_string(kQueriesPerClient) + " queries, 2 workers, algo=" +
+        on.algorithm + " (auto), hot set " + std::to_string(kHotSources));
+    serving_table.set_header({"leg", "queries", "total_ms", "qps", "p50_ms",
+                              "p99_ms", "cache_hits", "cache_misses"});
+    serving_table.add_row(
+        {"cache_on", std::to_string(kQueries), format_ms(on.total_ms),
+         format_double(on.qps, 1), format_ms(on.p50_ms), format_ms(on.p99_ms),
+         std::to_string(on.stats.cache.hits),
+         std::to_string(on.stats.cache.misses)});
+    serving_table.add_row(
+        {"cache_off", std::to_string(kQueries), format_ms(off.total_ms),
+         format_double(off.qps, 1), format_ms(off.p50_ms),
+         format_ms(off.p99_ms), std::to_string(off.stats.cache.hits),
+         std::to_string(off.stats.cache.misses)});
+    serving_table.add_footer(
+        "gate: cache_on qps >= 1.5x cache_off at >= 50% repeated sources");
+    if (args.has("csv")) {
+      serving_table.print_csv(std::cout);
+    } else {
+      serving_table.print(std::cout);
+    }
+  }
+
   if (check) {
     bool ok = true;
     if (!(warm_ratio < 2.0)) {
@@ -281,11 +445,30 @@ int main(int argc, char** argv) {
                 << "x of solve_batch(64) (" << batch_ms << " ms); need 1.5x\n";
       ok = false;
     }
+    const double cache_speedup =
+        serving_qps_off > 0.0 ? serving_qps_on / serving_qps_off : 0.0;
+    if (!(cache_speedup >= 1.5)) {
+      std::cerr << "GATE FAILED: serving cache-on qps (" << serving_qps_on
+                << ") is only " << cache_speedup << "x of cache-off ("
+                << serving_qps_off << "); need 1.5x\n";
+      ok = false;
+    }
+    // Traffic honesty: the hot half must actually hit the cache.
+    if (serving_hits_on < serving_min_hits) {
+      std::cerr << "GATE FAILED: serving cache-on leg saw only "
+                << serving_hits_on
+                << " cache hits; the 50%-repeated-source traffic shape "
+                   "expects >= "
+                << serving_min_hits << "\n";
+      ok = false;
+    }
     if (!ok) return 1;
     // stderr: keeps --csv stdout machine-parseable.
     std::cerr << "gate passed: legacy/batch = "
               << format_double(legacy_speedup, 2)
-              << "x, batch/warm = " << format_double(warm_ratio, 2) << "x\n";
+              << "x, batch/warm = " << format_double(warm_ratio, 2)
+              << "x, serving cache-on/off = "
+              << format_double(cache_speedup, 2) << "x\n";
   }
   return 0;
 }

@@ -56,6 +56,13 @@
 #                  bench_solver_batch table 3: the unfused GraphBLAS
 #                  variant with Vector density auto-switching on vs off
 #                  (record only — the dense-path gate is spmspv_pointwise).
+#   serving        bench_solver_batch table 4: sustained closed-loop
+#                  traffic through SsspServer (pool + LRU result cache)
+#                  on rmat-13 — qps and client-observed p50/p99 per leg,
+#                  cache on vs off, half the traffic from a hot source
+#                  set (CI gate: cache-on qps >= 1.5x cache-off at
+#                  >= 50% repeated sources).  Additive key — does not
+#                  bump the schema.
 #   async_scaling  bench_fig4_scaling: per-graph, per-engine self-relative
 #                  thread speedups for every registry variant flagged
 #                  `threaded` (openmp / rho_stepping / delta_stepping_async;
@@ -123,9 +130,10 @@ fi
 # pointwise geomean >= 2x.
 "$BUILD_DIR/bench/bench_spmspv" "${SPMSPV_ARGS[@]}" --csv --check \
   > "$OUT_DIR/spmspv.csv"
-# --check is the Release amortization gate: solve_batch(64) < 2x the 64
-# warm solves AND 64 legacy calls >= 1.5x solve_batch(64).  A failed gate
-# fails this script (and the CI bench-smoke job).
+# --check is the Release amortization + serving gate: solve_batch(64) < 2x
+# the 64 warm solves, 64 legacy calls >= 1.5x solve_batch(64), AND serving
+# cache-on qps >= 1.5x cache-off under 50%-repeated-source traffic.  A
+# failed gate fails this script (and the CI bench-smoke job).
 "$BUILD_DIR/bench/bench_solver_batch" "${BATCH_ARGS[@]}" --csv --check \
   > "$OUT_DIR/solver_batch.csv"
 # --check is the async-scaling gate (see the async_scaling schema note):
@@ -157,7 +165,7 @@ def read_table(path):
 def read_tables(path):
     """Multi-table CSV: a known header first-cell after data rows starts a
     new table (bench_solver_batch emits throughput + amortization +
-    representation; bench_spmspv emits vxm + pointwise)."""
+    representation + serving; bench_spmspv emits vxm + pointwise)."""
     tables, header, rows = [], None, []
     with open(path) as f:
         for line in f:
@@ -167,7 +175,7 @@ def read_tables(path):
             cells = next(csv.reader([line]))
             if header is None:
                 header = cells
-            elif cells[0] in ("graph", "metric", "op", "frontier"):
+            elif cells[0] in ("graph", "metric", "op", "frontier", "leg"):
                 tables.append((header, rows))
                 header, rows = cells, []
             else:
@@ -219,6 +227,9 @@ doc = {
         batch_tables[1] if len(batch_tables) > 1 else [],
     "solver_batch_representation":
         batch_tables[2] if len(batch_tables) > 2 else [],
+    # Closed-loop serving traffic through SsspServer: cache-on vs cache-off
+    # legs, qps + p50/p99 (see the `serving` schema note above).
+    "serving": batch_tables[3] if len(batch_tables) > 3 else [],
     # Registry-driven thread scaling: one row per (graph, threaded engine),
     # self-relative speedups per thread count.
     "async_scaling": read_table(os.path.join(out_dir, "fig4.csv")),

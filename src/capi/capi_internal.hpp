@@ -1,13 +1,14 @@
 // capi_internal.hpp — the C API's opaque object layouts, shared between
-// the GrB_* binding (graphblas_c.cpp) and the v2 solver handles
-// (solver_c.cpp).  Not installed; C callers only ever see the opaque
-// pointers from capi/graphblas.h.
+// the GrB_* binding (graphblas_c.cpp) and the v2 solver/server handles
+// (solver_c.cpp, server_c.cpp).  Not installed; C callers only ever see
+// the opaque pointers from capi/graphblas.h.
 #pragma once
 
 #include "capi/graphblas.h"
 #include "graphblas/descriptor.hpp"
 #include "graphblas/matrix.hpp"
 #include "graphblas/vector.hpp"
+#include "sssp/query_control.hpp"
 
 struct GrB_Vector_opaque {
   grb::Vector<double> impl;
@@ -33,4 +34,11 @@ struct GrB_Semiring_opaque {
   double (*add)(double, double);
   double (*mult)(double, double);
   double zero;
+};
+
+// Shared by solver_c.cpp (DsgSolver_solve_opts and friends) and
+// server_c.cpp (DsgServer_submit): both attach the same control handle to
+// queries.
+struct DsgQueryControl_opaque {
+  dsg::QueryControl impl;
 };

@@ -207,6 +207,12 @@ typedef struct DsgSolver_opaque* DsgSolver;
 
 /* Algorithm selector; values mirror dsg::sssp::Algorithm. */
 typedef enum {
+  /* Let the plan's graph/Δ statistics pick the algorithm (the serving
+   * layer's heuristic: Dijkstra below the bucket-amortization cutoff or
+   * when Δ leaves almost no light edges, the fused core otherwise).
+   * Valid ONLY for DsgServer_new / DsgServer_new_from_file; DsgSolver_new
+   * rejects it with GrB_INVALID_VALUE. */
+  DSG_SSSP_AUTO = -1,
   DSG_SSSP_BUCKETS = 0,          /* canonical Meyer-Sanders buckets        */
   DSG_SSSP_GRAPHBLAS = 1,        /* unfused GraphBLAS (paper Fig. 2)       */
   DSG_SSSP_GRAPHBLAS_SELECT = 2, /* GraphBLAS with fused select filters    */
@@ -313,6 +319,91 @@ GrB_Info DsgSolver_solve_batch_opts(DsgSolver solver,
                                     const GrB_Index* sources, GrB_Index batch,
                                     double* dist, DsgQueryControl control,
                                     GrB_Info* statuses);
+
+/* === The serving layer: DsgServer_* (SSSP-as-a-service). ================
+ *
+ * A DsgServer is a fixed pool of worker threads sharing one immutable
+ * graph plan, fed by a bounded submit queue, with an LRU result cache
+ * keyed by (plan fingerprint, source, algorithm, Δ) in front of the
+ * solves.  Submit returns a ticket; wait blocks for and redeems it (each
+ * ticket exactly once).  See docs/capi.md for the full contract and
+ * docs/ARCHITECTURE.md "Serving layer" for the design.
+ *
+ * Thread-safety: DsgServer_submit / DsgServer_wait / DsgServer_stats may
+ * be called concurrently from any threads.  DsgServer_free must not race
+ * them (owner drives shutdown); it drains every submitted query first. */
+
+typedef struct DsgServer_opaque* DsgServer;
+
+/* Cumulative counters since DsgServer_new (all monotonic except
+ * cache_entries).  completed counts exact results only; interrupted
+ * queries land in deadline_expired / cancelled, throwing ones in failed. */
+typedef struct {
+  uint64_t submitted;
+  uint64_t completed;
+  uint64_t deadline_expired;
+  uint64_t cancelled;
+  uint64_t failed;
+  uint64_t cache_hits;
+  uint64_t cache_misses;
+  uint64_t cache_evictions;
+  uint64_t cache_insert_failures;
+  uint64_t cache_entries;
+  uint64_t cache_capacity;
+  uint64_t workers;
+  uint64_t queue_capacity;
+} DsgServerStats;
+
+/* Builds a server over a snapshot of `a`.  `algorithm` may be any
+ * pool-safe selector or DSG_SSSP_AUTO (statistics-driven choice);
+ * DSG_SSSP_CAPI is rejected (process-global operator state cannot run on
+ * concurrent workers).  num_workers <= 0 selects the hardware thread
+ * count; queue_capacity 0 is clamped to 1; cache_capacity 0 disables the
+ * result cache.  Errors: GrB_NULL_POINTER, GrB_DIMENSION_MISMATCH,
+ * GrB_INVALID_VALUE (empty graph, negative weight, bad/pool-unsafe
+ * algorithm). */
+GrB_Info DsgServer_new(DsgServer* server, GrB_Matrix a,
+                       DsgSsspAlgorithm algorithm, double delta,
+                       int32_t num_workers, GrB_Index queue_capacity,
+                       GrB_Index cache_capacity);
+
+/* Builds a server from a plan file written by DsgServer_save_plan (or
+ * GraphPlan::save): the CSR, statistics, Δ and the materialized
+ * light/heavy split load without re-scanning the graph — the sub-second
+ * cold-start path.  Errors: GrB_INVALID_VALUE (missing/truncated/corrupt
+ * file, wrong version or endianness) plus DsgServer_new's codes. */
+GrB_Info DsgServer_new_from_file(DsgServer* server, const char* path,
+                                 DsgSsspAlgorithm algorithm,
+                                 int32_t num_workers,
+                                 GrB_Index queue_capacity,
+                                 GrB_Index cache_capacity);
+
+/* Persists the server's plan (format above) for later
+ * DsgServer_new_from_file cold starts.  Errors: GrB_NULL_POINTER,
+ * GrB_INVALID_VALUE (unwritable path). */
+GrB_Info DsgServer_save_plan(DsgServer server, const char* path);
+
+/* Enqueues one query and returns its ticket in *ticket.  Blocks while the
+ * bounded queue is full (backpressure).  `control` may be NULL; when
+ * non-NULL the caller keeps it alive until DsgServer_wait returns for
+ * this ticket.  Errors: GrB_NULL_POINTER, GrB_INVALID_INDEX (source out
+ * of range), GrB_INVALID_VALUE (server shutting down). */
+GrB_Info DsgServer_submit(DsgServer server, GrB_Index source,
+                          DsgQueryControl control, uint64_t* ticket);
+
+/* Blocks until the ticket's query finishes and redeems it: dist (capacity
+ * n doubles) receives the distances and the return code is GrB_SUCCESS /
+ * DSG_TIMEOUT / DSG_CANCELLED (dist written in all three cases, like
+ * DsgSolver_solve_opts).  A query that THREW returns its classified error
+ * code (e.g. GrB_OUT_OF_MEMORY) and leaves dist untouched.  An unknown or
+ * already-redeemed ticket returns GrB_INVALID_VALUE. */
+GrB_Info DsgServer_wait(DsgServer server, uint64_t ticket, double* dist);
+
+GrB_Info DsgServer_stats(DsgServer server, DsgServerStats* stats);
+
+/* Drains every submitted query, joins the pool, frees the server, and
+ * sets *server to NULL (NULL-safe like GrB_*_free). */
+GrB_Info DsgServer_free(DsgServer* server);
 
 #ifdef __cplusplus
 }  /* extern "C" */

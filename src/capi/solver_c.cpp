@@ -22,10 +22,6 @@ struct DsgSolver_opaque {
   dsg::sssp::SsspSolver impl;
 };
 
-struct DsgQueryControl_opaque {
-  dsg::QueryControl impl;
-};
-
 namespace {
 
 /// Translates grb:: exceptions into GrB_Info codes at the API boundary.

@@ -1,0 +1,321 @@
+// plan_io.cpp — the GraphPlan binary format (see plan_io.hpp for the
+// layout).  Loading prefers mmap (the file is written 8-byte aligned so a
+// page-aligned mapping serves every section) and falls back to a plain
+// read when mapping fails; either way the bytes are copied into owning
+// vectors, so the mapping's lifetime ends inside load().
+#include "serving/plan_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "testing/fault_injection.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DSG_PLAN_IO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace dsg::serving {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'S', 'G', 'P', 'L', 'A', 'N', '\n'};
+constexpr std::uint32_t kEndianMarker = 0x01020304u;
+
+/// Fixed 112-byte header.  Every field sits at a naturally aligned offset
+/// and the sizes sum exactly to sizeof, so there is no padding to leak
+/// uninitialized bytes into the checksum or the file.
+struct PlanFileHeader {
+  char magic[8];                        // offset 0
+  std::uint32_t version;                // 8
+  std::uint32_t endian;                 // 12
+  std::uint32_t index_bits;             // 16: 64 (grb::Index)
+  std::uint32_t value_bits;             // 20: 64 (double)
+  std::uint64_t num_vertices;           // 24
+  std::uint64_t num_edges;              // 32
+  std::uint64_t light_nnz;              // 40
+  std::uint64_t heavy_nnz;              // 48
+  double delta;                         // 56
+  std::uint64_t delta_was_auto;         // 64: 0/1
+  double max_weight;                    // 72
+  double min_positive_weight;           // 80
+  std::uint64_t max_out_degree;         // 88
+  double avg_out_degree;                // 96
+  std::uint64_t checksum;               // 104: FNV-1a, checksum field zeroed
+};
+static_assert(sizeof(PlanFileHeader) == 112, "header layout drifted");
+static_assert(sizeof(grb::Index) == 8 && sizeof(double) == 8,
+              "plan format assumes 64-bit indices and values");
+
+/// FNV-1a over a byte range, resumable via the running hash.
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h = (h ^ p[i]) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+template <typename T>
+std::uint64_t fnv1a_vec(std::uint64_t h, const std::vector<T>& v) {
+  return fnv1a(h, v.data(), v.size() * sizeof(T));
+}
+
+/// The checksum input: the header with its checksum field zeroed, then
+/// every payload section in file order.  Catches single-bit corruption in
+/// either region (size-class errors are caught earlier by the exact
+/// file-size check).
+std::uint64_t checksum_file(PlanFileHeader header,
+                            const std::vector<const void*>& sections,
+                            const std::vector<std::size_t>& sizes) {
+  header.checksum = 0;
+  std::uint64_t h = fnv1a(kFnvBasis, &header, sizeof(header));
+  for (std::size_t k = 0; k < sections.size(); ++k) {
+    h = fnv1a(h, sections[k], sizes[k]);
+  }
+  return h;
+}
+
+[[noreturn]] void reject(const std::string& path, const std::string& why) {
+  throw grb::InvalidValue("plan load: " + why + " (" + path + ")");
+}
+
+void write_bytes(std::ofstream& os, const void* data, std::size_t size) {
+  if (size == 0) return;  // empty split sections pass a null pointer
+  os.write(static_cast<const char*>(data),
+           static_cast<std::streamsize>(size));
+}
+
+template <typename T>
+void write_vec(std::ofstream& os, const std::vector<T>& v) {
+  write_bytes(os, v.data(), v.size() * sizeof(T));
+}
+
+/// Expected payload byte count for a validated header.
+std::uint64_t payload_bytes(const PlanFileHeader& h) {
+  const std::uint64_t ptr_len = h.num_vertices + 1;
+  return 8 * (3 * ptr_len + 2 * h.num_edges + 2 * h.light_nnz +
+              2 * h.heavy_nnz);
+}
+
+/// Copies the next `count` elements out of the mapped/loaded byte range.
+/// The empty case is skipped: an all-light or all-heavy split has
+/// zero-length sections, and memcpy's arguments must be non-null even
+/// for a zero count.
+template <typename T>
+std::vector<T> take(const unsigned char*& cursor, std::uint64_t count) {
+  std::vector<T> out(count);
+  if (count != 0) {
+    std::memcpy(out.data(), cursor, count * sizeof(T));
+    cursor += count * sizeof(T);
+  }
+  return out;
+}
+
+/// Whole-file bytes, mmap first, ifstream fallback.  The deleter-typed
+/// unique_ptr keeps the mapping alive exactly as long as parsing needs it.
+class FileBytes {
+ public:
+  explicit FileBytes(const std::string& path) {
+#if defined(DSG_PLAN_IO_HAVE_MMAP)
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st = {};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        void* mapped =
+            ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                   MAP_PRIVATE, fd, 0);
+        if (mapped != MAP_FAILED) {
+          data_ = static_cast<const unsigned char*>(mapped);
+          size_ = static_cast<std::size_t>(st.st_size);
+          mapped_ = mapped;
+        }
+      }
+      ::close(fd);  // the mapping outlives the descriptor
+      if (mapped_ != nullptr) return;
+    }
+#endif
+    std::ifstream in(path, std::ios::binary);
+    if (!in) reject(path, "cannot open file");
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    in.seekg(0, std::ios::beg);
+    fallback_.resize(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char*>(fallback_.data()), size);
+    if (!in) reject(path, "read failed");
+    data_ = fallback_.data();
+    size_ = fallback_.size();
+  }
+
+  ~FileBytes() {
+#if defined(DSG_PLAN_IO_HAVE_MMAP)
+    if (mapped_ != nullptr) ::munmap(mapped_, size_);
+#endif
+  }
+
+  FileBytes(const FileBytes&) = delete;
+  FileBytes& operator=(const FileBytes&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* mapped_ = nullptr;
+  std::vector<unsigned char> fallback_;
+};
+
+}  // namespace
+
+void PlanIo::save(const GraphPlan& plan, const std::string& path) {
+  const grb::Matrix<double>& a = plan.matrix();
+  // Force the split now: the file pins Δ, so a loaded plan must start with
+  // the split already materialized (that is the cold-start win).
+  const detail::LightHeavySplit& split = plan.light_heavy();
+  const PlanStats& stats = plan.stats();
+
+  PlanFileHeader header = {};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kPlanFormatVersion;
+  header.endian = kEndianMarker;
+  header.index_bits = 64;
+  header.value_bits = 64;
+  header.num_vertices = a.nrows();
+  header.num_edges = a.nvals();
+  header.light_nnz = split.light_ind.size();
+  header.heavy_nnz = split.heavy_ind.size();
+  header.delta = plan.delta();
+  header.delta_was_auto = plan.delta_was_auto() ? 1 : 0;
+  header.max_weight = stats.max_weight;
+  header.min_positive_weight = stats.min_positive_weight;
+  header.max_out_degree = stats.max_out_degree;
+  header.avg_out_degree = stats.avg_out_degree;
+
+  // Sections in file order.  row_ptr/col_ind/raw_values are spans over the
+  // matrix's own storage; the split vectors are plan-owned.
+  const std::vector<const void*> sections = {
+      a.row_ptr().data(),          a.col_ind().data(),
+      a.raw_values().data(),       split.light_ptr.data(),
+      split.light_ind.data(),      split.light_val.data(),
+      split.heavy_ptr.data(),      split.heavy_ind.data(),
+      split.heavy_val.data()};
+  const std::vector<std::size_t> sizes = {
+      a.row_ptr().size_bytes(),          a.col_ind().size_bytes(),
+      a.raw_values().size_bytes(),       split.light_ptr.size() * 8,
+      split.light_ind.size() * 8,        split.light_val.size() * 8,
+      split.heavy_ptr.size() * 8,        split.heavy_ind.size() * 8,
+      split.heavy_val.size() * 8};
+  header.checksum = checksum_file(header, sections, sizes);
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw grb::InvalidValue("plan save: cannot open " + path +
+                            " for writing");
+  }
+  write_bytes(os, &header, sizeof(header));
+  for (std::size_t k = 0; k < sections.size(); ++k) {
+    write_bytes(os, sections[k], sizes[k]);
+  }
+  os.flush();
+  if (!os) throw grb::InvalidValue("plan save: write failed on " + path);
+}
+
+GraphPlan PlanIo::load(const std::string& path) {
+  testing::fault_point("serving/plan_load");
+  const FileBytes file(path);
+  if (file.size() < sizeof(PlanFileHeader)) {
+    reject(path, "truncated header");
+  }
+  PlanFileHeader header = {};
+  std::memcpy(&header, file.data(), sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    reject(path, "bad magic (not a DSG plan file)");
+  }
+  if (header.endian != kEndianMarker) {
+    reject(path, "endianness mismatch (file written on a foreign-endian "
+                 "host)");
+  }
+  if (header.version != kPlanFormatVersion) {
+    reject(path, "unsupported format version " +
+                     std::to_string(header.version) + " (expected " +
+                     std::to_string(kPlanFormatVersion) + ")");
+  }
+  if (header.index_bits != 64 || header.value_bits != 64) {
+    reject(path, "unsupported index/value width");
+  }
+  if (header.num_vertices == 0) reject(path, "empty graph");
+  const std::uint64_t expected =
+      sizeof(PlanFileHeader) + payload_bytes(header);
+  if (file.size() != expected) {
+    reject(path, "file size mismatch (" + std::to_string(file.size()) +
+                     " bytes, expected " + std::to_string(expected) +
+                     " — truncated or trailing garbage)");
+  }
+
+  const unsigned char* payload = file.data() + sizeof(PlanFileHeader);
+  if (checksum_file(header, {payload},
+                    {static_cast<std::size_t>(payload_bytes(header))}) !=
+      header.checksum) {
+    reject(path, "checksum mismatch");
+  }
+
+  // Payload sections, in file order.
+  const std::uint64_t n = header.num_vertices;
+  const unsigned char* cursor = payload;
+  auto row_ptr = take<grb::Index>(cursor, n + 1);
+  auto col_ind = take<grb::Index>(cursor, header.num_edges);
+  auto val = take<double>(cursor, header.num_edges);
+  detail::LightHeavySplit split;
+  split.light_ptr = take<grb::Index>(cursor, n + 1);
+  split.light_ind = take<grb::Index>(cursor, header.light_nnz);
+  split.light_val = take<double>(cursor, header.light_nnz);
+  split.heavy_ptr = take<grb::Index>(cursor, n + 1);
+  split.heavy_ind = take<grb::Index>(cursor, header.heavy_nnz);
+  split.heavy_val = take<double>(cursor, header.heavy_nnz);
+
+  grb::Matrix<double> a(n, n);
+  a.adopt(std::move(row_ptr), std::move(col_ind), std::move(val));
+
+  PlanStats stats;
+  stats.num_vertices = n;
+  stats.num_edges = header.num_edges;
+  stats.max_out_degree = header.max_out_degree;
+  stats.avg_out_degree = header.avg_out_degree;
+  stats.max_weight = header.max_weight;
+  stats.min_positive_weight = header.min_positive_weight;
+
+  // Trusted construction: the checksum vouches for the payload, so the
+  // O(|E|) validation scan is skipped (DSG_AUDIT_INVARIANTS builds still
+  // audit the CSR and the split partition).
+  GraphPlan plan(GraphPlan::Restored{},
+                 std::make_shared<const grb::Matrix<double>>(std::move(a)),
+                 header.delta, header.delta_was_auto != 0, stats);
+  plan.install_split(std::move(split));
+  return plan;
+}
+
+}  // namespace dsg::serving
+
+namespace dsg {
+
+// GraphPlan's persistence members live here (not plan.cpp) so the core
+// dsg_sssp library carries no file-format code; linking dsg_serving
+// provides them.
+void GraphPlan::save(const std::string& path) const {
+  serving::PlanIo::save(*this, path);
+}
+
+GraphPlan GraphPlan::load(const std::string& path) {
+  return serving::PlanIo::load(path);
+}
+
+}  // namespace dsg

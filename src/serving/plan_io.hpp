@@ -1,0 +1,52 @@
+// plan_io.hpp — version-stamped binary persistence for GraphPlan, the
+// cold-start half of the serving layer.
+//
+// A plan file carries everything a server needs to answer queries without
+// re-scanning the graph: the adjacency CSR, the construction-time weight/
+// degree statistics, the pinned Δ, and the light/heavy split materialized
+// at that Δ.  Loading is therefore O(bytes) — one checksum pass plus
+// memcpy into the owning vectors — instead of the O(|E|) validation +
+// split scans a fresh GraphPlan pays.
+//
+// File layout (all scalars little-or-big per the writing host; the header
+// carries an endianness marker so a foreign-endian reader rejects cleanly
+// instead of decoding garbage):
+//
+//   [ 112-byte header, 8-byte aligned ]
+//     magic "DSGPLAN\n", format version, endian marker 0x01020304,
+//     index/value widths (64/64), counts (|V|, |E|, light nnz, heavy nnz),
+//     Δ + delta_was_auto, the PlanStats scalars, and an FNV-1a checksum
+//     over the rest of the header and the whole payload.
+//   [ payload: nine 8-byte-aligned arrays, no padding between them ]
+//     row_ptr (|V|+1), col_ind (|E|), val (|E|),
+//     light_ptr (|V|+1), light_ind, light_val,
+//     heavy_ptr (|V|+1), heavy_ind, heavy_val.
+//
+// The header fully determines the file size, so truncation is detected
+// before any payload is touched; the checksum catches bit corruption in
+// either region.  Rejections throw grb::InvalidValue with a message
+// naming the failing check (see tests/test_plan_io.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sssp/plan.hpp"
+
+namespace dsg::serving {
+
+/// On-disk format version.  Bump on ANY layout change (readers reject
+/// every other version) and regenerate tests/data/*.plan goldens.
+inline constexpr std::uint32_t kPlanFormatVersion = 1;
+
+/// The saver/loader behind GraphPlan::save / GraphPlan::load.  A class
+/// rather than free functions because loading goes through GraphPlan's
+/// private trusted-deserialization constructor (friend access): the
+/// checksum stands in for the constructor's O(|E|) validation scan.
+class PlanIo {
+ public:
+  static void save(const GraphPlan& plan, const std::string& path);
+  static GraphPlan load(const std::string& path);
+};
+
+}  // namespace dsg::serving

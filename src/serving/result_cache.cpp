@@ -1,0 +1,78 @@
+#include "serving/result_cache.hpp"
+
+#include <bit>
+
+namespace dsg::serving {
+
+namespace {
+
+// splitmix64 finalizer, the project's standard seeded mixer.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  std::uint64_t h = mix64(key.plan_fingerprint);
+  h = mix64(h ^ key.source);
+  h = mix64(h ^ static_cast<std::uint64_t>(key.algorithm));
+  h = mix64(h ^ std::bit_cast<std::uint64_t>(key.delta));
+  return static_cast<std::size_t>(h);
+}
+
+ResultCache::Distances ResultCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
+  return it->second->second;
+}
+
+void ResultCache::insert(const CacheKey& key, Distances dist) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;  // disabled: drop silently
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh: same key recomputed (e.g. a racing miss on two workers).
+    it->second->second = std::move(dist);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++insertions_;
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, std::move(dist));
+  map_.emplace(key, lru_.begin());
+  ++insertions_;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.insertions = insertions_;
+  out.evictions = evictions_;
+  out.entries = lru_.size();
+  out.capacity = capacity_;
+  return out;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace dsg::serving

@@ -1,7 +1,9 @@
 #include "sssp/plan.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cstdint>
 
 #include "graphblas/audit.hpp"
 
@@ -25,6 +27,23 @@ struct GrbSplitSlot {
   grb::Matrix<double> light;
   grb::Matrix<double> heavy;
 };
+
+struct FingerprintSlot {
+  std::uint64_t value = 0;
+};
+
+// splitmix64 finalizer — the same mixer the fault-injection seeder uses;
+// deterministic across platforms.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ v);
+}
 
 /// Builds a grb::Matrix directly from one half of the CSR split (no
 /// predicate re-evaluation: the split already holds exactly the entries).
@@ -116,6 +135,49 @@ GraphPlan::GraphPlan(Borrowed, const grb::Matrix<double>& a, double delta)
 
 GraphPlan GraphPlan::borrow(const grb::Matrix<double>& a, double delta) {
   return GraphPlan(Borrowed{}, a, delta);
+}
+
+GraphPlan::GraphPlan(Restored, std::shared_ptr<const grb::Matrix<double>> a,
+                     double delta, bool delta_was_auto,
+                     const PlanStats& stats)
+    : a_(std::move(a)),
+      stats_(stats),
+      delta_(delta),
+      delta_was_auto_(delta_was_auto),
+      lazy_(std::make_unique<Lazy>()) {
+#ifdef DSG_AUDIT_INVARIANTS
+  check_invariants();
+#endif
+}
+
+void GraphPlan::install_split(detail::LightHeavySplit split) const {
+  derived<SplitSlot>([&] {
+    auto slot = std::make_shared<SplitSlot>();
+    slot->split = std::move(split);
+#ifdef DSG_AUDIT_INVARIANTS
+    audit_split(slot->split);
+#endif
+    return slot;
+  });
+}
+
+std::uint64_t GraphPlan::fingerprint() const {
+  return derived<FingerprintSlot>([&] {
+           auto slot = std::make_shared<FingerprintSlot>();
+           const grb::Matrix<double>& a = *a_;
+           std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+           h = hash_combine(h, a.nrows());
+           h = hash_combine(h, a.ncols());
+           h = hash_combine(h, a.nvals());
+           for (Index p : a.row_ptr()) h = hash_combine(h, p);
+           for (Index c : a.col_ind()) h = hash_combine(h, c);
+           for (double w : a.raw_values()) {
+             h = hash_combine(h, std::bit_cast<std::uint64_t>(w));
+           }
+           slot->value = h;
+           return slot;
+         })
+      .value;
 }
 
 void GraphPlan::init(double delta) {

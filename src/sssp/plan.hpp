@@ -26,8 +26,10 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <typeindex>
 #include <utility>
 #include <vector>
@@ -35,6 +37,10 @@
 #include "sssp/common.hpp"
 
 namespace dsg {
+
+namespace serving {
+class PlanIo;  // trusted deserializer (src/serving/plan_io.cpp)
+}  // namespace serving
 
 namespace detail {
 
@@ -138,6 +144,23 @@ class GraphPlan {
   /// per-query caller used to pay on every call.
   double setup_seconds() const;
 
+  /// Version-stamped binary persistence (CSR + stats + the light/heavy
+  /// split materialized at this plan's pinned Δ).  Implemented by the
+  /// serving layer (src/serving/plan_io.cpp, the dsg_serving library —
+  /// link it to use these); docs/ARCHITECTURE.md "Serving layer" specifies
+  /// the file format.  save() forces the split so a loaded plan starts
+  /// warm; load() verifies magic/version/endianness/checksum and throws
+  /// grb::InvalidValue on any mismatch.
+  void save(const std::string& path) const;
+  static GraphPlan load(const std::string& path);
+
+  /// 64-bit structural fingerprint over the graph only — dimensions, CSR
+  /// arrays, weights — NOT Δ, so one graph served at two bucket widths
+  /// shares it (cache keys add Δ separately).  Computed once on first use,
+  /// then a const read; identical across a save/load round trip because
+  /// the underlying bytes are identical.
+  std::uint64_t fingerprint() const;
+
   /// Audits the plan's structural invariants (see graphblas/audit.hpp):
   /// the adjacency CSR (monotone offsets, in-range ascending columns) and —
   /// when already materialized — the light/heavy split (every light weight
@@ -171,8 +194,23 @@ class GraphPlan {
   }
 
  private:
+  friend class serving::PlanIo;
+
   struct Borrowed {};  // tag: non-owning shared_ptr
   GraphPlan(Borrowed, const grb::Matrix<double>& a, double delta);
+
+  /// Trusted-deserialization constructor (serving::PlanIo only): adopts
+  /// checksum-verified stats and Δ without re-running the O(|E|)
+  /// validation scan.  Under DSG_AUDIT_INVARIANTS the full structural
+  /// audit still runs, so a corrupt-but-checksum-colliding file cannot
+  /// slip through a debug build.
+  struct Restored {};
+  GraphPlan(Restored, std::shared_ptr<const grb::Matrix<double>> a,
+            double delta, bool delta_was_auto, const PlanStats& stats);
+
+  /// Installs a pre-built light/heavy split into the lazy cache (the
+  /// loader's way to hand over the materialized split from the file).
+  void install_split(detail::LightHeavySplit split) const;
 
   /// Audits one materialized light/heavy split against the matrix and Δ.
   void audit_split(const detail::LightHeavySplit& s) const;

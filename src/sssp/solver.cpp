@@ -52,10 +52,12 @@ constexpr std::array<AlgorithmInfo, kNumAlgorithms> kRegistry{{
      true, &delta_stepping_async},
 }};
 
-/// Touches the plan state the algorithm will need, so that batched
-/// execution hits only const reads (the lazy materialization is mutex
-/// guarded anyway; this just front-loads the cost to construction, where
-/// the plan/execute contract says it belongs).
+}  // namespace
+
+// Touches the plan state the algorithm will need, so that batched
+// execution hits only const reads (the lazy materialization is mutex
+// guarded anyway; this just front-loads the cost to construction, where
+// the plan/execute contract says it belongs).
 void warm_plan(const GraphPlan& plan, Algorithm algorithm) {
   switch (algorithm) {
     case Algorithm::kBuckets:
@@ -81,7 +83,22 @@ void warm_plan(const GraphPlan& plan, Algorithm algorithm) {
   }
 }
 
-}  // namespace
+Algorithm auto_algorithm(const GraphPlan& plan) {
+  const PlanStats& stats = plan.stats();
+  // Below the cutoff (or with no edges at all) the fused core's bucket
+  // machinery costs more than it saves; the heap baseline is the floor.
+  constexpr Index kSmallGraphCutoff = 4096;
+  if (stats.num_edges == 0 || stats.num_vertices < kSmallGraphCutoff) {
+    return Algorithm::kDijkstra;
+  }
+  // Exact light fraction from the materialized split (the serving layer
+  // persists/warms it anyway, so this is a const read in steady state).
+  const detail::LightHeavySplit& split = plan.light_heavy();
+  const double light_fraction = static_cast<double>(split.light_ind.size()) /
+                                static_cast<double>(stats.num_edges);
+  if (light_fraction <= 0.1) return Algorithm::kDijkstra;
+  return Algorithm::kFused;
+}
 
 std::span<const AlgorithmInfo> algorithm_registry() { return kRegistry; }
 

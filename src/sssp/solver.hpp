@@ -88,6 +88,25 @@ const AlgorithmInfo& algorithm_info(Algorithm algorithm);
 /// Lookup by stable name; nullptr when unknown.
 const AlgorithmInfo* find_algorithm(std::string_view name);
 
+/// Front-loads the plan state `algorithm` will need (light/heavy split,
+/// grb split matrices) so later solves hit only const reads.  Used by
+/// SsspSolver construction and by the serving layer's worker pool.
+void warm_plan(const GraphPlan& plan, Algorithm algorithm);
+
+/// Auto-algorithm selection from the plan's graph/Δ statistics — the
+/// serving-layer companion of GraphPlan::auto_delta.  The policy, from the
+/// repository's own bench trajectory (fig3_fusion / delta_sweep):
+///   - tiny or edgeless graphs (< 4096 vertices): kDijkstra — the heap
+///     baseline wins below the point where bucket setup amortizes;
+///   - a Δ that leaves almost no light edges (light fraction <= 10%):
+///     kDijkstra — delta-stepping degenerates to Dijkstra-with-overhead
+///     when nearly every relaxation is a heavy-phase one;
+///   - otherwise: kFused, the default fused CSR core.
+/// Only internally-serial, pool-safe variants are returned (never kCapi,
+/// whose process-global operator state cannot run on concurrent workers).
+/// Forces the plan's light/heavy split on graphs past the size cutoff.
+Algorithm auto_algorithm(const GraphPlan& plan);
+
 /// Solver construction options.
 struct SolverOptions {
   Algorithm algorithm = Algorithm::kFused;

@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <new>
 #include <string>
 #include <vector>
 
 #include "capi/graphblas.h"
+#include "serving/server.hpp"
 #include "sssp/solver.hpp"
 #include "test_support.hpp"
 #include "testing/fault_injection.hpp"
@@ -265,7 +267,81 @@ TEST(FaultSweep, AsyncEngineSurvivesRepeatedFaults) {
                               "after fault storm");
 }
 
+// --- Serving-layer yield points: throw, then recover. ------------------------
+
+TEST(FaultSweep, ServingPlanLoad) {
+  const std::string path = ::testing::TempDir() + "dsg_fault_plan.plan";
+  dsg::GraphPlan plan(dsg::test::diamond_graph().to_matrix(), 1.0);
+  plan.save(path);
+  {
+    ScopedFaults faults(1, {throw_at("serving/plan_load", 0)});
+    EXPECT_THROW(dsg::GraphPlan::load(path), std::bad_alloc);
+  }
+  // The same file loads cleanly once faults clear — the throw left no
+  // half-open mapping or stream behind.
+  dsg::GraphPlan loaded = dsg::GraphPlan::load(path);
+  EXPECT_EQ(loaded.fingerprint(), plan.fingerprint());
+  std::remove(path.c_str());
+}
+
+TEST(FaultSweep, ServingPoolEnqueue) {
+  dsg::serving::SsspServer server(dsg::test::diamond_graph().to_matrix());
+  {
+    ScopedFaults faults(1, {throw_at("serving/pool_enqueue", 0)});
+    // The throw happens before a ticket is issued: nothing to redeem,
+    // nothing counted as submitted.
+    EXPECT_THROW(server.submit(0), std::bad_alloc);
+  }
+  EXPECT_EQ(server.stats().submitted, 0u);
+  const dsg::sssp::QueryResult r = server.wait(server.submit(0));
+  ASSERT_TRUE(r.ok()) << r.error;
+  dsg::test::expect_distances(r.result.dist,
+                              dsg::test::diamond_distances_from_0(),
+                              "after enqueue fault");
+}
+
+TEST(FaultSweep, ServingCacheInsertFailureIsBestEffort) {
+  dsg::serving::SsspServer server(dsg::test::diamond_graph().to_matrix());
+  {
+    ScopedFaults faults(1, {throw_at("serving/cache_insert", 0)});
+    // The insert throw must NOT fail the query: the caller still gets its
+    // exact distances; only the accounting records the dropped insert.
+    const dsg::sssp::QueryResult r = server.wait(server.submit(0));
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.result.status, SsspStatus::kComplete);
+    dsg::test::expect_distances(r.result.dist,
+                                dsg::test::diamond_distances_from_0(),
+                                "during insert fault");
+  }
+  dsg::serving::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache_insert_failures, 1u);
+  EXPECT_EQ(stats.cache.entries, 0u);
+  // Recovery: the next identical query misses (nothing was cached), solves,
+  // and this time its insert lands.
+  ASSERT_TRUE(server.wait(server.submit(0)).ok());
+  stats = server.stats();
+  EXPECT_EQ(stats.cache.entries, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+// (serving/worker_query's isolation contract — one poisoned query fails
+// alone, the pool recovers — is covered in test_serving.cpp.)
+
 // --- Catalog honesty. --------------------------------------------------------
+
+/// Touches every serving-layer fault point: a served query (pool_enqueue,
+/// worker_query, cache_insert) and a plan-file load (plan_load).
+void run_serving_workload() {
+  dsg::serving::ServerOptions options;
+  options.num_workers = 1;
+  dsg::serving::SsspServer server(dsg::test::diamond_graph().to_matrix(),
+                                  options);
+  ASSERT_TRUE(server.wait(server.submit(0)).ok());
+  const std::string path = ::testing::TempDir() + "dsg_catalog.plan";
+  server.plan().save(path);
+  dsg::GraphPlan::load(path);
+  std::remove(path.c_str());
+}
 
 TEST(FaultCatalog, EveryCatalogPointIsReachable) {
   // Run the workloads that should visit every named point, with an empty
@@ -286,6 +362,7 @@ TEST(FaultCatalog, EveryCatalogPointIsReachable) {
     ASSERT_EQ(GrB_Vector_new(&v, 3), GrB_SUCCESS);
     GrB_Vector_free(&v);
   }
+  run_serving_workload();
 
   const auto touched = dsg::testing::touched_fault_points();
   for (const char* name : dsg::testing::fault_point_catalog()) {
@@ -306,6 +383,7 @@ TEST(FaultCatalog, TouchedPointsAreCatalogued) {
     SsspSolver solver = make_solver(info.id, g);
     solver.solve(0);
   }
+  run_serving_workload();
   const auto catalog = dsg::testing::fault_point_catalog();
   for (const std::string& name : dsg::testing::touched_fault_points()) {
     EXPECT_NE(std::find_if(catalog.begin(), catalog.end(),

@@ -1,0 +1,242 @@
+// test_result_cache.cpp — the serving layer's LRU result cache in
+// isolation: hit/miss/eviction order, accounting, the capacity-0 and
+// capacity-1 edge cases, and the fingerprint-mismatch guarantee (a cache
+// can never serve distances computed for a different graph).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "serving/result_cache.hpp"
+#include "sssp/plan.hpp"
+#include "test_support.hpp"
+
+namespace dsg::serving {
+namespace {
+
+using grb::Index;
+
+CacheKey key_for(std::uint64_t fingerprint, Index source) {
+  CacheKey key;
+  key.plan_fingerprint = fingerprint;
+  key.source = source;
+  key.algorithm = 4;  // kFused
+  key.delta = 1.0;
+  return key;
+}
+
+ResultCache::Distances dist_of(double value) {
+  return std::make_shared<const std::vector<double>>(
+      std::vector<double>{value});
+}
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(4);
+  const CacheKey key = key_for(1, 0);
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  cache.insert(key, dist_of(7.0));
+  const ResultCache::Distances hit = cache.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], 7.0);
+
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.capacity, 4u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedInOrder) {
+  ResultCache cache(3);
+  for (Index s = 0; s < 3; ++s) cache.insert(key_for(1, s), dist_of(s));
+  // Touch 0: LRU order (oldest first) becomes 1, 2, 0.
+  ASSERT_NE(cache.lookup(key_for(1, 0)), nullptr);
+  // Each insert past capacity evicts exactly the current oldest.
+  cache.insert(key_for(1, 3), dist_of(3.0));  // evicts 1
+  EXPECT_EQ(cache.lookup(key_for(1, 1)), nullptr);
+  EXPECT_NE(cache.lookup(key_for(1, 2)), nullptr);  // order now 0, 3, 2
+  cache.insert(key_for(1, 4), dist_of(4.0));        // evicts 0
+  EXPECT_EQ(cache.lookup(key_for(1, 0)), nullptr);
+  EXPECT_NE(cache.lookup(key_for(1, 3)), nullptr);
+  EXPECT_NE(cache.lookup(key_for(1, 4)), nullptr);
+
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.insertions, 5u);
+}
+
+TEST(ResultCache, ReinsertRefreshesValueAndRecency) {
+  ResultCache cache(2);
+  cache.insert(key_for(1, 0), dist_of(1.0));
+  cache.insert(key_for(1, 1), dist_of(2.0));
+  // Refresh key 0: no eviction (the key is already resident), and 0 moves
+  // to most-recently-used, so the next eviction victim is 1.
+  cache.insert(key_for(1, 0), dist_of(9.0));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.insert(key_for(1, 2), dist_of(3.0));
+  EXPECT_EQ(cache.lookup(key_for(1, 1)), nullptr);
+  const ResultCache::Distances hit = cache.lookup(key_for(1, 0));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], 9.0);
+}
+
+TEST(ResultCache, CapacityZeroDisablesEverything) {
+  ResultCache cache(0);
+  cache.insert(key_for(1, 0), dist_of(1.0));
+  EXPECT_EQ(cache.lookup(key_for(1, 0)), nullptr);
+  const ResultCacheStats stats = cache.stats();
+  // A dropped insert is not an eviction — nothing was ever resident.
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ResultCache, CapacityOneIsAValidLru) {
+  ResultCache cache(1);
+  cache.insert(key_for(1, 0), dist_of(1.0));
+  cache.insert(key_for(1, 1), dist_of(2.0));  // evicts 0
+  EXPECT_EQ(cache.lookup(key_for(1, 0)), nullptr);
+  EXPECT_NE(cache.lookup(key_for(1, 1)), nullptr);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCache, HitKeepsValueAliveAcrossEviction) {
+  ResultCache cache(1);
+  cache.insert(key_for(1, 0), dist_of(5.0));
+  const ResultCache::Distances held = cache.lookup(key_for(1, 0));
+  ASSERT_NE(held, nullptr);
+  cache.insert(key_for(1, 1), dist_of(6.0));  // evicts 0 while `held` lives
+  EXPECT_EQ((*held)[0], 5.0);
+}
+
+TEST(ResultCache, ClearEmptiesButKeepsCounters) {
+  ResultCache cache(4);
+  cache.insert(key_for(1, 0), dist_of(1.0));
+  ASSERT_NE(cache.lookup(key_for(1, 0)), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.lookup(key_for(1, 0)), nullptr);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// Every component of the key must discriminate: same (source, algorithm,
+// delta) under a different fingerprint — or a different algorithm or Δ
+// under the same fingerprint — can never alias.
+TEST(ResultCache, KeyComponentsNeverAlias) {
+  ResultCache cache(8);
+  const CacheKey base = key_for(0xAAAA, 3);
+  cache.insert(base, dist_of(1.0));
+
+  CacheKey other_plan = base;
+  other_plan.plan_fingerprint = 0xBBBB;
+  CacheKey other_alg = base;
+  other_alg.algorithm = 7;  // kDijkstra
+  CacheKey other_delta = base;
+  other_delta.delta = 2.0;
+  CacheKey other_source = base;
+  other_source.source = 4;
+
+  EXPECT_EQ(cache.lookup(other_plan), nullptr);
+  EXPECT_EQ(cache.lookup(other_alg), nullptr);
+  EXPECT_EQ(cache.lookup(other_delta), nullptr);
+  EXPECT_EQ(cache.lookup(other_source), nullptr);
+  EXPECT_NE(cache.lookup(base), nullptr);
+}
+
+// The fingerprint is the load-bearing guard: two structurally different
+// graphs — same size, same query — produce different GraphPlan
+// fingerprints, so a shared cache can never serve one graph's distances
+// for the other.  (Equal-weight copies of the same graph, by design, DO
+// share a fingerprint: their distances are interchangeable.)
+TEST(ResultCache, DistinctGraphsHaveDistinctFingerprints) {
+  GraphPlan diamond(test::diamond_graph().to_matrix());
+  GraphPlan zigzag(test::zigzag_graph().to_matrix());
+  GraphPlan path5(test::path_graph(5).to_matrix());
+  GraphPlan diamond_again(test::diamond_graph().to_matrix());
+
+  EXPECT_NE(diamond.fingerprint(), zigzag.fingerprint());
+  EXPECT_NE(diamond.fingerprint(), path5.fingerprint());
+  EXPECT_NE(zigzag.fingerprint(), path5.fingerprint());
+  EXPECT_EQ(diamond.fingerprint(), diamond_again.fingerprint());
+
+  ResultCache cache(8);
+  CacheKey diamond_key = key_for(diamond.fingerprint(), 0);
+  cache.insert(diamond_key, dist_of(42.0));
+  EXPECT_EQ(cache.lookup(key_for(zigzag.fingerprint(), 0)), nullptr);
+  EXPECT_NE(cache.lookup(key_for(diamond_again.fingerprint(), 0)), nullptr);
+}
+
+// A weight perturbation alone (identical structure) must also flip the
+// fingerprint — distances depend on values, not just sparsity.
+TEST(ResultCache, WeightChangeFlipsFingerprint) {
+  EdgeList g1 = test::diamond_graph();
+  GraphPlan p1(g1.to_matrix());
+  EdgeList g2(5);
+  g2.add_edge(0, 1, 10.0);
+  g2.add_edge(0, 3, 5.0);
+  g2.add_edge(1, 2, 1.0);
+  g2.add_edge(1, 3, 2.0);
+  g2.add_edge(2, 4, 4.0);
+  g2.add_edge(3, 1, 3.0);
+  g2.add_edge(3, 2, 9.5);  // one weight differs
+  g2.add_edge(3, 4, 2.0);
+  g2.add_edge(4, 0, 7.0);
+  g2.add_edge(4, 2, 6.0);
+  GraphPlan p2(g2.to_matrix());
+  EXPECT_NE(p1.fingerprint(), p2.fingerprint());
+}
+
+TEST(ResultCache, ConcurrentMixedTrafficKeepsAccountingConsistent) {
+  ResultCache cache(16);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::uint64_t> lookups(kThreads, 0);
+  std::vector<std::uint64_t> inserts(kThreads, 0);
+  test::run_concurrent_stress(kThreads, 99, [&](int t, std::mt19937_64& rng) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const Index source = static_cast<Index>(rng() % 32);
+      if (rng() % 2 == 0) {
+        ++lookups[static_cast<std::size_t>(t)];
+        const ResultCache::Distances hit = cache.lookup(key_for(1, source));
+        // Values are keyed deterministically, so any hit must carry its
+        // own key's value — a torn or cross-wired entry throws here.
+        if (hit && (*hit)[0] != static_cast<double>(source)) {
+          throw std::runtime_error("cache served a wrong value");
+        }
+      } else {
+        ++inserts[static_cast<std::size_t>(t)];
+        cache.insert(key_for(1, source),
+                     dist_of(static_cast<double>(source)));
+      }
+    }
+  });
+  std::uint64_t total_lookups = 0;
+  std::uint64_t total_inserts = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    total_lookups += lookups[static_cast<std::size_t>(t)];
+    total_inserts += inserts[static_cast<std::size_t>(t)];
+  }
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, total_lookups);
+  EXPECT_EQ(stats.insertions, total_inserts);
+  // Conservation: every insertion either refreshed a resident key, is
+  // still resident, or was eventually evicted — so evictions can never
+  // exceed insertions, and residency never exceeds capacity.
+  EXPECT_LE(stats.evictions, stats.insertions);
+  EXPECT_LE(stats.entries, 16u);
+  EXPECT_EQ(stats.capacity, 16u);
+}
+
+}  // namespace
+}  // namespace dsg::serving

@@ -1,0 +1,512 @@
+// test_serving.cpp — the SsspServer pool under concurrency: mixed-source
+// traffic from many client threads checked against a Dijkstra oracle
+// (cache on and off), cancellation and deadlines mid-stream, one poisoned
+// query failing alone, ticket discipline, auto-algorithm selection, and
+// the DsgServer_* C surface.
+//
+// Assertion discipline: client threads run inside run_concurrent_stress
+// (test_support.hpp), where gtest macros are not safe — bodies throw on
+// violation and the harness rethrows on the main thread.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "capi/graphblas.h"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "serving/server.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/validate.hpp"
+#include "test_support.hpp"
+#include "testing/fault_injection.hpp"
+
+namespace dsg::serving {
+namespace {
+
+using grb::Index;
+
+/// The stress graph: the suite's small-world graph with mixed real
+/// weights, so the auto-Δ split has genuine light AND heavy edges and
+/// queries take long enough to overlap across workers.
+grb::Matrix<double> stress_graph() {
+  EdgeList graph = generate_small_world(300, 4, 0.1, 7);
+  graph.symmetrize();
+  graph.normalize();
+  assign_uniform_weights(graph, 0.1, 10.0, 101);
+  return graph.to_matrix();
+}
+
+/// Memoized Dijkstra oracle over all sources of one graph.
+class Oracle {
+ public:
+  explicit Oracle(const grb::Matrix<double>& a)
+      : a_(a), dist_(a.nrows()) {}
+
+  const std::vector<double>& operator[](Index source) {
+    std::vector<double>& slot = dist_[source];
+    if (slot.empty()) slot = dijkstra(a_, source).dist;
+    return slot;
+  }
+
+ private:
+  const grb::Matrix<double>& a_;
+  std::vector<std::vector<double>> dist_;
+};
+
+/// Throws unless `got` matches the oracle's exact distances (1e-9, the
+/// project-wide cross-implementation tolerance).
+void require_oracle_match(const std::vector<double>& want,
+                          const std::vector<double>& got, Index source) {
+  const auto cmp = compare_distances(want, got, 1e-9);
+  if (!cmp.ok) {
+    throw std::runtime_error("source " + std::to_string(source) + ": " +
+                             cmp.message);
+  }
+}
+
+/// Throws unless `got` is a valid PARTIAL result for `source`: the source
+/// itself settled at 0 and every entry is an upper bound on the truth.
+void require_upper_bounds(const std::vector<double>& want,
+                          const std::vector<double>& got, Index source) {
+  if (got.size() != want.size()) {
+    throw std::runtime_error("partial result has wrong size");
+  }
+  if (got[source] != 0.0) {
+    throw std::runtime_error("partial result lost dist[source] == 0");
+  }
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    if (got[v] < want[v] - 1e-9) {
+      throw std::runtime_error("partial result below true distance at vertex " +
+                               std::to_string(v));
+    }
+  }
+}
+
+TEST(Serving, SingleQueryMatchesOracle) {
+  SsspServer server(test::diamond_graph().to_matrix());
+  const SsspServer::Ticket ticket = server.submit(0);
+  const sssp::QueryResult r = server.wait(ticket);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.result.status, SsspStatus::kComplete);
+  test::expect_distances(r.result.dist, test::diamond_distances_from_0(),
+                         "served diamond");
+}
+
+// The headline stress: N client threads, mixed sources (a hot set plus
+// per-thread randoms), every result checked against the oracle.  One leg
+// with the cache on, one with it off — identical correctness contract.
+class ServingStress : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ServingStress, ConcurrentMixedTrafficMatchesOracle) {
+  const bool cache_on = GetParam();
+  const grb::Matrix<double> a = stress_graph();
+  const Index n = a.nrows();
+  Oracle oracle(a);
+  // Pre-warm the oracle for every source any thread can draw (worker
+  // threads must not race the memoization).
+  for (Index s = 0; s < n; ++s) oracle[s];
+
+  ServerOptions options;
+  options.num_workers = 3;
+  options.queue_capacity = 8;  // small: exercises submit backpressure
+  options.cache_capacity = cache_on ? 64 : 0;
+  SsspServer server(grb::Matrix<double>(a), options);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 24;
+  test::run_concurrent_stress(kClients, 7, [&](int t, std::mt19937_64& rng) {
+    for (int q = 0; q < kQueriesPerClient; ++q) {
+      // Half the traffic draws from an 8-source hot set (repeats across
+      // threads feed the cache); half is thread-private uniform.
+      const Index source = (q % 2 == 0)
+                               ? static_cast<Index>(rng() % 8)
+                               : static_cast<Index>(rng() % n);
+      const SsspServer::Ticket ticket = server.submit(source);
+      const sssp::QueryResult r = server.wait(ticket);
+      if (!r.ok()) {
+        throw std::runtime_error("query failed: " + r.error);
+      }
+      if (r.result.status != SsspStatus::kComplete) {
+        throw std::runtime_error("query not complete");
+      }
+      require_oracle_match(oracle[source], r.result.dist, source);
+      (void)t;
+    }
+  });
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kClients * kQueriesPerClient));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.failed, 0u);
+  if (cache_on) {
+    // Hot-set repeats guarantee hits: 48 hot-set queries over 8 sources
+    // cannot all miss.  (The exact count is schedule-dependent.)
+    EXPECT_GT(stats.cache.hits, 0u);
+    EXPECT_EQ(stats.cache.hits + stats.cache.misses, stats.submitted);
+  } else {
+    EXPECT_EQ(stats.cache.hits, 0u);
+    EXPECT_EQ(stats.cache.capacity, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheOnOff, ServingStress, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& leg) {
+                           return leg.param ? "CacheOn" : "CacheOff";
+                         });
+
+TEST(Serving, CacheHitReplaysBitIdenticalDistances) {
+  ServerOptions options;
+  options.num_workers = 1;
+  SsspServer server(stress_graph(), options);
+  const sssp::QueryResult first = server.wait(server.submit(5));
+  const sssp::QueryResult second = server.wait(server.submit(5));
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_EQ(first.result.dist.size(), second.result.dist.size());
+  for (std::size_t v = 0; v < first.result.dist.size(); ++v) {
+    EXPECT_EQ(first.result.dist[v], second.result.dist[v]) << "vertex " << v;
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+}
+
+TEST(Serving, BypassCacheSkipsLookupAndInsert) {
+  ServerOptions options;
+  options.num_workers = 1;
+  SsspServer server(test::diamond_graph().to_matrix(), options);
+  SsspServer::Query query;
+  query.source = 0;
+  query.bypass_cache = true;
+  ASSERT_TRUE(server.wait(server.submit(query)).ok());
+  ASSERT_TRUE(server.wait(server.submit(query)).ok());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.misses, 0u);
+  EXPECT_EQ(stats.cache.entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle under the pool: deadlines, cancellation, poisoned queries.
+// ---------------------------------------------------------------------------
+
+TEST(Serving, PreCancelledQueryReturnsCancelledUpperBounds) {
+  const grb::Matrix<double> a = stress_graph();
+  Oracle oracle(a);
+  const std::vector<double>& truth = oracle[3];
+  SsspServer server{grb::Matrix<double>(a)};
+  QueryControl control;
+  control.request_cancel();
+  const sssp::QueryResult r = server.wait(server.submit(3, control));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.result.status, SsspStatus::kCancelled);
+  require_upper_bounds(truth, r.result.dist, 3);
+  // An interrupted result must never be cached.
+  EXPECT_EQ(server.stats().cache.entries, 0u);
+}
+
+TEST(Serving, ExpiredDeadlineReturnsDeadlineExpired) {
+  SsspServer server{stress_graph()};
+  QueryControl control;
+  control.set_timeout(0.0);  // already expired at the first poll
+  const sssp::QueryResult r = server.wait(server.submit(3, control));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.result.status, SsspStatus::kDeadlineExpired);
+  EXPECT_EQ(server.stats().deadline_expired, 1u);
+  EXPECT_EQ(server.stats().cache.entries, 0u);
+}
+
+// Mid-stream cancellation, racy by construction: a watcher thread cancels
+// while workers chew through a stream that the fault injector has slowed
+// down.  Whatever each query's outcome, its distances must be either
+// exact or valid upper bounds — never garbage.
+TEST(Serving, MidStreamCancellationLeavesOnlyValidResults) {
+  const grb::Matrix<double> a = stress_graph();
+  Oracle oracle(a);
+  for (Index s = 0; s < 16; ++s) oracle[s];
+
+  // Widen the race window: every worker query sleeps at pickup.
+  testing::FaultSpec slow;
+  slow.point = "serving/worker_query";
+  slow.one_in = 1;
+  slow.action = testing::FaultSpec::Action::kDelay;
+  slow.delay = std::chrono::microseconds(500);
+  testing::ScopedFaults faults(42, {slow});
+
+  ServerOptions options;
+  options.num_workers = 2;
+  SsspServer server(grb::Matrix<double>(a), options);
+  QueryControl control;
+  std::vector<SsspServer::Ticket> tickets;
+  tickets.reserve(16);
+  for (Index s = 0; s < 16; ++s) tickets.push_back(server.submit(s, control));
+
+  std::thread watcher([&control] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    control.request_cancel();
+  });
+  int cancelled = 0;
+  for (Index s = 0; s < 16; ++s) {
+    const sssp::QueryResult r = server.wait(tickets[static_cast<size_t>(s)]);
+    ASSERT_TRUE(r.ok()) << r.error;
+    if (r.result.status == SsspStatus::kComplete) {
+      const auto cmp = compare_distances(oracle[s], r.result.dist, 1e-9);
+      EXPECT_TRUE(cmp.ok) << cmp.message;
+    } else {
+      ASSERT_EQ(r.result.status, SsspStatus::kCancelled);
+      ++cancelled;
+      require_upper_bounds(oracle[s], r.result.dist, s);
+    }
+  }
+  watcher.join();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed + stats.cancelled, 16u);
+  EXPECT_EQ(stats.cancelled, static_cast<std::uint64_t>(cancelled));
+}
+
+// One poisoned query (targeted via its source key) fails alone: the other
+// queries of the same stream complete exactly, and the pool survives.
+TEST(Serving, PoisonedQueryFailsAloneAndPoolRecovers) {
+  const grb::Matrix<double> a = stress_graph();
+  Oracle oracle(a);
+  for (Index s = 0; s < 8; ++s) oracle[s];
+
+  constexpr Index kPoisoned = 5;
+  testing::FaultSpec poison;
+  poison.point = "serving/worker_query";
+  poison.with_key = static_cast<std::int64_t>(kPoisoned);
+  testing::ScopedFaults faults(1, {poison});
+
+  ServerOptions options;
+  options.num_workers = 2;
+  options.cache_capacity = 0;  // keep every query an honest solve
+  SsspServer server(grb::Matrix<double>(a), options);
+  std::vector<SsspServer::Ticket> tickets;
+  tickets.reserve(8);
+  for (Index s = 0; s < 8; ++s) tickets.push_back(server.submit(s));
+
+  for (Index s = 0; s < 8; ++s) {
+    const sssp::QueryResult r = server.wait(tickets[static_cast<size_t>(s)]);
+    if (s == kPoisoned) {
+      EXPECT_FALSE(r.ok());
+      EXPECT_EQ(r.result.status, SsspStatus::kFailed);
+      EXPECT_FALSE(r.error.empty());
+      ASSERT_NE(r.exception, nullptr);
+      EXPECT_THROW(std::rethrow_exception(r.exception), std::bad_alloc);
+    } else {
+      ASSERT_TRUE(r.ok()) << "source " << s << ": " << r.error;
+      const auto cmp = compare_distances(oracle[s], r.result.dist, 1e-9);
+      EXPECT_TRUE(cmp.ok) << cmp.message;
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 7u);
+
+  // The pool is still serving after the failure.
+  ASSERT_TRUE(server.wait(server.submit(0)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Ticket discipline and shutdown.
+// ---------------------------------------------------------------------------
+
+TEST(Serving, TicketsRedeemExactlyOnce) {
+  SsspServer server(test::diamond_graph().to_matrix());
+  const SsspServer::Ticket ticket = server.submit(0);
+  ASSERT_TRUE(server.wait(ticket).ok());
+  EXPECT_THROW(server.wait(ticket), grb::InvalidValue);
+  EXPECT_THROW(server.wait(ticket + 1000), grb::InvalidValue);
+}
+
+TEST(Serving, SubmitValidatesBeforeEnqueue) {
+  SsspServer server(test::diamond_graph().to_matrix());
+  EXPECT_THROW(server.submit(5), grb::IndexOutOfBounds);  // n == 5
+  SsspServer::Query bad_alg;
+  bad_alg.source = 0;
+  bad_alg.algorithm = sssp::Algorithm::kCapi;
+  EXPECT_THROW(server.submit(bad_alg), grb::InvalidValue);
+  EXPECT_EQ(server.stats().submitted, 0u);
+}
+
+TEST(Serving, ShutdownDrainsAndRejectsNewWork) {
+  SsspServer server{stress_graph()};
+  std::vector<SsspServer::Ticket> tickets;
+  tickets.reserve(6);
+  for (Index s = 0; s < 6; ++s) tickets.push_back(server.submit(s));
+  server.shutdown();
+  server.shutdown();  // idempotent
+  EXPECT_THROW(server.submit(0), grb::InvalidValue);
+  // Everything submitted before shutdown stays redeemable.
+  for (const SsspServer::Ticket ticket : tickets) {
+    EXPECT_TRUE(server.wait(ticket).ok());
+  }
+}
+
+TEST(Serving, PerQueryAlgorithmOverrideIsHonored) {
+  const grb::Matrix<double> a = stress_graph();
+  Oracle oracle(a);
+  SsspServer server{grb::Matrix<double>(a)};
+  SsspServer::Query query;
+  query.source = 2;
+  query.algorithm = sssp::Algorithm::kBuckets;
+  query.bypass_cache = true;
+  const sssp::QueryResult r = server.wait(server.submit(query));
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto cmp = compare_distances(oracle[2], r.result.dist, 1e-9);
+  EXPECT_TRUE(cmp.ok) << cmp.message;
+}
+
+// ---------------------------------------------------------------------------
+// Auto-algorithm selection.
+// ---------------------------------------------------------------------------
+
+TEST(Serving, AutoAlgorithmPicksDijkstraForTinyGraphs) {
+  GraphPlan plan(test::diamond_graph().to_matrix());
+  EXPECT_EQ(sssp::auto_algorithm(plan), sssp::Algorithm::kDijkstra);
+  SsspServer server(test::diamond_graph().to_matrix());
+  EXPECT_EQ(server.default_algorithm(), sssp::Algorithm::kDijkstra);
+}
+
+TEST(Serving, AutoAlgorithmPicksFusedForLightDominatedGraphs) {
+  // 5000 unit-weight vertices, auto Δ: every edge is light.
+  GraphPlan plan(test::path_graph(5000).to_matrix());
+  EXPECT_EQ(sssp::auto_algorithm(plan), sssp::Algorithm::kFused);
+}
+
+TEST(Serving, AutoAlgorithmPicksDijkstraWhenAlmostNothingIsLight) {
+  // Same 5000-vertex graph, but Δ far below every weight: the light
+  // partition is empty and delta-stepping would degenerate.
+  GraphPlan plan(test::path_graph(5000).to_matrix(), 0.125);
+  EXPECT_EQ(sssp::auto_algorithm(plan), sssp::Algorithm::kDijkstra);
+}
+
+// ---------------------------------------------------------------------------
+// The C surface: DsgServer_*.
+// ---------------------------------------------------------------------------
+
+class CapiServing : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const EdgeList graph = test::diamond_graph();
+    ASSERT_EQ(GrB_Matrix_new(&a_, 5, 5), GrB_SUCCESS);
+    for (const auto& e : graph.edges()) {
+      ASSERT_EQ(GrB_Matrix_setElement_FP64(a_, e.weight, e.src, e.dst),
+                GrB_SUCCESS);
+    }
+  }
+
+  void TearDown() override { GrB_Matrix_free(&a_); }
+
+  GrB_Matrix a_ = nullptr;
+};
+
+TEST_F(CapiServing, SubmitWaitStatsRoundTrip) {
+  DsgServer server = nullptr;
+  ASSERT_EQ(DsgServer_new(&server, a_, DSG_SSSP_AUTO, DSG_SSSP_DELTA_AUTO, 2,
+                          16, 8),
+            GrB_SUCCESS);
+  uint64_t ticket = 0;
+  ASSERT_EQ(DsgServer_submit(server, 0, nullptr, &ticket), GrB_SUCCESS);
+  std::vector<double> dist(5, -1.0);
+  ASSERT_EQ(DsgServer_wait(server, ticket, dist.data()), GrB_SUCCESS);
+  test::expect_distances(dist, test::diamond_distances_from_0(), "capi serve");
+
+  // Second submit of the same source: served from cache, same distances.
+  ASSERT_EQ(DsgServer_submit(server, 0, nullptr, &ticket), GrB_SUCCESS);
+  std::vector<double> dist2(5, -1.0);
+  ASSERT_EQ(DsgServer_wait(server, ticket, dist2.data()), GrB_SUCCESS);
+  EXPECT_EQ(dist, dist2);
+
+  DsgServerStats stats = {};
+  ASSERT_EQ(DsgServer_stats(server, &stats), GrB_SUCCESS);
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.workers, 2u);
+  EXPECT_EQ(stats.queue_capacity, 16u);
+  EXPECT_EQ(stats.cache_capacity, 8u);
+
+  EXPECT_EQ(DsgServer_free(&server), GrB_SUCCESS);
+  EXPECT_EQ(server, nullptr);
+  EXPECT_EQ(DsgServer_free(&server), GrB_SUCCESS);  // NULL-safe
+}
+
+TEST_F(CapiServing, SavePlanAndColdStartFromFile) {
+  const std::string path = ::testing::TempDir() + "dsg_capi_server.plan";
+  DsgServer server = nullptr;
+  ASSERT_EQ(DsgServer_new(&server, a_, DSG_SSSP_FUSED, 2.5, 1, 4, 4),
+            GrB_SUCCESS);
+  ASSERT_EQ(DsgServer_save_plan(server, path.c_str()), GrB_SUCCESS);
+  ASSERT_EQ(DsgServer_free(&server), GrB_SUCCESS);
+
+  DsgServer loaded = nullptr;
+  ASSERT_EQ(DsgServer_new_from_file(&loaded, path.c_str(), DSG_SSSP_FUSED, 1,
+                                    4, 4),
+            GrB_SUCCESS);
+  uint64_t ticket = 0;
+  ASSERT_EQ(DsgServer_submit(loaded, 0, nullptr, &ticket), GrB_SUCCESS);
+  std::vector<double> dist(5, -1.0);
+  ASSERT_EQ(DsgServer_wait(loaded, ticket, dist.data()), GrB_SUCCESS);
+  test::expect_distances(dist, test::diamond_distances_from_0(), "cold start");
+  ASSERT_EQ(DsgServer_free(&loaded), GrB_SUCCESS);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(DsgServer_new_from_file(&loaded, (path + ".missing").c_str(),
+                                    DSG_SSSP_AUTO, 1, 4, 4),
+            GrB_INVALID_VALUE);
+  EXPECT_EQ(loaded, nullptr);
+}
+
+TEST_F(CapiServing, QueryControlCodesSurface) {
+  DsgServer server = nullptr;
+  ASSERT_EQ(DsgServer_new(&server, a_, DSG_SSSP_AUTO, DSG_SSSP_DELTA_AUTO, 1,
+                          4, 0),
+            GrB_SUCCESS);
+  DsgQueryControl control = nullptr;
+  ASSERT_EQ(DsgQueryControl_new(&control), GrB_SUCCESS);
+  ASSERT_EQ(DsgQueryControl_cancel(control), GrB_SUCCESS);
+  uint64_t ticket = 0;
+  ASSERT_EQ(DsgServer_submit(server, 0, control, &ticket), GrB_SUCCESS);
+  std::vector<double> dist(5, -1.0);
+  EXPECT_EQ(DsgServer_wait(server, ticket, dist.data()), DSG_CANCELLED);
+  EXPECT_EQ(dist[0], 0.0);  // partial upper bounds were still written
+  ASSERT_EQ(DsgQueryControl_free(&control), GrB_SUCCESS);
+  ASSERT_EQ(DsgServer_free(&server), GrB_SUCCESS);
+}
+
+TEST_F(CapiServing, ErrorCodes) {
+  DsgServer server = nullptr;
+  // kCapi cannot run on pool workers.
+  EXPECT_EQ(DsgServer_new(&server, a_, DSG_SSSP_CAPI, DSG_SSSP_DELTA_AUTO, 1,
+                          4, 4),
+            GrB_INVALID_VALUE);
+  EXPECT_EQ(server, nullptr);
+  EXPECT_EQ(DsgServer_new(&server, a_, static_cast<DsgSsspAlgorithm>(99),
+                          DSG_SSSP_DELTA_AUTO, 1, 4, 4),
+            GrB_INVALID_VALUE);
+  EXPECT_EQ(DsgServer_new(nullptr, a_, DSG_SSSP_AUTO, DSG_SSSP_DELTA_AUTO, 1,
+                          4, 4),
+            GrB_NULL_POINTER);
+
+  ASSERT_EQ(DsgServer_new(&server, a_, DSG_SSSP_AUTO, DSG_SSSP_DELTA_AUTO, 1,
+                          4, 4),
+            GrB_SUCCESS);
+  uint64_t ticket = 0;
+  EXPECT_EQ(DsgServer_submit(server, 99, nullptr, &ticket),
+            GrB_INVALID_INDEX);
+  EXPECT_EQ(DsgServer_submit(server, 0, nullptr, nullptr), GrB_NULL_POINTER);
+  std::vector<double> dist(5);
+  EXPECT_EQ(DsgServer_wait(server, 424242, dist.data()), GrB_INVALID_VALUE);
+  EXPECT_EQ(DsgServer_stats(server, nullptr), GrB_NULL_POINTER);
+  ASSERT_EQ(DsgServer_free(&server), GrB_SUCCESS);
+  EXPECT_EQ(DsgServer_free(nullptr), GrB_NULL_POINTER);
+}
+
+}  // namespace
+}  // namespace dsg::serving

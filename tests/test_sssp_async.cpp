@@ -52,21 +52,18 @@ TEST(WriteMin, LowersAndReportsOnlyImprovements) {
 }
 
 TEST(WriteMin, ConcurrentWritersConvergeToGlobalMin) {
-  // Hammer one slot from several threads; whatever the interleaving, the
-  // slot must end at the global minimum of everything written.
+  // Hammer one slot from several threads (barrier-started, so the writers
+  // genuinely overlap); whatever the interleaving, the slot must end at
+  // the global minimum of everything written.
   std::atomic<double> slot{1e9};
   constexpr int kThreads = 4;
   constexpr int kPerThread = 10000;
-  std::vector<std::thread> pool;
-  for (int t = 0; t < kThreads; ++t) {
-    pool.emplace_back([&slot, t] {
-      for (int k = 0; k < kPerThread; ++k) {
-        dsg::async::write_min(slot,
-                              static_cast<double>((k * kThreads + t) % 977));
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
+  run_concurrent_stress(kThreads, 1, [&slot](int t, std::mt19937_64&) {
+    for (int k = 0; k < kPerThread; ++k) {
+      dsg::async::write_min(slot,
+                            static_cast<double>((k * kThreads + t) % 977));
+    }
+  });
   EXPECT_EQ(slot.load(), 0.0);  // 0 == (k*kThreads+t) % 977 is hit by t=0,k=0
 }
 

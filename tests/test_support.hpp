@@ -1,16 +1,23 @@
 // test_support.hpp — shared fixture layer for the SSSP test suites.
 //
-// Provides three things so the SSSP variants are exercised uniformly:
+// Provides four things so the SSSP variants are exercised uniformly:
 //   1. tiny hand-computed graphs with their known distance vectors,
 //   2. an oracle checker against hand-computed distances,
 //   3. a table of every SSSP entry point under one signature, plus the
 //      DSG_CHECK_IMPL_PARITY table-driven parity macro (structural
-//      validate_sssp + Dijkstra agreement for each implementation).
+//      validate_sssp + Dijkstra agreement for each implementation),
+//   4. run_concurrent_stress, the barrier-started multi-thread harness
+//      shared by the serving and async suites.
 #pragma once
 
 #include <gtest/gtest.h>
 
+#include <barrier>
+#include <cstdint>
+#include <exception>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/edge_list.hpp"
@@ -246,6 +253,42 @@ inline const std::vector<Impl>& all_sssp_impls() {
     return v;
   }();
   return impls;
+}
+
+// ---------------------------------------------------------------------------
+// 4. Concurrent-stress harness.
+// ---------------------------------------------------------------------------
+
+/// Runs `body(thread_index, rng)` on `num_threads` threads that all start
+/// together (a barrier maximizes real overlap — without it, thread 0 often
+/// finishes before thread N-1 even launches) with a per-thread
+/// deterministically-seeded RNG.  gtest assertions are not thread-safe to
+/// *fail* on worker threads, so bodies should collect observations and
+/// throw on violation; the first exception from any thread is rethrown on
+/// the caller after every thread has joined.
+template <typename Body>
+void run_concurrent_stress(int num_threads, std::uint64_t seed, Body&& body) {
+  std::barrier gate(num_threads);
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_threads));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL +
+                          static_cast<std::uint64_t>(t));
+      gate.arrive_and_wait();
+      try {
+        body(t, rng);
+      } catch (...) {
+        errors[static_cast<std::size_t>(t)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
 }
 
 }  // namespace dsg::test
