@@ -1,0 +1,53 @@
+// fuzz_targets.hpp — the library entry points behind every fuzz harness.
+//
+// Each libFuzzer harness under fuzz/harness/ is a one-line wrapper over a
+// target function declared here and defined in fuzz/targets/.  Factoring
+// the bodies into a plain static library (dsg_fuzz_entry) buys two things:
+//
+//   - tests/test_fuzz_regressions.cpp links the SAME code paths the
+//     fuzzer exercises and replays every checked-in corpus entry as a
+//     deterministic ctest case — fuzz findings are pinned forever without
+//     needing clang or libFuzzer at test time;
+//   - the GCC container (no libFuzzer) still builds and runs everything
+//     except the coverage-guided loop itself, via fuzz/standalone_main.cpp.
+//
+// The contract every target enforces (and the fuzzer checks by crashing):
+// for ANY input bytes the parser under test either succeeds or throws
+// grb::InvalidValue with a named check.  Targets catch ONLY
+// grb::InvalidValue — any other exception propagates out of
+// LLVMFuzzerTestOneInput and is a finding, exactly like a sanitizer
+// report.  The return value is 0 in both allowed outcomes (libFuzzer
+// convention: nonzero return values are reserved).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsg::fuzz {
+
+/// PlanIo::load_bytes over `data` — the binary GraphPlan format.
+int plan_load_target(const std::uint8_t* data, std::size_t size);
+
+/// read_matrix_market over `data` as text.
+int matrix_market_target(const std::uint8_t* data, std::size_t size);
+
+/// read_snap over `data` as text.
+int snap_target(const std::uint8_t* data, std::size_t size);
+
+/// Full C-API round trip: the first 8 bytes select query parameters
+/// (source vertex, algorithm, cache bypass), the rest is written to a
+/// temp file and driven through DsgServer_new_from_file -> submit ->
+/// wait -> free.  Every DsgInfo code is an allowed outcome; crashes,
+/// sanitizer reports, and non-InvalidValue exceptions are findings.
+int capi_server_target(const std::uint8_t* data, std::size_t size);
+
+/// Structure-aware mutator for the plan format (wired into the plan_load
+/// harness as LLVMFuzzerCustomMutator): mutates header fields and payload
+/// sections independently, then usually re-stamps the checksum so the
+/// mutation reaches the validators behind the checksum gate instead of
+/// dying at "checksum mismatch" every time.  Deterministic in (input,
+/// seed).  Returns the new size (<= max_size).
+std::size_t plan_mutate(std::uint8_t* data, std::size_t size,
+                        std::size_t max_size, unsigned int seed);
+
+}  // namespace dsg::fuzz

@@ -1,0 +1,11 @@
+// capi_server_fuzzer.cpp — libFuzzer harness for the C-API round trip
+// (DsgServer_new_from_file -> submit -> wait -> free).
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return dsg::fuzz::capi_server_target(data, size);
+}

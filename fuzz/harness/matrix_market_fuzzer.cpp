@@ -1,0 +1,11 @@
+// matrix_market_fuzzer.cpp — libFuzzer harness for the Matrix Market
+// text parser.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return dsg::fuzz::matrix_market_target(data, size);
+}

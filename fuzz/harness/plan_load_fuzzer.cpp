@@ -1,0 +1,20 @@
+// plan_load_fuzzer.cpp — libFuzzer harness for the binary plan loader,
+// with the structure-aware mutator wired in as the custom mutator.
+// Seed the corpus from tests/fuzz_corpus/plan_load/ (which includes the
+// golden tests/data/diamond.plan image).
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return dsg::fuzz::plan_load_target(data, size);
+}
+
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t max_size,
+                                               unsigned int seed) {
+  return dsg::fuzz::plan_mutate(data, size, max_size, seed);
+}

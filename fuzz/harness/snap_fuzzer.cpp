@@ -1,0 +1,10 @@
+// snap_fuzzer.cpp — libFuzzer harness for the SNAP edge-list parser.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return dsg::fuzz::snap_target(data, size);
+}

@@ -1,0 +1,57 @@
+// standalone_main.cpp — replay driver substituted for libFuzzer's main
+// when DSG_FUZZ is off (e.g. GCC-only containers without libFuzzer).
+//
+// Usage: <harness> [file-or-directory]...
+//
+// Each file argument (and each regular file directly inside a directory
+// argument) is fed once through LLVMFuzzerTestOneInput — the same
+// execute-corpus semantics `libfuzzer_binary corpus/ -runs=0` has.  The
+// process exits 0 when every input was processed without crashing, which
+// is exactly the contract being checked.  scripts/fuzz_smoke.sh uses this
+// mode as its no-clang fallback.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  (void)LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  std::printf("ok  %8zu bytes  %s\n", bytes.size(), path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int failures = 0;
+  std::size_t total = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        failures += run_file(entry.path());
+        ++total;
+      }
+    } else {
+      failures += run_file(arg);
+      ++total;
+    }
+  }
+  std::printf("replayed %zu input(s), %d unreadable\n", total, failures);
+  return failures == 0 ? 0 : 1;
+}

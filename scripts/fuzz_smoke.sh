@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# fuzz_smoke.sh — bounded-budget adversarial-input smoke over every fuzz
+# harness (fuzz/ — plan_load, matrix_market, snap, capi_server).
+#
+# With clang available, builds -DDSG_FUZZ=ON (libFuzzer + ASan/UBSan) and
+# runs each harness over its seed corpus plus a time-budgeted
+# coverage-guided session; ANY crash, sanitizer report, OOM, or leak
+# fails the script and leaves the offending input in
+# <build-dir>/fuzz-artifacts/.  Without clang (e.g. the GCC-only dev
+# container), degrades to replay mode: the same harness binaries built
+# with the standalone main execute the full corpus once — the contract
+# check minus coverage guidance — and prints a SKIP note for the
+# budgeted session.  --require-clang turns that degradation into a hard
+# failure (CI uses this so the real fuzz job can never silently
+# downgrade).
+#
+# Usage:
+#   scripts/fuzz_smoke.sh [build-dir] [--quick] [--require-clang]
+#     build-dir        default: build-fuzz
+#     --quick          5s budget per harness instead of 60s
+#     --require-clang  fail instead of degrading when clang is missing
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build-fuzz"
+BUDGET=60
+REQUIRE_CLANG=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) BUDGET=5 ;;
+    --require-clang) REQUIRE_CLANG=1 ;;
+    -*) echo "fuzz_smoke.sh: unknown option $arg" >&2; exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+HARNESSES=(plan_load matrix_market snap capi_server)
+CORPUS_ROOT="tests/fuzz_corpus"
+
+CLANG_CXX=""
+for cxx in clang++ clang++-19 clang++-18 clang++-17 clang++-16 clang++-15; do
+  if command -v "$cxx" >/dev/null 2>&1; then CLANG_CXX="$cxx"; break; fi
+done
+
+if [[ -z "$CLANG_CXX" ]]; then
+  if [[ "$REQUIRE_CLANG" == 1 ]]; then
+    echo "fuzz_smoke.sh: --require-clang set but no clang++ found" >&2
+    exit 1
+  fi
+  echo "fuzz_smoke.sh: no clang++ found — REPLAY MODE (corpus execution"
+  echo "only; SKIPPING the coverage-guided budget, which needs libFuzzer)."
+  cmake -B "$BUILD_DIR" -S . -DDSG_BUILD_BENCH=OFF -DDSG_BUILD_EXAMPLES=OFF \
+        -DDSG_BUILD_TESTS=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+        --target fuzz_plan_load fuzz_matrix_market fuzz_snap fuzz_capi_server
+  for name in "${HARNESSES[@]}"; do
+    echo "--- replay: $name ---"
+    "$BUILD_DIR/fuzz/fuzz_$name" "$CORPUS_ROOT/$name"
+  done
+  echo "fuzz_smoke.sh: replay OK (budgeted fuzzing SKIPPED: no clang)"
+  exit 0
+fi
+
+# Full mode: libFuzzer binaries under ASan+UBSan.
+cmake -B "$BUILD_DIR" -S . -DDSG_FUZZ=ON \
+      -DCMAKE_CXX_COMPILER="$CLANG_CXX" \
+      -DDSG_BUILD_BENCH=OFF -DDSG_BUILD_EXAMPLES=OFF -DDSG_BUILD_TESTS=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+      --target fuzz_plan_load fuzz_matrix_market fuzz_snap fuzz_capi_server
+
+ARTIFACTS="$BUILD_DIR/fuzz-artifacts"
+mkdir -p "$ARTIFACTS"
+
+# halt_on_error: the first report must fail the run, not scroll past.
+export ASAN_OPTIONS="halt_on_error=1:abort_on_error=1:${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
+
+for name in "${HARNESSES[@]}"; do
+  seed_dir="$CORPUS_ROOT/$name"
+  work_dir="$BUILD_DIR/corpus-$name"
+  mkdir -p "$work_dir"
+  echo "--- fuzz: $name (seed corpus + ${BUDGET}s budget) ---"
+  # Pass 1: execute the full checked-in corpus, no mutation (-runs=0).
+  "$BUILD_DIR/fuzz/fuzz_$name" -runs=0 \
+      -artifact_prefix="$ARTIFACTS/$name-" "$seed_dir"
+  # Pass 2: coverage-guided session seeded from the corpus.  New inputs
+  # accumulate in work_dir (a scratch copy; promoting a find into the
+  # checked-in corpus is a deliberate git add).
+  "$BUILD_DIR/fuzz/fuzz_$name" -max_total_time="$BUDGET" \
+      -rss_limit_mb=2048 -max_len=65536 -print_final_stats=1 \
+      -artifact_prefix="$ARTIFACTS/$name-" "$work_dir" "$seed_dir"
+done
+
+echo "fuzz_smoke.sh: all ${#HARNESSES[@]} harnesses clean (budget ${BUDGET}s each)"

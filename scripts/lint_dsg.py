@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """lint_dsg.py -- project-specific static lints for the delta-stepping tree.
 
-Three machine-checked rules that clang-tidy cannot express (they encode
+Four machine-checked rules that clang-tidy cannot express (they encode
 *this* project's contracts, documented in docs/ARCHITECTURE.md under
 "Correctness tooling"):
 
@@ -27,6 +27,18 @@ Three machine-checked rules that clang-tidy cannot express (they encode
       No '#include' of a .cpp file anywhere, and no 'using namespace' at
       any scope in headers (.h/.hpp).
 
+  lock-discipline
+      Raw .lock()/.unlock() on a mutex (std::mutex variants or the
+      project's AuditedMutex) is only legal inside testing/lock_audit.*
+      (the lockdep wrappers themselves).  Everything else must hold locks
+      through lock_guard / unique_lock / scoped_lock, so no code path can
+      leak a lock past an exception -- and so the lockdep auditor sees
+      every acquisition.  Mutex variable NAMES are collected tree-wide
+      (declarations live in headers, call sites in .cpp files), then any
+      name.lock()/name.unlock() call site outside the allowlist is
+      flagged.  Calling .unlock() on a unique_lock GUARD is fine and not
+      flagged: the guard still owns the mutex's cleanup.
+
 Usage:
   lint_dsg.py                 lint <repo>/src (the script's ../src)
   lint_dsg.py --root DIR      lint DIR instead (fixtures, tests)
@@ -51,6 +63,10 @@ ALLOWED_ATOMICS = {
     "sssp/async/write_min.hpp",
     "sssp/async/async_stepping.cpp",
     "sssp/query_control.hpp",
+    # The lockdep auditor's violation-handler pointer: one default-seq_cst
+    # exchange/load, no ordering subtleties.  The auditor cannot route
+    # through the audited wrappers without auditing itself.
+    "testing/lock_audit.cpp",
 }
 
 ATOMIC_TOKENS = re.compile(
@@ -79,6 +95,25 @@ INCLUDE_CPP = re.compile(r'#\s*include\s*["<][^">]*\.cpp[">]')
 # bodies route through guarded()).  Adding a helper here requires that it
 # wrap *all* its callback invocations in guarded(), like these two do.
 GUARD_CALLS = ("guarded(", "run_vector_op(", "run_matrix_op(")
+
+# Files (relative to the lint root) where raw mutex .lock()/.unlock() is
+# legal: the lockdep wrappers themselves, which forward to the underlying
+# std::mutex by definition.
+ALLOWED_RAW_LOCK = {
+    "testing/lock_audit.hpp",
+    "testing/lock_audit.cpp",
+}
+
+# A mutex *variable* declaration: the type (possibly qualified/mutable/
+# static), then the variable name, then an initializer or semicolon.
+# Function declarations (name followed by '(') deliberately do not match.
+MUTEX_DECL = re.compile(
+    r"""\b(?:std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex
+          | (?:dsg::)?(?:testing::)?AuditedMutex)
+        \s+([A-Za-z_]\w*)\s*(?:;|\{|=)
+    """,
+    re.VERBOSE,
+)
 
 
 class Violation:
@@ -283,7 +318,59 @@ def check_header_hygiene(root: Path, path: Path, code: str) -> list[Violation]:
     return out
 
 
-RULES = (check_atomics, check_capi_guard, check_header_hygiene)
+# Tree-wide mutex-name collection for the lock-discipline rule.  Mutex
+# members are declared in headers but locked in .cpp files, so a per-file
+# scan would miss exactly the call sites that matter.  Keyed by root:
+# self-test lints two separate fixture trees in one process.
+_MUTEX_NAME_CACHE: dict[Path, frozenset[str]] = {}
+
+
+def mutex_names(root: Path) -> frozenset[str]:
+    cached = _MUTEX_NAME_CACHE.get(root)
+    if cached is not None:
+        return cached
+    names = set()
+    for path in iter_sources(root):
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for m in MUTEX_DECL.finditer(code):
+            names.add(m.group(1))
+    result = frozenset(names)
+    _MUTEX_NAME_CACHE[root] = result
+    return result
+
+
+def check_lock_discipline(root: Path, path: Path, code: str) -> list[Violation]:
+    rel = path.relative_to(root).as_posix()
+    if rel in ALLOWED_RAW_LOCK:
+        return []
+    names = mutex_names(root)
+    if not names:
+        return []
+    call_site = re.compile(
+        r"\b(" + "|".join(re.escape(n) for n in sorted(names)) +
+        r")\s*(?:\.|->)\s*(lock|unlock)\s*\(\s*\)"
+    )
+    out = []
+    for m in call_site.finditer(code):
+        out.append(
+            Violation(
+                path,
+                line_of(code, m.start()),
+                "lock-discipline",
+                f"raw .{m.group(2)}() on mutex '{m.group(1)}'; hold locks "
+                "via lock_guard/unique_lock/scoped_lock (raw acquisition "
+                "is only legal inside testing/lock_audit.*)",
+            )
+        )
+    return out
+
+
+RULES = (
+    check_atomics,
+    check_capi_guard,
+    check_header_hygiene,
+    check_lock_discipline,
+)
 
 
 def lint_tree(root: Path) -> list[Violation]:
@@ -315,6 +402,7 @@ def self_test(fixtures: Path) -> int:
         ("graphblas/rogue_counter.cpp", "atomics-confinement"),
         ("capi/unguarded_api.cpp", "capi-guard"),
         ("graphblas/leaky_header.hpp", "header-hygiene"),
+        ("serving/raw_lock.cpp", "lock-discipline"),
     }
     seen = {(v.path.relative_to(bad).as_posix(), v.rule) for v in bad_violations}
     for miss in sorted(expected - seen):

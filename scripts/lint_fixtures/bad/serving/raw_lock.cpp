@@ -1,0 +1,23 @@
+// Fixture: raw .lock()/.unlock() on mutexes — every call site here must
+// be flagged by the lock-discipline rule.  An exception between lock()
+// and unlock() leaks the lock forever; guards make that impossible.
+#include "raw_lock.hpp"
+
+#include <mutex>
+
+namespace {
+std::mutex queue_mu;
+}  // namespace
+
+void BadCache::touch() {
+  // Cross-file case: map_mu_ is declared in raw_lock.hpp.
+  map_mu_.lock();
+  map_mu_.unlock();
+}
+
+int drain_queue() {
+  queue_mu.lock();
+  const int n = 0;
+  queue_mu.unlock();
+  return n;
+}

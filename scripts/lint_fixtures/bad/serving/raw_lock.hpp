@@ -1,0 +1,19 @@
+// Fixture: declares mutex MEMBERS only — the violations live in
+// raw_lock.cpp, proving the lock-discipline rule collects mutex names
+// tree-wide (declaration in a header, raw call site in a .cpp).  This
+// header itself must NOT be flagged.
+#pragma once
+
+#include <mutex>
+
+namespace dsg::testing {
+class AuditedMutex;  // stand-in for the real wrapper
+}
+
+class BadCache {
+ public:
+  void touch();
+
+ private:
+  std::mutex map_mu_;
+};

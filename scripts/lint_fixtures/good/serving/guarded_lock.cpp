@@ -1,0 +1,21 @@
+// Fixture: disciplined locking — guards only.  Must stay clean under the
+// lock-discipline rule, INCLUDING the unique_lock::unlock() call below:
+// unlocking through the guard is fine (the guard still owns cleanup);
+// only raw mutex .lock()/.unlock() is forbidden.
+#include <mutex>
+
+namespace {
+std::mutex state_mu;
+int state = 0;
+}  // namespace
+
+int read_state() {
+  std::lock_guard<std::mutex> guard(state_mu);
+  return state;
+}
+
+void bump_then_work_unlocked() {
+  std::unique_lock<std::mutex> lk(state_mu);
+  ++state;
+  lk.unlock();  // guard-mediated early release: allowed
+}

@@ -6,12 +6,18 @@
 #   scripts/verify.sh --static                            static gate only
 #   scripts/verify.sh --audit [build-dir]                 build + ctest with
 #                                                         DSG_AUDIT_INVARIANTS
+#   scripts/verify.sh --fuzz [fuzz_smoke args...]         fuzz smoke (see
+#                                                         scripts/fuzz_smoke.sh)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 case "${1:-}" in
   --static)
     exec scripts/check_static.sh
+    ;;
+  --fuzz)
+    shift
+    exec scripts/fuzz_smoke.sh "$@"
     ;;
   --audit)
     shift

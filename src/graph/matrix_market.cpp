@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -87,7 +88,15 @@ EdgeList read_matrix_market(std::istream& in) {
   }
 
   EdgeList graph(nrows);
-  graph.edges().reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  // The declared nnz is untrusted: cap the up-front reservation so a
+  // forged size line cannot commit arbitrary memory before a single entry
+  // parses (past the cap push_back grows geometrically, paced by how many
+  // entry lines the input actually contains).  The cap is applied before
+  // the symmetric doubling so 2 * nnz cannot overflow either.
+  constexpr std::size_t kReserveCap = std::size_t{1} << 20;
+  const std::size_t reserve_nnz =
+      std::min(static_cast<std::size_t>(nnz), kReserveCap);
+  graph.edges().reserve(symmetric ? 2 * reserve_nnz : reserve_nnz);
   Index seen = 0;
   while (seen < nnz && std::getline(in, line)) {
     if (line.empty() || line[0] == '%') continue;
@@ -101,6 +110,13 @@ EdgeList read_matrix_market(std::istream& in) {
     const Index c = parse_dim(c_tok, "entry coordinate");
     if (!pattern && !(ls >> w)) {
       throw grb::InvalidValue("MatrixMarket: missing value in '" + line + "'");
+    }
+    // operator>> happily parses "nan" and "inf"; SSSP weights must be
+    // finite (negativity is rejected later by GraphPlan, but a NaN would
+    // slip through its comparison-based check).
+    if (!std::isfinite(w)) {
+      throw grb::InvalidValue("MatrixMarket: non-finite weight in '" + line +
+                              "'");
     }
     if (r < 1 || r > nrows || c < 1 || c > ncols) {
       throw grb::InvalidValue("MatrixMarket: entry out of bounds in '" + line +

@@ -1,5 +1,6 @@
 #include "graph/snap_reader.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -52,6 +53,12 @@ SnapReadResult read_snap(std::istream& in) {
         throw grb::InvalidValue("SNAP: bad weight in '" + line + "'");
       }
       w = 1.0;  // column truly absent
+    }
+    // operator>> accepts "nan"/"inf" spellings; reject them here so a
+    // hostile edge list cannot smuggle a non-finite weight past the
+    // comparison-based validation downstream.
+    if (!std::isfinite(w)) {
+      throw grb::InvalidValue("SNAP: non-finite weight in '" + line + "'");
     }
 
     auto intern = [&](Index original) {

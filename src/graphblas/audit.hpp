@@ -145,6 +145,14 @@ inline void check_csr(std::span<const Index> row_ptr,
                       " (" + std::to_string(row_ptr[r]) + " then " +
                       std::to_string(row_ptr[r + 1]) + ")");
     }
+    // Checked per row, not implied by front/back: a rise-then-fall
+    // offset sequence (e.g. [0, nnz+k, ..., nnz]) keeps both endpoint
+    // checks green while the risen row would index past col_ind.
+    if (static_cast<std::size_t>(row_ptr[r + 1]) > col_ind.size()) {
+      fail(where, "row " + std::to_string(r) + " end offset " +
+                      std::to_string(row_ptr[r + 1]) + " > nnz = " +
+                      std::to_string(col_ind.size()));
+    }
     for (Index k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
       if (col_ind[k] >= ncols) {
         fail(where, "row " + std::to_string(r) + " column " +

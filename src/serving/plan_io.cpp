@@ -5,12 +5,14 @@
 // vectors, so the mapping's lifetime ends inside load().
 #include "serving/plan_io.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "graphblas/audit.hpp"
 #include "testing/fault_injection.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -49,7 +51,8 @@ struct PlanFileHeader {
   double avg_out_degree;                // 96
   std::uint64_t checksum;               // 104: FNV-1a, checksum field zeroed
 };
-static_assert(sizeof(PlanFileHeader) == 112, "header layout drifted");
+static_assert(sizeof(PlanFileHeader) == kPlanHeaderBytes,
+              "header layout drifted");
 static_assert(sizeof(grb::Index) == 8 && sizeof(double) == 8,
               "plan format assumes 64-bit indices and values");
 
@@ -99,11 +102,32 @@ void write_vec(std::ofstream& os, const std::vector<T>& v) {
   write_bytes(os, v.data(), v.size() * sizeof(T));
 }
 
-/// Expected payload byte count for a validated header.
-std::uint64_t payload_bytes(const PlanFileHeader& h) {
-  const std::uint64_t ptr_len = h.num_vertices + 1;
-  return 8 * (3 * ptr_len + 2 * h.num_edges + 2 * h.light_nnz +
-              2 * h.heavy_nnz);
+/// Expected payload byte count for a header, or false when the sum does
+/// not fit in uint64 — every multiply and add is overflow-checked, so a
+/// forged header can never wrap the total into a value that happens to
+/// match the real file size (the classic count*width allocation bug).
+/// Runs on pure header arithmetic BEFORE any allocation or file-size
+/// comparison.
+bool checked_payload_bytes(const PlanFileHeader& h, std::uint64_t& out) {
+  std::uint64_t total = 0;
+  std::uint64_t ptr_len = 0;
+  if (__builtin_add_overflow(h.num_vertices, std::uint64_t{1}, &ptr_len)) {
+    return false;
+  }
+  const std::uint64_t element_counts[] = {
+      ptr_len,     h.num_edges, h.num_edges,  // row_ptr, col_ind, val
+      ptr_len,     h.light_nnz, h.light_nnz,  // light_ptr, light_ind/val
+      ptr_len,     h.heavy_nnz, h.heavy_nnz,  // heavy_ptr, heavy_ind/val
+  };
+  for (const std::uint64_t count : element_counts) {
+    std::uint64_t bytes = 0;
+    if (__builtin_mul_overflow(count, std::uint64_t{8}, &bytes) ||
+        __builtin_add_overflow(total, bytes, &total)) {
+      return false;
+    }
+  }
+  out = total;
+  return true;
 }
 
 /// Copies the next `count` elements out of the mapped/loaded byte range.
@@ -232,40 +256,67 @@ void PlanIo::save(const GraphPlan& plan, const std::string& path) {
 GraphPlan PlanIo::load(const std::string& path) {
   testing::fault_point("serving/plan_load");
   const FileBytes file(path);
-  if (file.size() < sizeof(PlanFileHeader)) {
-    reject(path, "truncated header");
+  return load_bytes(file.data(), file.size(), path);
+}
+
+std::uint64_t PlanIo::file_checksum(const unsigned char* data,
+                                    std::size_t size) {
+  if (size < sizeof(PlanFileHeader)) {
+    throw grb::InvalidValue(
+        "PlanIo::file_checksum: need at least a full header");
   }
   PlanFileHeader header = {};
-  std::memcpy(&header, file.data(), sizeof(header));
+  std::memcpy(&header, data, sizeof(header));
+  return checksum_file(header, {data + sizeof(header)},
+                       {size - sizeof(header)});
+}
+
+GraphPlan PlanIo::load_bytes(const unsigned char* data, std::size_t size,
+                             const std::string& origin) {
+  if (size < sizeof(PlanFileHeader)) {
+    reject(origin, "truncated header");
+  }
+  PlanFileHeader header = {};
+  std::memcpy(&header, data, sizeof(header));
   if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
-    reject(path, "bad magic (not a DSG plan file)");
+    reject(origin, "bad magic (not a DSG plan file)");
   }
   if (header.endian != kEndianMarker) {
-    reject(path, "endianness mismatch (file written on a foreign-endian "
-                 "host)");
+    reject(origin, "endianness mismatch (file written on a foreign-endian "
+                   "host)");
   }
   if (header.version != kPlanFormatVersion) {
-    reject(path, "unsupported format version " +
-                     std::to_string(header.version) + " (expected " +
-                     std::to_string(kPlanFormatVersion) + ")");
+    reject(origin, "unsupported format version " +
+                       std::to_string(header.version) + " (expected " +
+                       std::to_string(kPlanFormatVersion) + ")");
   }
   if (header.index_bits != 64 || header.value_bits != 64) {
-    reject(path, "unsupported index/value width");
+    reject(origin, "unsupported index/value width");
   }
-  if (header.num_vertices == 0) reject(path, "empty graph");
-  const std::uint64_t expected =
-      sizeof(PlanFileHeader) + payload_bytes(header);
-  if (file.size() != expected) {
-    reject(path, "file size mismatch (" + std::to_string(file.size()) +
-                     " bytes, expected " + std::to_string(expected) +
-                     " — truncated or trailing garbage)");
+  if (header.num_vertices == 0) reject(origin, "empty graph");
+  if (!(std::isfinite(header.delta) && header.delta > 0.0)) {
+    reject(origin, "invalid delta (must be finite and positive)");
+  }
+  // Overflow-checked size arithmetic, then the exact cross-check against
+  // the real byte count: both run before any allocation, so the vectors
+  // sized from these counts are always fully backed by `data`.
+  std::uint64_t payload_len = 0;
+  if (!checked_payload_bytes(header, payload_len)) {
+    reject(origin, "header counts overflow the payload size arithmetic");
+  }
+  if (size - sizeof(PlanFileHeader) != payload_len) {
+    reject(origin,
+           "file size mismatch (" + std::to_string(size) +
+               " bytes, expected " +
+               std::to_string(sizeof(PlanFileHeader) + payload_len) +
+               " — truncated or trailing garbage)");
   }
 
-  const unsigned char* payload = file.data() + sizeof(PlanFileHeader);
+  const unsigned char* payload = data + sizeof(PlanFileHeader);
   if (checksum_file(header, {payload},
-                    {static_cast<std::size_t>(payload_bytes(header))}) !=
+                    {static_cast<std::size_t>(payload_len)}) !=
       header.checksum) {
-    reject(path, "checksum mismatch");
+    reject(origin, "checksum mismatch");
   }
 
   // Payload sections, in file order.
@@ -282,8 +333,16 @@ GraphPlan PlanIo::load(const std::string& path) {
   split.heavy_ind = take<grb::Index>(cursor, header.heavy_nnz);
   split.heavy_val = take<double>(cursor, header.heavy_nnz);
 
-  grb::Matrix<double> a(n, n);
-  a.adopt(std::move(row_ptr), std::move(col_ind), std::move(val));
+  // The checksum is forgeable (FNV-1a, and the format is documented), so
+  // nothing semantic is trusted: weights must be finite and non-negative
+  // (a NaN or negative weight would silently corrupt — or hang —
+  // delta-stepping), and the CSR/split structure is fully re-validated
+  // below before the plan is handed out.
+  for (const double w : val) {
+    if (!(std::isfinite(w) && w >= 0.0)) {
+      reject(origin, "non-finite or negative edge weight");
+    }
+  }
 
   PlanStats stats;
   stats.num_vertices = n;
@@ -293,14 +352,25 @@ GraphPlan PlanIo::load(const std::string& path) {
   stats.max_weight = header.max_weight;
   stats.min_positive_weight = header.min_positive_weight;
 
-  // Trusted construction: the checksum vouches for the payload, so the
-  // O(|E|) validation scan is skipped (DSG_AUDIT_INVARIANTS builds still
-  // audit the CSR and the split partition).
-  GraphPlan plan(GraphPlan::Restored{},
-                 std::make_shared<const grb::Matrix<double>>(std::move(a)),
-                 header.delta, header.delta_was_auto != 0, stats);
-  plan.install_split(std::move(split));
-  return plan;
+  // Restored construction skips re-deriving the stats scalars (the one
+  // O(|E|) scan a warm start amortizes) but NOT the structural audit:
+  // check_invariants re-validates the adjacency CSR and the light/heavy
+  // partition at Δ whether or not DSG_AUDIT_INVARIANTS is compiled in.
+  // AuditError normally means "library state corrupt — do not catch", but
+  // here the corrupt state came straight from untrusted input, which is
+  // precisely a bad-input rejection.
+  try {
+    grb::Matrix<double> a(n, n);
+    a.adopt(std::move(row_ptr), std::move(col_ind), std::move(val));
+    GraphPlan plan(GraphPlan::Restored{},
+                   std::make_shared<const grb::Matrix<double>>(std::move(a)),
+                   header.delta, header.delta_was_auto != 0, stats);
+    plan.install_split(std::move(split));
+    plan.check_invariants();
+    return plan;
+  } catch (const grb::audit::AuditError& e) {
+    reject(origin, std::string("structurally invalid payload: ") + e.what());
+  }
 }
 
 }  // namespace dsg::serving

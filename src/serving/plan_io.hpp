@@ -26,6 +26,17 @@
 // before any payload is touched; the checksum catches bit corruption in
 // either region.  Rejections throw grb::InvalidValue with a message
 // naming the failing check (see tests/test_plan_io.cpp).
+//
+// Adversarial inputs: the loader treats every byte as hostile (the fuzz
+// harness in fuzz/ drives it with arbitrary data).  Header counts are
+// combined with overflow-checked arithmetic and cross-checked against the
+// actual file size BEFORE any allocation, so a forged header can neither
+// overflow the size computation into a colliding total nor commit memory
+// the file cannot back.  The checksum is FNV-1a — fast, not
+// cryptographic, and trivially forgeable — so after extraction the loader
+// always runs the full structural validation (CSR shape, light/heavy
+// partition, finite non-negative weights, Δ > 0) and rejects with a named
+// grb::InvalidValue; the checksum only screens accidental corruption.
 #pragma once
 
 #include <cstdint>
@@ -39,14 +50,37 @@ namespace dsg::serving {
 /// every other version) and regenerate tests/data/*.plan goldens.
 inline constexpr std::uint32_t kPlanFormatVersion = 1;
 
+/// Fixed header size in bytes (kept in sync with the PlanFileHeader
+/// layout in plan_io.cpp by a static_assert there).
+inline constexpr std::size_t kPlanHeaderBytes = 112;
+
 /// The saver/loader behind GraphPlan::save / GraphPlan::load.  A class
 /// rather than free functions because loading goes through GraphPlan's
 /// private trusted-deserialization constructor (friend access): the
-/// checksum stands in for the constructor's O(|E|) validation scan.
+/// checksum lets the loader skip re-deriving the stats scalars, while the
+/// structural scan (which does not trust the checksum) keeps a forged
+/// file from materializing a memory-unsafe plan.
 class PlanIo {
  public:
   static void save(const GraphPlan& plan, const std::string& path);
   static GraphPlan load(const std::string& path);
+
+  /// The same parse over an in-memory byte range (the file contents).
+  /// `origin` names the source in rejection messages.  This is the entry
+  /// point the fuzz harness drives: for ANY (data, size) it either
+  /// returns a fully validated plan or throws grb::InvalidValue — never
+  /// crashes, never over-allocates past what `size` can back.
+  static GraphPlan load_bytes(const unsigned char* data, std::size_t size,
+                              const std::string& origin);
+
+  /// The checksum a well-formed file image of these bytes must carry
+  /// (FNV-1a over the header with its checksum field zeroed, then the
+  /// rest).  Exposed for tests and the structure-aware fuzz mutator,
+  /// which re-stamp the field after editing header/payload bytes so
+  /// mutations reach the validators behind the checksum gate.  Requires
+  /// size >= kPlanHeaderBytes.
+  static std::uint64_t file_checksum(const unsigned char* data,
+                                     std::size_t size);
 };
 
 }  // namespace dsg::serving

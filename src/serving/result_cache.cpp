@@ -25,7 +25,7 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
 }
 
 ResultCache::Distances ResultCache::lookup(const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<testing::AuditedMutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
@@ -37,7 +37,7 @@ ResultCache::Distances ResultCache::lookup(const CacheKey& key) {
 }
 
 void ResultCache::insert(const CacheKey& key, Distances dist) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<testing::AuditedMutex> lock(mu_);
   if (capacity_ == 0) return;  // disabled: drop silently
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -58,7 +58,7 @@ void ResultCache::insert(const CacheKey& key, Distances dist) {
 }
 
 ResultCacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<testing::AuditedMutex> lock(mu_);
   ResultCacheStats out;
   out.hits = hits_;
   out.misses = misses_;
@@ -70,7 +70,7 @@ ResultCacheStats ResultCache::stats() const {
 }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<testing::AuditedMutex> lock(mu_);
   lru_.clear();
   map_.clear();
 }

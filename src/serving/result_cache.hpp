@@ -20,6 +20,11 @@
 // recency, so even "reads" mutate LRU order.  No raw atomics (the project
 // atomics-confinement lint applies): one lock, coarse and simple, is the
 // audited design — the cache is consulted once per query, not per edge.
+// The mutex is a lockdep-audited AuditedMutex (testing/lock_audit.hpp):
+// workers consult the cache while NOT holding the server lock, and the
+// auditor proves that stays true — nesting ResultCache::mu inside
+// SsspServer::mu in one place and the reverse elsewhere would abort the
+// DSG_AUDIT_INVARIANTS build at the first offending acquire.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +36,7 @@
 #include <vector>
 
 #include "sssp/common.hpp"
+#include "testing/lock_audit.hpp"
 
 namespace dsg::serving {
 
@@ -87,7 +93,7 @@ class ResultCache {
   using LruList = std::list<std::pair<CacheKey, Distances>>;
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
+  mutable testing::AuditedMutex mu_{"ResultCache::mu"};
   LruList lru_;  // front = most recently used
   std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> map_;
   std::uint64_t hits_ = 0;

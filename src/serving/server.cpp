@@ -67,7 +67,7 @@ void SsspServer::start_workers() {
 
 void SsspServer::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<testing::AuditedMutex> lock(mu_);
     stopping_ = true;
   }
   not_empty_.notify_all();
@@ -83,7 +83,7 @@ SsspServer::Ticket SsspServer::submit(const Query& query) {
   require_pool_safe(query.algorithm.value_or(default_algorithm_));
   testing::fault_point("serving/pool_enqueue", query.source);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  testing::AuditedLock lock(mu_);
   not_full_.wait(lock, [&] {
     return stopping_ || queue_.size() < options_.queue_capacity;
   });
@@ -100,7 +100,7 @@ SsspServer::Ticket SsspServer::submit(const Query& query) {
 }
 
 sssp::QueryResult SsspServer::wait(Ticket ticket) {
-  std::unique_lock<std::mutex> lock(mu_);
+  testing::AuditedLock lock(mu_);
   for (;;) {
     auto it = finished_.find(ticket);
     if (it != finished_.end()) {
@@ -123,7 +123,7 @@ void SsspServer::worker_loop() {
   for (;;) {
     Item item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      testing::AuditedLock lock(mu_);
       not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping, fully drained
       item = std::move(queue_.front());
@@ -134,7 +134,7 @@ void SsspServer::worker_loop() {
     sssp::QueryResult result = run_query(item.query, ctx);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<testing::AuditedMutex> lock(mu_);
       if (!result.ok()) {
         ++failed_;
       } else {
@@ -184,7 +184,7 @@ sssp::QueryResult SsspServer::run_query(const Query& query,
         cache_.insert(key, std::make_shared<const std::vector<double>>(
                                out.result.dist));
       } catch (const std::bad_alloc&) {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard<testing::AuditedMutex> lock(mu_);
         ++cache_insert_failures_;
       }
     }
@@ -203,7 +203,7 @@ sssp::QueryResult SsspServer::run_query(const Query& query,
 }
 
 ServerStats SsspServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<testing::AuditedMutex> lock(mu_);
   ServerStats out;
   out.submitted = submitted_;
   out.completed = completed_;

@@ -33,10 +33,14 @@
 // results), plain counters under the same mutex.  No raw atomics — the
 // project's atomics-confinement lint routes anything lock-free through
 // the audited wrappers, and nothing here is hot enough to need them (the
-// lock is taken per query, not per edge).
+// lock is taken per query, not per edge).  The mutex and condvars are the
+// lockdep-audited wrappers from testing/lock_audit.hpp: under
+// DSG_AUDIT_INVARIANTS every acquisition feeds the process-global
+// lock-order graph (order inversions and condvar-wait-while-holding-
+// second-lock abort with both chains); otherwise they compile to plain
+// std::mutex / condition_variable_any.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -50,6 +54,7 @@
 #include "serving/result_cache.hpp"
 #include "sssp/plan.hpp"
 #include "sssp/solver.hpp"
+#include "testing/lock_audit.hpp"
 
 namespace dsg::serving {
 
@@ -160,10 +165,10 @@ class SsspServer {
   sssp::Algorithm default_algorithm_ = sssp::Algorithm::kFused;
   ResultCache cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;   // queue has space
-  std::condition_variable not_empty_;  // queue has work (or stopping)
-  std::condition_variable done_;       // a result landed
+  mutable testing::AuditedMutex mu_{"SsspServer::mu"};
+  testing::AuditedConditionVariable not_full_;   // queue has space
+  testing::AuditedConditionVariable not_empty_;  // queue has work/stopping
+  testing::AuditedConditionVariable done_;       // a result landed
   std::deque<Item> queue_;
   std::unordered_set<Ticket> outstanding_;  // issued, not yet finished
   std::unordered_map<Ticket, sssp::QueryResult> finished_;  // awaiting wait()

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 
 #include "graphblas/audit.hpp"
@@ -204,8 +205,11 @@ void GraphPlan::init(double delta) {
   double max_w = 0.0;
   double min_pos = 0.0;
   a.for_each([&](Index, Index, const double& w) {
-    if (w < 0.0) {
-      throw grb::InvalidValue("sssp: negative edge weight " +
+    // !(isfinite && >= 0) rather than (w < 0): NaN compares false against
+    // everything, so a plain negativity test waves NaN weights through
+    // into the relaxation loop, where min(NaN, d) poisons distances.
+    if (!(std::isfinite(w) && w >= 0.0)) {
+      throw grb::InvalidValue("sssp: non-finite or negative edge weight " +
                               std::to_string(w));
     }
     if (w > max_w) max_w = w;

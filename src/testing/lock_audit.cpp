@@ -1,0 +1,270 @@
+// lock_audit.cpp — the process-global lockdep state behind AuditedMutex.
+//
+// Data model (armed builds only):
+//
+//   - Every AuditedMutex registers for a small integer id and a name.
+//     Ids are recycled after unregister so long-running processes that
+//     churn servers don't grow the graph without bound.
+//   - Each thread keeps a thread_local stack of currently-held ids.
+//   - A process-global directed graph stores an edge h -> l for every
+//     observed "acquired l while holding h", together with the acquisition
+//     chain (lock names, outermost first) that first produced the edge —
+//     that chain is the "other thread's stack" in violation reports.
+//
+// At note_acquire (BEFORE the underlying mutex blocks) the auditor:
+//
+//   1. flags a recursive acquire if the id is already in this thread's
+//      held stack;
+//   2. checks whether a path id ~> h already exists for any held lock h
+//      (DFS over the edge set): if it does, some earlier acquisition
+//      chain took these locks in the opposite order, so the two orders
+//      can deadlock — report with both chains;
+//   3. otherwise records edges h -> id for every held h and proceeds.
+//
+// Firing at the *order*, not the deadlock, is the whole point: the fatal
+// interleaving may need a scheduler coincidence this run never hits, but
+// the inverted order is visible the first time either side runs.
+//
+// note_wait flags a condvar wait entered while more than one lock is
+// held: wait() releases only its own mutex, so every other held lock
+// stays held for the full sleep — the classic notify-side deadlock.
+//
+// All bookkeeping happens under one internal std::mutex (never an
+// AuditedMutex — the auditor must not audit itself).  Violations are
+// reported AFTER dropping the internal lock so a capturing test handler
+// can safely touch audited locks again.
+#include "testing/lock_audit.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace dsg::testing {
+
+namespace {
+
+void default_handler(const LockOrderViolation& v) {
+  std::fprintf(stderr, "\n=== dsg lock audit: %s ===\n%s\n",
+               v.kind == LockOrderViolation::Kind::kOrderInversion
+                   ? "lock-order inversion"
+                   : (v.kind == LockOrderViolation::Kind::kRecursiveLock
+                          ? "recursive lock"
+                          : "condvar wait while holding a second lock"),
+               v.report.c_str());
+  std::abort();
+}
+
+std::atomic<LockAuditHandler> g_handler{&default_handler};
+
+}  // namespace
+
+LockAuditHandler set_lock_audit_handler(LockAuditHandler handler) noexcept {
+  const LockAuditHandler prev = g_handler.exchange(
+      handler != nullptr ? handler : &default_handler);
+  return prev == &default_handler ? nullptr : prev;
+}
+
+#ifndef DSG_AUDIT_INVARIANTS
+
+bool lock_audit_armed() noexcept { return false; }
+void lock_audit_reset() noexcept {}
+
+#else  // DSG_AUDIT_INVARIANTS
+
+bool lock_audit_armed() noexcept { return true; }
+
+namespace detail {
+namespace {
+
+// All mutable state below is guarded by state_mutex() — a plain
+// std::mutex, leaf-level by construction (no audited operation runs while
+// it is held, and the handler is invoked after it is dropped).
+std::mutex& state_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct Edge {
+  std::size_t to;
+  std::string first_seen_chain;  // "outer -> ... -> inner" that created it
+};
+
+struct State {
+  std::vector<std::string> names;      // by id; empty string = free slot
+  std::vector<std::size_t> free_ids;   // recycled slots
+  std::vector<std::vector<Edge>> out;  // adjacency by id
+};
+
+State& state() {
+  static State* s = new State();  // leaked: threads may outlive statics
+  return *s;
+}
+
+// This thread's currently-held audited locks, outermost first.
+thread_local std::vector<std::size_t> t_held;
+
+std::string chain_string(const State& s, const std::vector<std::size_t>& held,
+                         std::size_t next) {
+  std::string chain;
+  for (const std::size_t id : held) {
+    chain += s.names[id];
+    chain += " -> ";
+  }
+  chain += s.names[next];
+  return chain;
+}
+
+/// Is there a path from `from` to `to` in the recorded order graph?
+/// Returns the edge chain annotations along one such path via `trail`.
+bool find_path(const State& s, std::size_t from, std::size_t to,
+               std::vector<char>& visited, std::vector<std::string>& trail) {
+  if (from == to) return true;
+  visited[from] = 1;
+  for (const Edge& e : s.out[from]) {
+    if (visited[e.to] != 0) continue;
+    trail.push_back(e.first_seen_chain);
+    if (find_path(s, e.to, to, visited, trail)) return true;
+    trail.pop_back();
+  }
+  return false;
+}
+
+void deliver(LockOrderViolation v) {
+  // Handler runs with the state mutex NOT held (callers ensure this).
+  g_handler.load()(v);
+}
+
+}  // namespace
+
+std::size_t lock_audit_register(const char* name) noexcept {
+  std::lock_guard<std::mutex> g(state_mutex());
+  State& s = state();
+  std::size_t id = 0;
+  if (!s.free_ids.empty()) {
+    id = s.free_ids.back();
+    s.free_ids.pop_back();
+    s.names[id] = name;
+    s.out[id].clear();
+  } else {
+    id = s.names.size();
+    s.names.emplace_back(name);
+    s.out.emplace_back();
+  }
+  return id;
+}
+
+void lock_audit_unregister(std::size_t id) noexcept {
+  std::lock_guard<std::mutex> g(state_mutex());
+  State& s = state();
+  // Drop every edge touching the dead id: a recycled slot must not
+  // inherit ordering constraints from a destroyed mutex.
+  s.out[id].clear();
+  for (std::vector<Edge>& edges : s.out) {
+    std::erase_if(edges, [id](const Edge& e) { return e.to == id; });
+  }
+  s.names[id].clear();
+  s.free_ids.push_back(id);
+}
+
+void lock_audit_note_acquire(std::size_t id) {
+  LockOrderViolation violation;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> g(state_mutex());
+    State& s = state();
+    for (const std::size_t held : t_held) {
+      if (held == id) {
+        violation.kind = LockOrderViolation::Kind::kRecursiveLock;
+        violation.report = "thread re-locking '" + s.names[id] +
+                           "' while already holding it; held chain: " +
+                           chain_string(s, t_held, id);
+        fire = true;
+        break;
+      }
+    }
+    if (!fire && !t_held.empty()) {
+      // Inversion check: a recorded path id ~> h means some chain took
+      // `id` before h; this thread holds h and wants `id` — cycle.
+      for (const std::size_t held : t_held) {
+        std::vector<char> visited(s.names.size(), 0);
+        std::vector<std::string> trail;
+        if (find_path(s, id, held, visited, trail)) {
+          violation.kind = LockOrderViolation::Kind::kOrderInversion;
+          violation.report =
+              "this thread's acquisition chain: " +
+              chain_string(s, t_held, id) +
+              "\npreviously recorded opposite order:";
+          for (const std::string& hop : trail) {
+            violation.report += "\n  via chain: " + hop;
+          }
+          fire = true;
+          break;
+        }
+      }
+    }
+    if (!fire) {
+      const std::string chain = chain_string(s, t_held, id);
+      for (const std::size_t held : t_held) {
+        std::vector<Edge>& edges = s.out[held];
+        bool known = false;
+        for (const Edge& e : edges) {
+          if (e.to == id) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) edges.push_back(Edge{id, chain});
+      }
+    }
+  }
+  if (fire) deliver(std::move(violation));
+}
+
+void lock_audit_note_acquired(std::size_t id) { t_held.push_back(id); }
+
+void lock_audit_note_release(std::size_t id) {
+  // Unlock order need not be LIFO (unique_lock::unlock interleavings),
+  // so erase the most recent matching entry rather than popping.
+  for (std::size_t i = t_held.size(); i > 0; --i) {
+    if (t_held[i - 1] == id) {
+      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i) - 1);
+      return;
+    }
+  }
+}
+
+void lock_audit_note_wait(std::size_t id) {
+  LockOrderViolation violation;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> g(state_mutex());
+    State& s = state();
+    if (t_held.size() > 1) {
+      violation.kind = LockOrderViolation::Kind::kWaitWhileHolding;
+      std::string held_names;
+      for (const std::size_t h : t_held) {
+        if (!held_names.empty()) held_names += ", ";
+        held_names += s.names[h];
+      }
+      violation.report = "condvar wait on '" + s.names[id] +
+                         "' entered while holding: " + held_names +
+                         " — only the waited mutex is released during the "
+                         "sleep";
+      fire = true;
+    }
+  }
+  if (fire) deliver(std::move(violation));
+}
+
+}  // namespace detail
+
+void lock_audit_reset() noexcept {
+  std::lock_guard<std::mutex> g(detail::state_mutex());
+  for (auto& edges : detail::state().out) edges.clear();
+}
+
+#endif  // DSG_AUDIT_INVARIANTS
+
+}  // namespace dsg::testing

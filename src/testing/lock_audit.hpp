@@ -1,0 +1,209 @@
+// lock_audit.hpp — a lockdep-style runtime lock-order auditor for the
+// serving layer.
+//
+// The serving stack holds multiple mutexes (server queue, result cache)
+// across a worker pool, and a deadlock there is a silent liveness bug no
+// sanitizer reports until two threads actually interleave the wrong way.
+// This header gives the code the Linux-lockdep property: the FIRST time
+// any thread acquires locks in an order that could deadlock — even if the
+// fatal interleaving never happens in this run — the auditor fires with
+// both acquisition chains' lock names.
+//
+// Usage: declare mutexes as
+//
+//   dsg::testing::AuditedMutex mu_{"SsspServer::mu"};
+//
+// and guard with std::lock_guard<AuditedMutex> / AuditedLock
+// (= std::unique_lock<AuditedMutex>).  Condition variables that wait on an
+// AuditedMutex use AuditedConditionVariable.
+//
+// Arming matrix: under DSG_AUDIT_INVARIANTS (the existing global audit
+// option) every acquisition is recorded; without it AuditedMutex is an
+// inline forwarding wrapper over std::mutex — same layout role, zero
+// bookkeeping, so production builds pay nothing.
+//
+// What the armed build detects, at the moment of the offending acquire:
+//
+//   - order inversion: thread A took X then Y, thread B now takes Y then
+//     X.  Detected via a process-global directed graph of "held H while
+//     acquiring L" edges; acquiring along a path that closes a cycle
+//     aborts with both chains.
+//   - recursive acquisition: locking a mutex this thread already holds
+//     (guaranteed deadlock on std::mutex).
+//   - condvar-wait-while-holding-second-lock: waiting releases ONLY the
+//     lock handed to wait(); any other held lock stays held while this
+//     thread sleeps, which deadlocks as soon as the notifier needs it.
+//
+// The default violation handler prints the report and aborts (a deadlock
+// bug must never be swallowed); tests install a capturing handler via
+// set_lock_audit_handler to prove the detector fires without dying.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace dsg::testing {
+
+/// A detected lock-discipline violation, handed to the installed handler.
+struct LockOrderViolation {
+  enum class Kind {
+    kOrderInversion,   ///< acquisition would close a cycle in the order graph
+    kRecursiveLock,    ///< thread re-locking a mutex it already holds
+    kWaitWhileHolding  ///< condvar wait with a second lock still held
+  };
+  Kind kind;
+  /// Human-readable report: the lock names in this thread's held chain and
+  /// (for inversions) the previously recorded conflicting chain.
+  std::string report;
+};
+
+/// True when the auditor is compiled in (DSG_AUDIT_INVARIANTS builds).
+bool lock_audit_armed() noexcept;
+
+/// Replace the violation handler (nullptr restores the default
+/// print-and-abort).  Returns the previous handler.  The handler runs on
+/// the offending thread with the auditor's internal lock NOT held; if it
+/// returns, execution continues past the violation (tests only).
+using LockAuditHandler = void (*)(const LockOrderViolation&);
+LockAuditHandler set_lock_audit_handler(LockAuditHandler handler) noexcept;
+
+/// Drop every recorded acquisition edge (test isolation: one test's
+/// deliberate inversion must not poison the order graph for the next).
+void lock_audit_reset() noexcept;
+
+#ifdef DSG_AUDIT_INVARIANTS
+
+namespace detail {
+// Registration/bookkeeping entry points, defined in lock_audit.cpp.
+// `id` is a process-unique small integer per AuditedMutex instance.
+std::size_t lock_audit_register(const char* name) noexcept;
+void lock_audit_unregister(std::size_t id) noexcept;
+void lock_audit_note_acquire(std::size_t id);   // before blocking
+void lock_audit_note_acquired(std::size_t id);  // lock is now held
+void lock_audit_note_release(std::size_t id);
+void lock_audit_note_wait(std::size_t id);  // entering cv wait on `id`
+}  // namespace detail
+
+/// std::mutex plus lockdep bookkeeping.  Satisfies BasicLockable/Lockable
+/// so std::lock_guard / std::unique_lock / std::scoped_lock all work.
+class AuditedMutex {
+ public:
+  explicit AuditedMutex(const char* name)
+      : id_(detail::lock_audit_register(name)) {}
+  ~AuditedMutex() { detail::lock_audit_unregister(id_); }
+  AuditedMutex(const AuditedMutex&) = delete;
+  AuditedMutex& operator=(const AuditedMutex&) = delete;
+
+  void lock() {
+    // Record intent BEFORE blocking: if this acquire would complete a
+    // deadlock cycle, the report must fire now — the whole point is to
+    // catch the order while the run is still alive to print it.
+    detail::lock_audit_note_acquire(id_);
+    mu_.lock();
+    detail::lock_audit_note_acquired(id_);
+  }
+  bool try_lock() {
+    const bool got = mu_.try_lock();
+    // try_lock cannot deadlock (it never blocks), so failure records
+    // nothing and success records the held edge like a normal acquire.
+    if (got) {
+      detail::lock_audit_note_acquire(id_);
+      detail::lock_audit_note_acquired(id_);
+    }
+    return got;
+  }
+  void unlock() {
+    detail::lock_audit_note_release(id_);
+    mu_.unlock();
+  }
+
+  std::size_t audit_id() const noexcept { return id_; }
+
+ private:
+  std::mutex mu_;
+  std::size_t id_;
+};
+
+/// Condition variable for AuditedMutex.  condition_variable_any because
+/// std::condition_variable is hard-wired to unique_lock<std::mutex>.
+class AuditedConditionVariable {
+ public:
+  template <typename Predicate>
+  void wait(std::unique_lock<AuditedMutex>& lock, Predicate pred) {
+    while (!pred()) wait(lock);
+  }
+  void wait(std::unique_lock<AuditedMutex>& lock) {
+    detail::lock_audit_note_wait(lock.mutex()->audit_id());
+    cv_.wait(lock);
+  }
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(std::unique_lock<AuditedMutex>& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    detail::lock_audit_note_wait(lock.mutex()->audit_id());
+    return cv_.wait_for(lock, dur);
+  }
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(std::unique_lock<AuditedMutex>& lock,
+                const std::chrono::duration<Rep, Period>& dur,
+                Predicate pred) {
+    detail::lock_audit_note_wait(lock.mutex()->audit_id());
+    return cv_.wait_for(lock, dur, std::move(pred));
+  }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+#else  // !DSG_AUDIT_INVARIANTS — zero-cost forwarding wrappers.
+
+class AuditedMutex {
+ public:
+  explicit AuditedMutex(const char* /*name*/) {}
+  AuditedMutex(const AuditedMutex&) = delete;
+  AuditedMutex& operator=(const AuditedMutex&) = delete;
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+class AuditedConditionVariable {
+ public:
+  template <typename Predicate>
+  void wait(std::unique_lock<AuditedMutex>& lock, Predicate pred) {
+    cv_.wait(lock, std::move(pred));
+  }
+  void wait(std::unique_lock<AuditedMutex>& lock) { cv_.wait(lock); }
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(std::unique_lock<AuditedMutex>& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock, dur);
+  }
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(std::unique_lock<AuditedMutex>& lock,
+                const std::chrono::duration<Rep, Period>& dur,
+                Predicate pred) {
+    return cv_.wait_for(lock, dur, std::move(pred));
+  }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+#endif  // DSG_AUDIT_INVARIANTS
+
+/// The guard type serving code uses where it needs an unlockable guard or
+/// a condvar-compatible lock.
+using AuditedLock = std::unique_lock<AuditedMutex>;
+
+}  // namespace dsg::testing

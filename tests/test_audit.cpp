@@ -111,6 +111,14 @@ TEST(CheckCsr, FiresOnBrokenOffsets) {
   const std::vector<Index> wrong_len{0, 2, 3};
   EXPECT_THROW(grb::audit::check_csr(wrong_len, col, 3, 3, 4, "t"),
                AuditError);
+  // Rise-then-fall: monotone at every checked prefix, front == 0 and
+  // back == nnz both hold, but row 0's end offset points far past
+  // col_ind.  The checker must fail on the BOUND (not read col_ind out
+  // of bounds at the risen row before noticing the later fall) — this
+  // is the adversarial shape a forged plan file feeds the auditor.
+  const std::vector<Index> rise_then_fall{0, 1000, 2, 3};
+  EXPECT_THROW(grb::audit::check_csr(rise_then_fall, col, 3, 3, 4, "t"),
+               AuditError);
 }
 
 TEST(CheckCsr, FiresOnBrokenColumns) {

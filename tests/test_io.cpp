@@ -146,6 +146,29 @@ TEST(MatrixMarket, RejectsNegativeDimension) {
   EXPECT_THROW(dsg::read_matrix_market(in), grb::InvalidValue);
 }
 
+TEST(MatrixMarket, RejectsNonFiniteWeights) {
+  // operator>> parses "nan"/"inf" spellings into real doubles; SSSP
+  // weights must be finite, so the reader rejects them at the boundary.
+  for (const char* bad : {"nan", "inf", "-inf", "NaN", "Infinity"}) {
+    std::istringstream in(
+        std::string("%%MatrixMarket matrix coordinate real general\n"
+                    "3 3 1\n"
+                    "1 2 ") +
+        bad + "\n");
+    EXPECT_THROW(dsg::read_matrix_market(in), grb::InvalidValue) << bad;
+  }
+}
+
+TEST(MatrixMarket, HugeDeclaredNnzDoesNotPreallocate) {
+  // The size line is untrusted: a declared nnz of 2^63 must fail on "not
+  // enough entries", not OOM in reserve() before parsing a single line.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "4 4 9223372036854775807\n"
+      "1 2 1.0\n");
+  EXPECT_THROW(dsg::read_matrix_market(in), grb::InvalidValue);
+}
+
 TEST(MatrixMarket, AcceptsFullWidthCoordinatesUpToDimension) {
   // Ids above 2^63 are valid Index values; the reader must not funnel them
   // through a signed 64-bit intermediate.
@@ -211,6 +234,13 @@ TEST(Snap, OptionalWeightsParsed) {
 TEST(Snap, RejectsMalformedLine) {
   std::istringstream in("0\n");
   EXPECT_THROW(dsg::read_snap(in), grb::InvalidValue);
+}
+
+TEST(Snap, RejectsNonFiniteWeights) {
+  for (const char* bad : {"0 1 nan\n", "0 1 inf\n", "0 1 -inf\n"}) {
+    std::istringstream in(bad);
+    EXPECT_THROW(dsg::read_snap(in), grb::InvalidValue) << bad;
+  }
 }
 
 TEST(Snap, RejectsGarbageWeight) {

@@ -8,9 +8,11 @@
 //   DSG_REGEN_GOLDEN=1 ./test_plan_io --gtest_filter=PlanGolden.*
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -204,6 +206,22 @@ class PlanIoReject : public ::testing::Test {
     }
   }
 
+  void patch(std::size_t offset, std::uint64_t value) {
+    std::memcpy(bytes_.data() + offset, &value, sizeof(value));
+  }
+  void patch(std::size_t offset, double value) {
+    std::memcpy(bytes_.data() + offset, &value, sizeof(value));
+  }
+
+  /// Forge a matching checksum for the current (patched) bytes: the
+  /// checksum gate only screens accidental corruption, so these tests
+  /// walk straight through it to the validators behind it.
+  void restamp_checksum() {
+    const std::uint64_t sum =
+        serving::PlanIo::file_checksum(bytes_.data(), bytes_.size());
+    std::memcpy(bytes_.data() + 104, &sum, sizeof(sum));
+  }
+
   std::string path_;
   std::vector<unsigned char> bytes_;
 };
@@ -255,6 +273,92 @@ TEST_F(PlanIoReject, HeaderStatsBitFlip) {
   // after every field the structural validators look at.
   bytes_[72] ^= 0x01;
   expect_rejected("checksum mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial headers: counts chosen so the size arithmetic itself is the
+// attack surface.  These must be rejected BEFORE any allocation — the
+// overflow-checked checked_payload_bytes path.
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanIoReject, HeaderCountsOverflowUint64) {
+  // (num_vertices + 1) * 8 wraps: a naive computation would alias a small
+  // payload size and commit memory the file cannot back.
+  patch(24, ~std::uint64_t{0} - 1);  // num_vertices
+  restamp_checksum();
+  expect_rejected("header counts overflow");
+}
+
+TEST_F(PlanIoReject, HeaderCountSumOverflows) {
+  // Each product fits but the section sum wraps.
+  patch(32, std::uint64_t{1} << 61);  // num_edges
+  patch(40, std::uint64_t{1} << 61);  // light_nnz
+  restamp_checksum();
+  expect_rejected("header counts overflow");
+}
+
+TEST_F(PlanIoReject, HeaderCountsExceedFileSize) {
+  // No overflow, just a claimed payload far beyond the real byte count:
+  // caught by the exact size cross-check, still before any allocation.
+  patch(32, std::uint64_t{1} << 40);  // num_edges
+  restamp_checksum();
+  expect_rejected("file size mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Forged checksum: FNV-1a is not cryptographic, so an adversary stamps a
+// valid checksum over corrupted content.  Every semantic validator must
+// hold with the gate forged open.
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanIoReject, ForgedNaNDelta) {
+  patch(56, std::nan(""));
+  restamp_checksum();
+  expect_rejected("invalid delta");
+}
+
+TEST_F(PlanIoReject, ForgedZeroDelta) {
+  patch(56, 0.0);
+  restamp_checksum();
+  expect_rejected("invalid delta");
+}
+
+TEST_F(PlanIoReject, ForgedNegativeWeight) {
+  // val[0]: header(112) + row_ptr(6*8) + col_ind(10*8) = offset 240.
+  patch(240, -2.0);
+  restamp_checksum();
+  expect_rejected("non-finite or negative edge weight");
+}
+
+TEST_F(PlanIoReject, ForgedNaNWeight) {
+  patch(240, std::nan(""));
+  restamp_checksum();
+  expect_rejected("non-finite or negative edge weight");
+}
+
+TEST_F(PlanIoReject, ForgedRowPtrRiseThenFall) {
+  // row_ptr[1] at offset 120 jumps past nnz while row_ptr[5] still ends
+  // at 10: monotone-so-far, both endpoints plausible — the per-row bound
+  // check in grb::audit::check_csr is what must catch it (it used to
+  // read col_ind out of bounds instead).
+  patch(120, std::uint64_t{1} << 20);
+  restamp_checksum();
+  expect_rejected("structurally invalid payload");
+}
+
+TEST_F(PlanIoReject, ForgedColIndOutOfRange) {
+  // col_ind[0] at offset 160 points far outside the 5-vertex graph.
+  patch(160, std::uint64_t{1} << 30);
+  restamp_checksum();
+  expect_rejected("structurally invalid payload");
+}
+
+TEST_F(PlanIoReject, ForgedLightSplitCorruption) {
+  // light_ptr[1] (offset 320 + 8) inflated: the split CSR audit fails
+  // regardless of what the light/heavy partition contains.
+  patch(328, std::uint64_t{1} << 20);
+  restamp_checksum();
+  expect_rejected("structurally invalid payload");
 }
 
 // ---------------------------------------------------------------------------
